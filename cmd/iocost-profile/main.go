@@ -1,0 +1,87 @@
+// Command iocost-profile derives IOCost linear cost-model parameters for a
+// simulated device the same way the paper's open-sourced tooling profiles
+// real hardware (§3.2): saturating fio-style sweeps measure sustainable
+// peak 4KiB random/sequential IOPS per direction and large-IO bandwidth.
+//
+// Usage:
+//
+//	iocost-profile [-device <name>] [-seed N] [-list]
+//
+// Device names: older-gen, newer-gen, enterprise, hdd, A..H (the fleet
+// SSDs of Figure 3), ebs-gp3, ebs-io2, gcp-balanced, gcp-ssd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/profiler"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func factories() map[string]profiler.DeviceFactory {
+	m := map[string]profiler.DeviceFactory{}
+	add := func(name string, f profiler.DeviceFactory) { m[name] = f }
+	ssd := func(spec device.SSDSpec) profiler.DeviceFactory {
+		return func(eng *sim.Engine) device.Device { return device.NewSSD(eng, spec, 1) }
+	}
+	add("older-gen", ssd(device.OlderGenSSD()))
+	add("newer-gen", ssd(device.NewerGenSSD()))
+	add("enterprise", ssd(device.EnterpriseSSD()))
+	add("hdd", func(eng *sim.Engine) device.Device { return device.NewHDD(eng, device.EvalHDD(), 1) })
+	for _, n := range device.FleetSSDNames() {
+		spec, err := device.FleetSSDSpec(n)
+		if err != nil {
+			panic(err)
+		}
+		add(n, ssd(spec))
+	}
+	remote := func(spec device.RemoteSpec) profiler.DeviceFactory {
+		return func(eng *sim.Engine) device.Device { return device.NewRemote(eng, spec, 1) }
+	}
+	add("ebs-gp3", remote(device.EBSgp3()))
+	add("ebs-io2", remote(device.EBSio2()))
+	add("gcp-balanced", remote(device.GCPBalanced()))
+	add("gcp-ssd", remote(device.GCPSSD()))
+	return m
+}
+
+func main() {
+	dev := flag.String("device", "older-gen", "device model to profile")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	list := flag.Bool("list", false, "list device models and exit")
+	flag.Parse()
+
+	fs := factories()
+	if *list {
+		names := make([]string, 0, len(fs))
+		for n := range fs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	f, ok := fs[*dev]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iocost-profile: unknown device %q (use -list)\n", *dev)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "profiling %s (saturating sweeps, simulated)...\n", *dev)
+	res := profiler.Profile(f, profiler.Options{Seed: *seed})
+	fmt.Printf("# measured peaks\n")
+	fmt.Printf("rand read  %10.0f IOPS (p50 %v)\n", res.RandReadIOPS, res.ReadLatP50)
+	fmt.Printf("seq  read  %10.0f IOPS\n", res.SeqReadIOPS)
+	fmt.Printf("rand write %10.0f IOPS (p50 %v)\n", res.RandWriteIOPS, res.WriteLatP50)
+	fmt.Printf("seq  write %10.0f IOPS\n", res.SeqWriteIOPS)
+	fmt.Printf("read  bw   %10.0f MB/s\n", res.ReadBps/1e6)
+	fmt.Printf("write bw   %10.0f MB/s (sustained)\n", res.WriteBps/1e6)
+	fmt.Printf("\n# io.cost.model\n%s\n", res.Params)
+}

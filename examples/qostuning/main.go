@@ -1,0 +1,42 @@
+// Command qostuning runs the §3.4 QoS tuning procedure for a device:
+// ResourceControlBench is swept across pinned vrates in the two scenarios —
+// alone on an overcommitted machine (how much throughput does loosening
+// buy?) and next to a memory leaker (how much protection does tightening
+// buy?) — and the knees of the two curves become the production vrate
+// bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/iocost-sim/iocost"
+)
+
+func main() {
+	devName := flag.String("device", "older-gen", "device: older-gen, newer-gen, enterprise")
+	flag.Parse()
+
+	var spec iocost.SSDSpec
+	switch *devName {
+	case "older-gen":
+		spec = iocost.OlderGenSSD()
+	case "newer-gen":
+		spec = iocost.NewerGenSSD()
+	case "enterprise":
+		spec = iocost.EnterpriseSSD()
+	default:
+		fmt.Fprintf(os.Stderr, "qostuning: unknown device %q\n", *devName)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "sweeping pinned vrates on %s (two scenarios per point)...\n", spec.Name)
+	res := iocost.Tune(spec, iocost.TuneOptions{Seed: 1})
+
+	fmt.Printf("%8s %14s %18s\n", "vrate", "alone RPS", "with-leaker p95")
+	for i, v := range res.Vrates {
+		fmt.Printf("%7.0f%% %14.0f %16.1fms\n", v*100, res.AloneR[i], res.LeakP95[i])
+	}
+	fmt.Printf("\nderived io.cost.qos: %s\n", res.QoS)
+}

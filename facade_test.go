@@ -1,0 +1,62 @@
+package iocost_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost"
+)
+
+// The facade test exercises the public API end-to-end the way the README's
+// quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m := iocost.NewMachine(iocost.MachineConfig{
+		Device:     iocost.SSD(iocost.OlderGenSSD()),
+		Controller: iocost.ControllerIOCost,
+		Seed:       1,
+	})
+	if m.IOCost == nil {
+		t.Fatal("IOCost controller not exposed")
+	}
+	hi := m.Workload.NewChild("hi", 200)
+	lo := m.Workload.NewChild("lo", 100)
+	var ws []*iocost.Saturator
+	for i, cg := range []*iocost.CGroup{hi, lo} {
+		w := iocost.NewSaturator(m.Q, iocost.SaturatorConfig{
+			CG: cg, Op: iocost.Read, Pattern: iocost.RandomAccess,
+			Size: 4096, Depth: 32, Region: int64(i) << 35, Seed: uint64(i + 1),
+		})
+		w.Start()
+		ws = append(ws, w)
+	}
+	m.Run(1 * iocost.Second)
+	for i := range ws {
+		ws[i].Stats.TakeWindow()
+	}
+	m.Run(3 * iocost.Second)
+	nHi, nLo := ws[0].Stats.TakeWindow(), ws[1].Stats.TakeWindow()
+	if nLo == 0 {
+		t.Fatal("low-priority workload starved")
+	}
+	ratio := float64(nHi) / float64(nLo)
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Errorf("public-API 2:1 scenario produced ratio %.2f", ratio)
+	}
+	if v := m.IOCost.Vrate(); v <= 0 {
+		t.Errorf("vrate = %v", v)
+	}
+}
+
+func TestPublicAPIProfile(t *testing.T) {
+	spec := iocost.NewerGenSSD()
+	res := iocost.Profile(func(eng *iocost.Engine) iocost.Device {
+		return iocost.NewSSDDevice(eng, spec, 1)
+	}, iocost.ProfileOptions{
+		Warmup: 300 * iocost.Millisecond, Measure: 300 * iocost.Millisecond, Depth: 64,
+	})
+	if err := res.Params.Validate(); err != nil {
+		t.Fatalf("profiled params invalid: %v", err)
+	}
+	if res.RandReadIOPS <= 0 {
+		t.Error("no measured IOPS")
+	}
+}

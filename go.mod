@@ -1,0 +1,3 @@
+module github.com/iocost-sim/iocost
+
+go 1.22

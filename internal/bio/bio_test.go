@@ -1,0 +1,58 @@
+package bio
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/cgroup"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op strings wrong")
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := Sync | Swap
+	if !f.Has(Sync) || !f.Has(Swap) || !f.Has(Sync|Swap) {
+		t.Error("Has failed for set bits")
+	}
+	if f.Has(Meta) || f.Has(Swap|Meta) {
+		t.Error("Has true for unset bits")
+	}
+}
+
+func TestLatencyAccessors(t *testing.T) {
+	b := &Bio{Submitted: 100, Issued: 250, Dispatched: 300, Completed: 900}
+	if b.Latency() != 800 {
+		t.Errorf("Latency = %v", b.Latency())
+	}
+	if b.DeviceLatency() != 650 {
+		t.Errorf("DeviceLatency = %v", b.DeviceLatency())
+	}
+	if b.WaitLatency() != 150 {
+		t.Errorf("WaitLatency = %v", b.WaitLatency())
+	}
+}
+
+func TestEnd(t *testing.T) {
+	b := &Bio{Off: 4096, Size: 8192}
+	if b.End() != 12288 {
+		t.Errorf("End = %d", b.End())
+	}
+}
+
+func TestStringIncludesCgroupPath(t *testing.T) {
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("svc", 100)
+	b := &Bio{Op: Write, Off: 0, Size: 4096, CG: cg, Flags: Swap}
+	s := b.String()
+	if !strings.Contains(s, "/svc") || !strings.Contains(s, "write") {
+		t.Errorf("String = %q", s)
+	}
+	orphan := &Bio{Op: Read, Size: 512}
+	if !strings.Contains(orphan.String(), "<none>") {
+		t.Errorf("String without cgroup = %q", orphan.String())
+	}
+}

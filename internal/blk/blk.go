@@ -1,0 +1,214 @@
+// Package blk implements the simulated block layer: the queue that accepts
+// bios from workloads, hands them to an IO controller for throttling and
+// scheduling decisions, dispatches them to the device under a bounded tag
+// set, and delivers completions.
+//
+// The Controller interface is the single integration point all IO control
+// mechanisms implement — iocost, iolatency, blk-throttle, bfq, mq-deadline,
+// kyber and the null controller — so every experiment exercises identical
+// submit/complete machinery and differs only in control policy, as in the
+// kernel.
+package blk
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/ring"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/stats"
+)
+
+// Controller is an IO control mechanism. Submit is invoked for every bio
+// entering the block layer; the controller must eventually pass the bio to
+// Queue.Issue (immediately for pass-through mechanisms, later for throttling
+// ones). Completed is invoked when the device finishes a bio.
+type Controller interface {
+	// Name identifies the mechanism ("iocost", "bfq", ...).
+	Name() string
+	// Attach binds the controller to its queue. It is called exactly once,
+	// before any Submit.
+	Attach(q *Queue)
+	// Submit accepts a bio for throttling/scheduling.
+	Submit(b *bio.Bio)
+	// Completed notifies the controller of a completion.
+	Completed(b *bio.Bio)
+}
+
+// DefaultTags is the tag-set size (device queue depth exposed to the block
+// layer) used unless configured otherwise, matching common NVMe settings.
+const DefaultTags = 256
+
+// Queue is the per-device block layer instance.
+type Queue struct {
+	eng  *sim.Engine
+	dev  device.Device
+	ctl  Controller
+	tags int
+
+	inflight int
+	tagWait  ring.Queue[*bio.Bio]
+	seq      uint64
+
+	// Depletion accounting: time spent with issued bios waiting for tags,
+	// the signal iocost uses for device saturation (§3.3).
+	depleted      bool
+	depletedFrom  sim.Time
+	depletionTime sim.Time
+	depletionHits uint64
+
+	// Busy accounting for utilization/work-conservation metrics.
+	busyFrom sim.Time
+	busyTime sim.Time
+
+	// Aggregate completion-latency histograms (device latency: from Issue
+	// to completion).
+	ReadLat  *stats.Histogram
+	WriteLat *stats.Histogram
+
+	completions uint64
+	issuedBytes uint64
+
+	// iostat is per-cgroup accounting (see iostat.go).
+	iostat map[*cgroup.Node]*CGIOStat
+}
+
+// New builds a queue over dev controlled by ctl. tags <= 0 selects
+// DefaultTags.
+func New(eng *sim.Engine, dev device.Device, ctl Controller, tags int) *Queue {
+	if tags <= 0 {
+		tags = DefaultTags
+	}
+	q := &Queue{
+		eng:      eng,
+		dev:      dev,
+		ctl:      ctl,
+		tags:     tags,
+		ReadLat:  stats.NewHistogram(),
+		WriteLat: stats.NewHistogram(),
+		iostat:   make(map[*cgroup.Node]*CGIOStat),
+	}
+	ctl.Attach(q)
+	return q
+}
+
+// Engine returns the simulation engine.
+func (q *Queue) Engine() *sim.Engine { return q.eng }
+
+// Device returns the underlying device.
+func (q *Queue) Device() device.Device { return q.dev }
+
+// Controller returns the bound controller.
+func (q *Queue) Controller() Controller { return q.ctl }
+
+// Now returns the current simulated time.
+func (q *Queue) Now() sim.Time { return q.eng.Now() }
+
+// Tags returns the tag-set size.
+func (q *Queue) Tags() int { return q.tags }
+
+// InFlight returns the number of bios holding tags.
+func (q *Queue) InFlight() int { return q.inflight }
+
+// Completions returns the total number of completed bios.
+func (q *Queue) Completions() uint64 { return q.completions }
+
+// IssuedBytes returns the total bytes issued to the device.
+func (q *Queue) IssuedBytes() uint64 { return q.issuedBytes }
+
+// Submit passes b into the block layer. The controller decides when it
+// reaches the device.
+func (q *Queue) Submit(b *bio.Bio) {
+	b.Submitted = q.eng.Now()
+	b.Seq = q.seq
+	q.seq++
+	if b.CG != nil {
+		b.CG.Activate()
+	}
+	q.ctl.Submit(b)
+}
+
+// Issue sends b toward the device; controllers call this when they admit a
+// bio. If all tags are in use the bio waits, and the wait is recorded as
+// queue depletion.
+func (q *Queue) Issue(b *bio.Bio) {
+	b.Issued = q.eng.Now()
+	if q.inflight >= q.tags {
+		q.tagWait.Push(b)
+		q.depletionHits++
+		if !q.depleted {
+			q.depleted = true
+			q.depletedFrom = q.eng.Now()
+		}
+		return
+	}
+	q.dispatch(b)
+}
+
+func (q *Queue) dispatch(b *bio.Bio) {
+	if q.inflight == 0 {
+		q.busyFrom = q.eng.Now()
+	}
+	q.inflight++
+	q.issuedBytes += uint64(b.Size)
+	q.dev.Submit(b, q.complete)
+}
+
+func (q *Queue) complete(b *bio.Bio) {
+	q.inflight--
+	q.completions++
+	if q.inflight == 0 {
+		q.busyTime += q.eng.Now() - q.busyFrom
+	}
+
+	if next, ok := q.tagWait.Pop(); ok {
+		if q.tagWait.Empty() && q.depleted {
+			q.depleted = false
+			q.depletionTime += q.eng.Now() - q.depletedFrom
+		}
+		q.dispatch(next)
+	}
+
+	lat := b.DeviceLatency()
+	if b.Op == bio.Read {
+		q.ReadLat.Observe(int64(lat))
+	} else {
+		q.WriteLat.Observe(int64(lat))
+	}
+	if b.CG != nil {
+		st := q.iostat[b.CG]
+		if st == nil {
+			st = &CGIOStat{}
+			q.iostat[b.CG] = st
+		}
+		st.account(b)
+	}
+
+	q.ctl.Completed(b)
+	if b.OnDone != nil {
+		b.OnDone(b)
+	}
+}
+
+// TakeDepletion returns the accumulated tag-depletion time and hit count
+// since the previous call, closing any open depletion interval at now.
+func (q *Queue) TakeDepletion() (sim.Time, uint64) {
+	if q.depleted {
+		now := q.eng.Now()
+		q.depletionTime += now - q.depletedFrom
+		q.depletedFrom = now
+	}
+	t, h := q.depletionTime, q.depletionHits
+	q.depletionTime, q.depletionHits = 0, 0
+	return t, h
+}
+
+// BusyTime returns the cumulative time the device had at least one request
+// in flight, up to now.
+func (q *Queue) BusyTime() sim.Time {
+	t := q.busyTime
+	if q.inflight > 0 {
+		t += q.eng.Now() - q.busyFrom
+	}
+	return t
+}

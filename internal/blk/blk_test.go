@@ -1,0 +1,132 @@
+package blk_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func newQueue(t *testing.T, tags int) (*sim.Engine, *blk.Queue, *cgroup.Node) {
+	t.Helper()
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.OlderGenSSD(), 1)
+	q := blk.New(eng, dev, ctl.NewNone(), tags)
+	h := cgroup.NewHierarchy()
+	return eng, q, h.Root().NewChild("w", 100)
+}
+
+func TestSubmitCompletesAndTimestamps(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	var done *bio.Bio
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg,
+		OnDone: func(b *bio.Bio) { done = b }})
+	eng.Run()
+	if done == nil {
+		t.Fatal("bio never completed")
+	}
+	if !(done.Submitted <= done.Issued && done.Issued <= done.Dispatched && done.Dispatched < done.Completed) {
+		t.Errorf("timestamps out of order: %+v", done)
+	}
+	if q.Completions() != 1 {
+		t.Errorf("Completions = %d", q.Completions())
+	}
+	if q.IssuedBytes() != 4096 {
+		t.Errorf("IssuedBytes = %d", q.IssuedBytes())
+	}
+}
+
+func TestTagExhaustionAndDepletionSignal(t *testing.T) {
+	eng, q, cg := newQueue(t, 4)
+	for i := 0; i < 12; i++ {
+		q.Submit(&bio.Bio{Op: bio.Read, Off: int64(i) * 1 << 20, Size: 4096, CG: cg})
+	}
+	if got := q.InFlight(); got != 4 {
+		t.Errorf("InFlight = %d, want tag limit 4", got)
+	}
+	eng.Run()
+	if q.Completions() != 12 {
+		t.Errorf("Completions = %d, want 12", q.Completions())
+	}
+	dep, hits := q.TakeDepletion()
+	if hits == 0 || dep <= 0 {
+		t.Errorf("expected depletion to be recorded: time=%v hits=%d", dep, hits)
+	}
+	// Second take returns zero (window semantics).
+	dep, hits = q.TakeDepletion()
+	if hits != 0 || dep != 0 {
+		t.Errorf("depletion window did not reset: %v/%d", dep, hits)
+	}
+}
+
+func TestSubmitActivatesCgroup(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	if cg.Active() {
+		t.Fatal("cgroup active before IO")
+	}
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg})
+	if !cg.Active() {
+		t.Error("Submit did not activate the cgroup")
+	}
+	eng.Run()
+}
+
+func TestBusyTimeTracksUtilization(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg})
+	eng.Run()
+	busy := q.BusyTime()
+	if busy <= 0 || busy > eng.Now() {
+		t.Errorf("BusyTime = %v with Now = %v", busy, eng.Now())
+	}
+	// Idle afterwards: busy time must not grow.
+	eng.RunUntil(eng.Now() + sim.Second)
+	if q.BusyTime() != busy {
+		t.Errorf("BusyTime grew while idle: %v -> %v", busy, q.BusyTime())
+	}
+}
+
+func TestLatencyHistogramsSplitByDirection(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg})
+	q.Submit(&bio.Bio{Op: bio.Write, Off: 8192, Size: 4096, CG: cg})
+	eng.Run()
+	if q.ReadLat.Count() != 1 || q.WriteLat.Count() != 1 {
+		t.Errorf("histograms: reads=%d writes=%d, want 1/1", q.ReadLat.Count(), q.WriteLat.Count())
+	}
+}
+
+func TestIOStatAccounting(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg})
+	q.Submit(&bio.Bio{Op: bio.Write, Off: 8192, Size: 16384, CG: cg})
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 1 << 20, Size: 8192, CG: cg})
+	eng.Run()
+
+	s := q.IOStat(cg)
+	if s.RIOs != 2 || s.WIOs != 1 {
+		t.Errorf("ios = %d/%d, want 2/1", s.RIOs, s.WIOs)
+	}
+	if s.RBytes != 4096+8192 || s.WBytes != 16384 {
+		t.Errorf("bytes = %d/%d", s.RBytes, s.WBytes)
+	}
+	if s.DeviceTime <= 0 {
+		t.Error("no device time accumulated")
+	}
+	if got := q.FormatIOStat(); got == "" {
+		t.Error("FormatIOStat empty")
+	}
+	all := q.IOStatAll()
+	if len(all) != 1 {
+		t.Errorf("IOStatAll has %d entries", len(all))
+	}
+	// A cgroup that never did IO reads as zero.
+	h2 := cgroup.NewHierarchy()
+	if got := q.IOStat(h2.Root()); got != (blk.CGIOStat{}) {
+		t.Errorf("idle cgroup stat = %+v", got)
+	}
+}

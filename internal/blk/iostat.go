@@ -1,0 +1,80 @@
+package blk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Per-cgroup IO accounting, the simulator's equivalent of cgroup v2's
+// io.stat: bytes and operations by direction, plus cumulative wait
+// (controller throttling) and device time, which io.stat does not show but
+// every IO-control investigation wants.
+
+// CGIOStat is one cgroup's accumulated IO accounting.
+type CGIOStat struct {
+	RBytes uint64
+	WBytes uint64
+	RIOs   uint64
+	WIOs   uint64
+	// WaitTime is total time bios spent held by the controller.
+	WaitTime sim.Time
+	// DeviceTime is total issue-to-completion time.
+	DeviceTime sim.Time
+}
+
+// account records b's completion.
+func (s *CGIOStat) account(b *bio.Bio) {
+	if b.Op == bio.Read {
+		s.RBytes += uint64(b.Size)
+		s.RIOs++
+	} else {
+		s.WBytes += uint64(b.Size)
+		s.WIOs++
+	}
+	s.WaitTime += b.WaitLatency()
+	s.DeviceTime += b.DeviceLatency()
+}
+
+// IOStat returns cg's accumulated accounting (zero value if it never did
+// IO).
+func (q *Queue) IOStat(cg *cgroup.Node) CGIOStat {
+	if s := q.iostat[cg]; s != nil {
+		return *s
+	}
+	return CGIOStat{}
+}
+
+// IOStatAll returns every accounted cgroup's stats, sorted by path.
+func (q *Queue) IOStatAll() map[*cgroup.Node]CGIOStat {
+	out := make(map[*cgroup.Node]CGIOStat, len(q.iostat))
+	for cg, s := range q.iostat {
+		out[cg] = *s
+	}
+	return out
+}
+
+// FormatIOStat renders the accounting like `cat io.stat`, one row per
+// cgroup sorted by path.
+func (q *Queue) FormatIOStat() string {
+	type row struct {
+		path string
+		s    CGIOStat
+	}
+	rows := make([]row, 0, len(q.iostat))
+	for cg, s := range q.iostat {
+		rows = append(rows, row{cg.Path(), *s})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s rbytes=%d wbytes=%d rios=%d wios=%d wait=%v dev=%v\n",
+			r.path, r.s.RBytes, r.s.WBytes, r.s.RIOs, r.s.WIOs, r.s.WaitTime, r.s.DeviceTime)
+	}
+	return b.String()
+}

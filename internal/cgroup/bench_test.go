@@ -1,0 +1,51 @@
+package cgroup
+
+import "testing"
+
+func benchTree() (*Hierarchy, []*Node) {
+	h := NewHierarchy()
+	var leaves []*Node
+	for i := 0; i < 8; i++ {
+		mid := h.Root().NewChild("m", 100)
+		for j := 0; j < 8; j++ {
+			l := mid.NewChild("l", 100)
+			l.Activate()
+			leaves = append(leaves, l)
+		}
+	}
+	return h, leaves
+}
+
+// BenchmarkHweightCached measures the per-IO hot path: hweight lookup with
+// a warm cache (the generation unchanged).
+func BenchmarkHweightCached(b *testing.B) {
+	_, leaves := benchTree()
+	l := leaves[17]
+	l.HweightInuse() // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.HweightInuse()
+	}
+}
+
+// BenchmarkHweightInvalidated measures recomputation after every
+// generation bump (worst case: weights change each IO).
+func BenchmarkHweightInvalidated(b *testing.B) {
+	_, leaves := benchTree()
+	l, other := leaves[17], leaves[42]
+	for i := 0; i < b.N; i++ {
+		other.SetInuse(50 + float64(i%2)) // bump generation
+		_ = l.HweightInuse()
+	}
+}
+
+// BenchmarkActivateDeactivate measures the idle-transition path.
+func BenchmarkActivateDeactivate(b *testing.B) {
+	h := NewHierarchy()
+	mid := h.Root().NewChild("m", 100)
+	l := mid.NewChild("l", 100)
+	for i := 0; i < b.N; i++ {
+		l.Activate()
+		l.Deactivate()
+	}
+}

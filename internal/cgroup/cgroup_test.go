@@ -1,0 +1,284 @@
+package cgroup
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/iocost-sim/iocost/internal/rng"
+)
+
+func TestHweightFlat(t *testing.T) {
+	h := NewHierarchy()
+	a := h.Root().NewChild("a", 100)
+	b := h.Root().NewChild("b", 200)
+	c := h.Root().NewChild("c", 100)
+	for _, n := range []*Node{a, b, c} {
+		n.Activate()
+	}
+	want := map[*Node]float64{a: 0.25, b: 0.5, c: 0.25}
+	for n, w := range want {
+		if got := n.HweightActive(); math.Abs(got-w) > 1e-12 {
+			t.Errorf("%s: hweight = %v, want %v", n.Name(), got, w)
+		}
+	}
+}
+
+func TestHweightIgnoresInactiveSiblings(t *testing.T) {
+	h := NewHierarchy()
+	a := h.Root().NewChild("a", 100)
+	b := h.Root().NewChild("b", 300)
+	a.Activate()
+	if got := a.HweightActive(); got != 1.0 {
+		t.Errorf("only active cgroup's hweight = %v, want 1 (idle siblings donate implicitly)", got)
+	}
+	b.Activate()
+	if got := a.HweightActive(); got != 0.25 {
+		t.Errorf("after sibling activates: %v, want 0.25", got)
+	}
+	b.Deactivate()
+	if got := a.HweightActive(); got != 1.0 {
+		t.Errorf("after sibling deactivates: %v, want 1", got)
+	}
+}
+
+func TestHweightHierarchical(t *testing.T) {
+	// Figure 1-style hierarchy: workload gets most of the machine.
+	h := NewHierarchy()
+	system := h.Root().NewChild("system", 50)
+	hostcrit := h.Root().NewChild("hostcritical", 100)
+	workload := h.Root().NewChild("workload", 850)
+	w1 := workload.NewChild("job1", 100)
+	w2 := workload.NewChild("job2", 300)
+	for _, n := range []*Node{system, hostcrit, w1, w2} {
+		n.Activate()
+	}
+	if got, want := w2.HweightActive(), 0.85*0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("job2 hweight = %v, want %v", got, want)
+	}
+	if got, want := w1.HweightActive(), 0.85*0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("job1 hweight = %v, want %v", got, want)
+	}
+	if got, want := system.HweightActive(), 0.05; math.Abs(got-want) > 1e-12 {
+		t.Errorf("system hweight = %v, want %v", got, want)
+	}
+}
+
+func TestActivationPropagatesToAncestors(t *testing.T) {
+	h := NewHierarchy()
+	parent := h.Root().NewChild("p", 100)
+	child := parent.NewChild("c", 100)
+	if parent.Active() {
+		t.Error("parent active before any activation")
+	}
+	child.Activate()
+	if !parent.Active() || !child.Active() {
+		t.Error("activation did not propagate")
+	}
+	child.Deactivate()
+	if parent.Active() || child.Active() {
+		t.Error("deactivation did not propagate to now-childless ancestor")
+	}
+}
+
+func TestDeactivateWithActiveChildrenPanics(t *testing.T) {
+	h := NewHierarchy()
+	parent := h.Root().NewChild("p", 100)
+	child := parent.NewChild("c", 100)
+	child.Activate()
+	defer func() {
+		if recover() == nil {
+			t.Error("deactivating a node with active children did not panic")
+		}
+	}()
+	parent.Deactivate()
+}
+
+func TestGenerationBumps(t *testing.T) {
+	h := NewHierarchy()
+	a := h.Root().NewChild("a", 100)
+	gen := h.Generation()
+	a.Activate()
+	if h.Generation() == gen {
+		t.Error("Activate did not bump generation")
+	}
+	gen = h.Generation()
+	a.SetWeight(200)
+	if h.Generation() == gen {
+		t.Error("SetWeight did not bump generation")
+	}
+	gen = h.Generation()
+	a.SetInuse(50)
+	if h.Generation() == gen {
+		t.Error("SetInuse did not bump generation")
+	}
+	gen = h.Generation()
+	a.SetInuse(50) // no change
+	if h.Generation() != gen {
+		t.Error("no-op SetInuse bumped generation")
+	}
+}
+
+func TestSetInuseClampsToWeight(t *testing.T) {
+	h := NewHierarchy()
+	a := h.Root().NewChild("a", 100)
+	a.SetInuse(500)
+	if a.Inuse() != 100 {
+		t.Errorf("Inuse = %v, want clamped to weight 100", a.Inuse())
+	}
+	a.SetInuse(-3)
+	if a.Inuse() <= 0 {
+		t.Errorf("Inuse = %v, want a positive floor", a.Inuse())
+	}
+	a.ResetInuse()
+	if a.Inuse() != 100 {
+		t.Errorf("ResetInuse left %v", a.Inuse())
+	}
+}
+
+func TestSetWeightRescindsDonation(t *testing.T) {
+	h := NewHierarchy()
+	a := h.Root().NewChild("a", 100)
+	a.SetInuse(40)
+	a.SetWeight(200)
+	if a.Inuse() != 200 {
+		t.Errorf("SetWeight should reset inuse; got %v", a.Inuse())
+	}
+}
+
+func TestPath(t *testing.T) {
+	h := NewHierarchy()
+	w := h.Root().NewChild("workload", 100)
+	j := w.NewChild("job", 100)
+	if got := j.Path(); got != "/workload/job" {
+		t.Errorf("Path = %q", got)
+	}
+	if got := h.Root().Path(); got != "/" {
+		t.Errorf("root Path = %q", got)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	h := NewHierarchy()
+	a := h.Root().NewChild("a", 1)
+	a.NewChild("b", 1)
+	h.Root().NewChild("c", 1)
+	n := 0
+	h.Walk(func(*Node) { n++ })
+	if n != 4 {
+		t.Errorf("Walk visited %d nodes, want 4", n)
+	}
+}
+
+// TestHweightActiveLeavesSumToOne is the core invariant: active leaf
+// hweights always partition the device.
+func TestHweightActiveLeavesSumToOne(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHierarchy()
+		// Random 3-level tree.
+		var leaves []*Node
+		for i := 0; i < 2+r.Intn(4); i++ {
+			mid := h.Root().NewChild("m", float64(1+r.Intn(500)))
+			kids := r.Intn(4)
+			if kids == 0 {
+				leaves = append(leaves, mid)
+				continue
+			}
+			for j := 0; j < kids; j++ {
+				leaves = append(leaves, mid.NewChild("l", float64(1+r.Intn(500))))
+			}
+		}
+		// Activate a random non-empty subset.
+		var active []*Node
+		for _, l := range leaves {
+			if r.Bool(0.6) {
+				l.Activate()
+				active = append(active, l)
+			}
+		}
+		if len(active) == 0 {
+			active = append(active, leaves[0])
+			leaves[0].Activate()
+		}
+		sumA, sumI := 0.0, 0.0
+		for _, l := range active {
+			sumA += l.HweightActive()
+			sumI += l.HweightInuse()
+		}
+		return math.Abs(sumA-1) < 1e-9 && math.Abs(sumI-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHweightInuseSumInvariantUnderDonation: arbitrary SetInuse adjustments
+// keep active-leaf inuse hweights summing to 1.
+func TestHweightInuseSumInvariantUnderDonation(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHierarchy()
+		var leaves []*Node
+		for i := 0; i < 3; i++ {
+			mid := h.Root().NewChild("m", float64(1+r.Intn(100)))
+			for j := 0; j < 1+r.Intn(3); j++ {
+				l := mid.NewChild("l", float64(1+r.Intn(100)))
+				l.Activate()
+				leaves = append(leaves, l)
+			}
+		}
+		for _, l := range leaves {
+			if r.Bool(0.5) {
+				l.SetInuse(l.Weight() * (0.05 + 0.9*r.Float64()))
+			}
+		}
+		sum := 0.0
+		for _, l := range leaves {
+			sum += l.HweightInuse()
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := NewHierarchy()
+	p := h.Root().NewChild("p", 100)
+	a := p.NewChild("a", 100)
+	b := p.NewChild("b", 300)
+	a.Activate()
+	b.Activate()
+	if got := a.HweightActive(); got != 0.25 {
+		t.Fatalf("pre-remove hweight = %v", got)
+	}
+	b.Deactivate()
+	b.Remove()
+	if got := a.HweightActive(); got != 1.0 {
+		t.Errorf("post-remove hweight = %v, want 1 (sibling gone)", got)
+	}
+	if len(p.Children()) != 1 {
+		t.Errorf("parent has %d children after remove", len(p.Children()))
+	}
+}
+
+func TestRemovePanics(t *testing.T) {
+	h := NewHierarchy()
+	p := h.Root().NewChild("p", 100)
+	c := p.NewChild("c", 100)
+
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("remove root", func() { h.Root().Remove() })
+	assertPanics("remove with children", func() { p.Remove() })
+	c.Activate()
+	assertPanics("remove active", func() { c.Remove() })
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// BenchmarkIssuePathUnthrottled measures the controller's per-bio cost on
+// the fast path — the property Figure 9 is about. The whole stack
+// (controller + block layer + device events) is exercised; device work
+// dominates, so this is an upper bound on the controller's share.
+func BenchmarkIssuePathUnthrottled(b *testing.B) {
+	spec := device.EnterpriseSSD()
+	r := benchRig(spec, core.Config{
+		// Overclaiming model: nothing ever throttles.
+		Model: core.MustLinearModel(idealParams(spec).Scale(100)),
+		QoS: core.QoS{RPct: 99, RLat: sim.Second, WPct: 99, WLat: sim.Second,
+			VrateMin: 1, VrateMax: 1},
+	})
+	cg := r.hier.Root().NewChild("w", 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.q.Submit(&bio.Bio{Op: bio.Read, Off: int64(i%100000) * 8192, Size: 4096, CG: cg})
+		if r.q.InFlight() > 192 {
+			// Keep the tag set from filling: run the simulator forward.
+			for r.q.InFlight() > 64 && r.eng.Step() {
+			}
+		}
+	}
+	b.StopTimer()
+	r.eng.RunUntil(r.eng.Now() + sim.Second)
+}
+
+// BenchmarkCostModel measures the linear model evaluation alone.
+func BenchmarkCostModel(b *testing.B) {
+	m := core.MustLinearModel(core.LinearParams{
+		RBps: 488636629, RSeqIOPS: 8932, RRandIOPS: 8518,
+		WBps: 427891549, WSeqIOPS: 28755, WRandIOPS: 21940,
+	})
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Cost(bio.Read, int64(4096+i%8192), i%2 == 0)
+	}
+	_ = sink
+}
+
+// BenchmarkDonationPass measures one planning-path donation pass over a
+// 64-leaf tree with half the leaves donating.
+func BenchmarkDonationPass(b *testing.B) {
+	spec := device.EnterpriseSSD()
+	r := benchRig(spec, core.Config{Period: 10 * sim.Millisecond})
+	var leaves []*cgroup.Node
+	for i := 0; i < 8; i++ {
+		mid := r.hier.Root().NewChild("m", 100)
+		for j := 0; j < 8; j++ {
+			l := mid.NewChild("l", 100)
+			l.Activate()
+			leaves = append(leaves, l)
+		}
+	}
+	// Issue one tiny IO from each leaf so the controller tracks them.
+	for i, l := range leaves {
+		r.q.Submit(&bio.Bio{Op: bio.Read, Off: int64(i) * 1 << 20, Size: 4096, CG: l})
+	}
+	r.eng.RunUntil(sim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The periodic tick includes the donation pass.
+		r.eng.RunUntil(r.eng.Now() + 10*sim.Millisecond)
+	}
+}
+
+func benchRig(spec device.SSDSpec, cfg core.Config) *rig {
+	eng := sim.New()
+	dev := device.NewSSD(eng, spec, 42)
+	if cfg.Model == nil {
+		cfg.Model = core.MustLinearModel(idealParams(spec))
+	}
+	if cfg.QoS == (core.QoS{}) {
+		cfg.QoS = core.QoS{
+			RPct: 90, RLat: 400 * sim.Microsecond,
+			WPct: 90, WLat: 2 * sim.Millisecond,
+			VrateMin: 0.25, VrateMax: 1.5,
+		}
+	}
+	c := core.New(cfg)
+	q := blk.New(eng, dev, c, 0)
+	return &rig{eng: eng, q: q, ctl: c, hier: cgroup.NewHierarchy()}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// This file implements the kernel's textual configuration interfaces:
+// io.cost.model ("rbps=... rseqiops=... ...") and io.cost.qos
+// ("rpct=... rlat=... wpct=... wlat=... min=... max=..."), so
+// configurations can round-trip with real systems and tooling output.
+
+// ParseLinearParams parses an io.cost.model configuration line of
+// space-separated key=value pairs: rbps, rseqiops, rrandiops, wbps,
+// wseqiops, wrandiops. All six keys are required, matching Figure 6's
+// format.
+func ParseLinearParams(s string) (LinearParams, error) {
+	var p LinearParams
+	seen := map[string]bool{}
+	fields := strings.Fields(s)
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return p, fmt.Errorf("core: malformed model field %q", f)
+		}
+		if key == "ctrl" || key == "model" {
+			// The kernel's mode selectors ("ctrl=user model=linear").
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return p, fmt.Errorf("core: model field %s: %v", key, err)
+		}
+		switch key {
+		case "rbps":
+			p.RBps = v
+		case "rseqiops":
+			p.RSeqIOPS = v
+		case "rrandiops":
+			p.RRandIOPS = v
+		case "wbps":
+			p.WBps = v
+		case "wseqiops":
+			p.WSeqIOPS = v
+		case "wrandiops":
+			p.WRandIOPS = v
+		default:
+			return p, fmt.Errorf("core: unknown model key %q", key)
+		}
+		seen[key] = true
+	}
+	for _, k := range []string{"rbps", "rseqiops", "rrandiops", "wbps", "wseqiops", "wrandiops"} {
+		if !seen[k] {
+			return p, fmt.Errorf("core: model key %q missing", k)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// ParseQoS parses an io.cost.qos configuration line: rpct, rlat (usecs),
+// wpct, wlat (usecs), min, max (vrate percentages). Missing keys take the
+// given defaults.
+func ParseQoS(s string, defaults QoS) (QoS, error) {
+	q := defaults
+	for _, f := range strings.Fields(s) {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return q, fmt.Errorf("core: malformed qos field %q", f)
+		}
+		if key == "enable" || key == "ctrl" {
+			continue // kernel mode selectors
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return q, fmt.Errorf("core: qos field %s: %v", key, err)
+		}
+		switch key {
+		case "rpct":
+			q.RPct = v
+		case "rlat":
+			q.RLat = sim.Time(v) * sim.Microsecond
+		case "wpct":
+			q.WPct = v
+		case "wlat":
+			q.WLat = sim.Time(v) * sim.Microsecond
+		case "min":
+			q.VrateMin = v / 100
+		case "max":
+			q.VrateMax = v / 100
+		default:
+			return q, fmt.Errorf("core: unknown qos key %q", key)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// String renders the QoS in io.cost.qos format.
+func (q QoS) String() string {
+	return fmt.Sprintf("rpct=%.2f rlat=%d wpct=%.2f wlat=%d min=%.2f max=%.2f",
+		q.RPct, int64(q.RLat/sim.Microsecond),
+		q.WPct, int64(q.WLat/sim.Microsecond),
+		q.VrateMin*100, q.VrateMax*100)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"github.com/iocost-sim/iocost/internal/cgroup"
+)
+
+// Budget donation (§3.6): each planning period, cgroups that used less than
+// their entitled hweight donate the surplus to the rest of the tree by
+// lowering their inuse weights. The weight-transfer algorithm updates
+// weights only along paths from donating leaves to the root; every other
+// node's new hweight then falls out of the lazily recomputed hweight math on
+// the issue path.
+//
+// Notation, per the paper: w = weight, s = summed weight of a node and its
+// active siblings, h = hweight, d = total hweight of donating leaves in the
+// node's subtree; subscript p = parent; prime = after donation.
+//
+// Two invariants drive the derivation:
+//
+//	(h - d) / (h_p - d_p) = (h' - d') / (h'_p - d'_p)   (Eq. 4)
+//	s * (h_p - d_p)/h_p   = s' * (h'_p - d'_p)/h'_p     (Eq. 5)
+//
+// giving, top-down along donor paths:
+//
+//	h' = (h - d)/(h_p - d_p) * (h'_p - d'_p) + d'
+//	s' = s * ((h_p - d_p)/h_p) * (h'_p/(h'_p - d'_p))
+//	w' = s' * h'/h'_p
+
+// donationMinSurplus is the fraction of hweight a cgroup must be leaving
+// unused before it is worth donating.
+const donationMinSurplus = 0.10
+
+// donationHeadroom is how much above measured usage a donor retains so it
+// does not immediately run dry.
+const donationHeadroom = 1.25
+
+// donorInfo accumulates d and d' for a subtree.
+type donorInfo struct {
+	d      float64 // summed hweight of donating leaves below (and at) node
+	dAfter float64 // summed post-donation hweight of those leaves
+}
+
+// donate runs one donation pass and returns the number of donating cgroups.
+func (c *Controller) donate() int {
+	// Reset last pass's adjustments; donors re-establish theirs below.
+	// Rescinding first makes HweightActive/ActiveChildWeightSum the
+	// pre-donation quantities the equations expect.
+	for _, n := range c.donated {
+		n.ResetInuse()
+	}
+	c.donated = c.donated[:0]
+
+	periodV := c.periodVns()
+	if periodV <= 0 {
+		return 0
+	}
+
+	// Identify donors among cgroups that issued IO and compute their
+	// post-donation hweight targets.
+	nodes := make(map[*cgroup.Node]*donorInfo)
+	donors := 0
+	for cg, st := range c.state {
+		if cg.IsRoot() || !cg.Active() {
+			continue
+		}
+		// A cgroup that is currently throttled or indebted needs all
+		// of its entitlement.
+		if !st.waiters.Empty() || st.debt > 0 || st.hadWait {
+			continue
+		}
+		hwa := cg.HweightActive()
+		usage := st.usage / periodV
+		if usage > hwa {
+			usage = hwa
+		}
+		target := usage * donationHeadroom
+		if target >= hwa*(1-donationMinSurplus) {
+			continue
+		}
+		if min := hwa * 0.01; target < min {
+			target = min
+		}
+		donors++
+		for n := cg; n != nil; n = n.Parent() {
+			in := nodes[n]
+			if in == nil {
+				in = &donorInfo{}
+				nodes[n] = in
+			}
+			in.d += hwa
+			in.dAfter += target
+		}
+	}
+	if donors == 0 {
+		return 0
+	}
+
+	// Walk donor paths top-down applying the weight-transfer equations.
+	root := rootOf(nodes)
+	c.transfer(root, nodes, 1, 1)
+	return donors
+}
+
+func rootOf(nodes map[*cgroup.Node]*donorInfo) *cgroup.Node {
+	for n := range nodes {
+		for !n.IsRoot() {
+			n = n.Parent()
+		}
+		return n
+	}
+	return nil
+}
+
+// transfer applies the three donation equations to every child of p that
+// has donating descendants, then recurses. hAfter arguments are the
+// parent's pre/post-donation hweights.
+func (c *Controller) transfer(p *cgroup.Node, nodes map[*cgroup.Node]*donorInfo, ph, phAfter float64) {
+	pin := nodes[p]
+	phMinusD := ph - pin.d
+	phAfterMinusD := phAfter - pin.dAfter
+	const eps = 1e-12
+
+	for _, child := range p.Children() {
+		in := nodes[child]
+		if in == nil || !child.Active() {
+			continue
+		}
+		h := child.HweightActive()
+
+		var hAfter float64
+		if phMinusD < eps {
+			// The parent's entire subtree donates: the child's
+			// post-donation share is exactly its donors' target sum.
+			hAfter = in.dAfter
+		} else {
+			hAfter = (h-in.d)/phMinusD*phAfterMinusD + in.dAfter
+		}
+
+		s := p.ActiveChildWeightSum()
+		var sAfter float64
+		if phAfterMinusD < eps || phMinusD < eps {
+			sAfter = s
+		} else {
+			sAfter = s * (phMinusD / ph) * (phAfter / phAfterMinusD)
+		}
+
+		wAfter := sAfter * hAfter / phAfter
+		child.SetInuse(wAfter)
+		c.donated = append(c.donated, child)
+
+		c.transfer(child, nodes, h, hAfter)
+	}
+}

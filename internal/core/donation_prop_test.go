@@ -1,0 +1,170 @@
+package core
+
+// Property-based tests of the donation weight-transfer algorithm over
+// random hierarchies and usage patterns.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// buildRandomTree constructs a random 2-3 level hierarchy with active
+// leaves and returns the controller plus its leaves.
+func buildRandomTree(r *rng.Source) (*Controller, []*cgroup.Node) {
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.EnterpriseSSD(), 1)
+	c := New(Config{Model: MustLinearModel(fig6Params()), Period: 10 * sim.Millisecond})
+	blk.New(eng, dev, c, 0)
+
+	h := cgroup.NewHierarchy()
+	var leaves []*cgroup.Node
+	nTop := 2 + r.Intn(4)
+	for i := 0; i < nTop; i++ {
+		n := h.Root().NewChild("t", float64(1+r.Intn(900)))
+		if r.Bool(0.5) {
+			kids := 1 + r.Intn(3)
+			for j := 0; j < kids; j++ {
+				leaves = append(leaves, n.NewChild("l", float64(1+r.Intn(900))))
+			}
+		} else {
+			leaves = append(leaves, n)
+		}
+	}
+	for _, l := range leaves {
+		l.Activate()
+	}
+	return c, leaves
+}
+
+// TestDonationPropertyInvariants checks, over random trees and usages:
+//  1. hweight_inuse of active leaves still sums to 1;
+//  2. donors end at or below their entitlement, non-donors at or above;
+//  3. every weight stays finite and positive;
+//  4. a second pass with everyone saturated restores configured weights.
+func TestDonationPropertyInvariants(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		c, leaves := buildRandomTree(r)
+		periodV := c.periodVns()
+
+		donorSet := map[*cgroup.Node]bool{}
+		nonDonors := 0
+		for _, l := range leaves {
+			st := c.stateFor(l)
+			hwa := l.HweightActive()
+			if r.Bool(0.5) {
+				// Light user: candidate donor.
+				st.usage = hwa * periodV * (0.05 + 0.4*r.Float64())
+				donorSet[l] = true
+			} else {
+				st.usage = hwa * periodV
+				nonDonors++
+			}
+		}
+		c.donate()
+
+		sum := 0.0
+		for _, l := range leaves {
+			hwI := l.HweightInuse()
+			hwA := l.HweightActive()
+			if math.IsNaN(hwI) || math.IsInf(hwI, 0) || hwI <= 0 || hwI > 1+1e-9 {
+				t.Logf("seed %d: degenerate hweight %v", seed, hwI)
+				return false
+			}
+			sum += hwI
+			// Donors must not gain and non-donors must not lose —
+			// except when every leaf donates, where the unclaimed
+			// surplus re-normalizes across the donors (inuse weights
+			// always partition the device, as in the kernel).
+			if nonDonors > 0 && donorSet[l] && hwI > hwA+1e-9 {
+				t.Logf("seed %d: donor gained hweight (%v > %v)", seed, hwI, hwA)
+				return false
+			}
+			if !donorSet[l] && hwI < hwA-1e-9 {
+				t.Logf("seed %d: non-donor lost hweight (%v < %v)", seed, hwI, hwA)
+				return false
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Logf("seed %d: hweight sum %v", seed, sum)
+			return false
+		}
+
+		// Everyone saturated: all adjustments rescind.
+		for _, l := range leaves {
+			c.stateFor(l).usage = l.HweightActive() * periodV
+		}
+		c.donate()
+		for _, l := range leaves {
+			for n := l; n != nil; n = n.Parent() {
+				if n.Inuse() != n.Weight() {
+					t.Logf("seed %d: %s inuse %v != weight %v after rescind",
+						seed, n.Path(), n.Inuse(), n.Weight())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDonationProportionalSplit: with one donor and several saturated
+// receivers, the donated surplus is divided among receivers in proportion
+// to their entitlements (the paper's Figure 8 property), for random flat
+// configurations.
+func TestDonationProportionalSplit(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		eng := sim.New()
+		dev := device.NewSSD(eng, device.EnterpriseSSD(), 1)
+		c := New(Config{Model: MustLinearModel(fig6Params()), Period: 10 * sim.Millisecond})
+		blk.New(eng, dev, c, 0)
+		h := cgroup.NewHierarchy()
+
+		n := 3 + r.Intn(4)
+		leaves := make([]*cgroup.Node, n)
+		for i := range leaves {
+			leaves[i] = h.Root().NewChild("l", float64(10+r.Intn(500)))
+			leaves[i].Activate()
+		}
+		periodV := c.periodVns()
+		// Leaf 0 donates; the rest are saturated.
+		donorUse := 0.1 + 0.3*r.Float64()
+		c.stateFor(leaves[0]).usage = leaves[0].HweightActive() * periodV * donorUse
+		for _, l := range leaves[1:] {
+			c.stateFor(l).usage = l.HweightActive() * periodV
+		}
+		c.donate()
+
+		// Receivers' gains must be proportional to their hweights.
+		var ratio float64
+		for i, l := range leaves[1:] {
+			gain := l.HweightInuse() - l.HweightActive()
+			if gain <= 0 {
+				t.Logf("seed %d: receiver %d gained nothing", seed, i)
+				return false
+			}
+			rr := gain / l.HweightActive()
+			if i == 0 {
+				ratio = rr
+			} else if math.Abs(rr-ratio) > 1e-6*math.Max(1, ratio) {
+				t.Logf("seed %d: non-proportional gains %v vs %v", seed, rr, ratio)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

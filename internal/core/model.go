@@ -1,0 +1,152 @@
+// Package core implements the IOCost controller — the paper's primary
+// contribution: per-IO device-occupancy cost modeling, a virtual-time issue
+// path, a periodic planning path with dynamic vrate adjustment against QoS
+// targets, work-conserving budget donation over the cgroup weight tree, and
+// a debt mechanism that keeps memory-management IO free of priority
+// inversions.
+package core
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+)
+
+// Model estimates the absolute device occupancy cost of an IO request in
+// occupancy-nanoseconds: a cost of 20ms means the device can service 50 such
+// requests per second (it says nothing about the request's latency). The
+// kernel allows arbitrary eBPF cost models; here any Go implementation can
+// be plugged in.
+type Model interface {
+	// Cost returns the absolute cost of a request. seq reports whether
+	// the request is sequential relative to the issuing cgroup's previous
+	// request.
+	Cost(op bio.Op, size int64, seq bool) float64
+}
+
+// LinearParams is the user-facing form of the built-in linear model,
+// matching the kernel's io.cost.model interface: read/write bytes per
+// second, and sequential/random 4KiB IOPS for each direction (Figure 6).
+type LinearParams struct {
+	RBps      float64 // read bytes/sec
+	RSeqIOPS  float64 // sequential 4k read IOPS
+	RRandIOPS float64 // random 4k read IOPS
+	WBps      float64 // write bytes/sec
+	WSeqIOPS  float64 // sequential 4k write IOPS
+	WRandIOPS float64 // random 4k write IOPS
+}
+
+// Scale returns the parameters multiplied by f, used for the online model
+// update experiment (Figure 13): Scale(0.5) claims the device has half its
+// actual capability.
+func (p LinearParams) Scale(f float64) LinearParams {
+	return LinearParams{
+		RBps: p.RBps * f, RSeqIOPS: p.RSeqIOPS * f, RRandIOPS: p.RRandIOPS * f,
+		WBps: p.WBps * f, WSeqIOPS: p.WSeqIOPS * f, WRandIOPS: p.WRandIOPS * f,
+	}
+}
+
+func (p LinearParams) String() string {
+	return fmt.Sprintf("rbps=%.0f rseqiops=%.0f rrandiops=%.0f wbps=%.0f wseqiops=%.0f wrandiops=%.0f",
+		p.RBps, p.RSeqIOPS, p.RRandIOPS, p.WBps, p.WSeqIOPS, p.WRandIOPS)
+}
+
+// Validate reports an error if any parameter is non-positive.
+func (p LinearParams) Validate() error {
+	vals := []struct {
+		name string
+		v    float64
+	}{
+		{"rbps", p.RBps}, {"rseqiops", p.RSeqIOPS}, {"rrandiops", p.RRandIOPS},
+		{"wbps", p.WBps}, {"wseqiops", p.WSeqIOPS}, {"wrandiops", p.WRandIOPS},
+	}
+	for _, x := range vals {
+		if x.v <= 0 {
+			return fmt.Errorf("core: linear model parameter %s must be positive, got %v", x.name, x.v)
+		}
+	}
+	return nil
+}
+
+// LinearModel is the compiled form of LinearParams:
+//
+//	io cost = base_cost(op, seq) + size_cost_rate(op) * size     (Eq. 1)
+//
+// with, per Eqs. 2-3,
+//
+//	size_cost_rate = 1s / Bps
+//	base_cost      = 1s / IOPS_4k - size_cost_rate * 4KiB
+type LinearModel struct {
+	params LinearParams
+	// base[op][seq] in ns; sizeRate[op] in ns/byte.
+	base     [2][2]float64
+	sizeRate [2]float64
+}
+
+const modelPageSize = 4096
+
+// NewLinearModel compiles params into a model. It returns an error if the
+// parameters are invalid or imply a negative base cost (IOPS inconsistent
+// with bandwidth).
+func NewLinearModel(params LinearParams) (*LinearModel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	m := &LinearModel{params: params}
+	m.sizeRate[bio.Read] = 1e9 / params.RBps
+	m.sizeRate[bio.Write] = 1e9 / params.WBps
+
+	baseOf := func(iops, rate float64) float64 {
+		b := 1e9/iops - rate*modelPageSize
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	m.base[bio.Read][1] = baseOf(params.RSeqIOPS, m.sizeRate[bio.Read])
+	m.base[bio.Read][0] = baseOf(params.RRandIOPS, m.sizeRate[bio.Read])
+	m.base[bio.Write][1] = baseOf(params.WSeqIOPS, m.sizeRate[bio.Write])
+	m.base[bio.Write][0] = baseOf(params.WRandIOPS, m.sizeRate[bio.Write])
+	return m, nil
+}
+
+// MustLinearModel is NewLinearModel that panics on error, for tests and
+// fixed configurations.
+func MustLinearModel(params LinearParams) *LinearModel {
+	m, err := NewLinearModel(params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the parameters the model was compiled from.
+func (m *LinearModel) Params() LinearParams { return m.params }
+
+// BaseCost returns base_cost(op, seq) in nanoseconds.
+func (m *LinearModel) BaseCost(op bio.Op, seq bool) float64 {
+	s := 0
+	if seq {
+		s = 1
+	}
+	return m.base[op][s]
+}
+
+// SizeCostRate returns size_cost_rate(op) in ns/byte.
+func (m *LinearModel) SizeCostRate(op bio.Op) float64 { return m.sizeRate[op] }
+
+// Cost implements Model.
+func (m *LinearModel) Cost(op bio.Op, size int64, seq bool) float64 {
+	s := 0
+	if seq {
+		s = 1
+	}
+	return m.base[op][s] + m.sizeRate[op]*float64(size)
+}
+
+// ModelFunc adapts a function to the Model interface — the moral equivalent
+// of the kernel's custom eBPF cost models.
+type ModelFunc func(op bio.Op, size int64, seq bool) float64
+
+// Cost implements Model.
+func (f ModelFunc) Cost(op bio.Op, size int64, seq bool) float64 { return f(op, size, seq) }

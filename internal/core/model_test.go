@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// fig6Params is the example configuration from Figure 6 of the paper.
+func fig6Params() LinearParams {
+	return LinearParams{
+		RBps: 488636629, RSeqIOPS: 8932, RRandIOPS: 8518,
+		WBps: 427891549, WSeqIOPS: 28755, WRandIOPS: 21940,
+	}
+}
+
+func TestLinearModelFig6Example(t *testing.T) {
+	m := MustLinearModel(fig6Params())
+
+	// Paper: "For reads, this translates to 2.05ns/B of size_rate,
+	// sequential base cost of 104us and random base cost of 109us."
+	if got := m.SizeCostRate(bio.Read); math.Abs(got-2.05) > 0.01 {
+		t.Errorf("read size_cost_rate = %.4f ns/B, want ~2.05", got)
+	}
+	if got := m.BaseCost(bio.Read, true); math.Abs(got-104_000) > 1000 {
+		t.Errorf("seq read base cost = %.0f ns, want ~104us", got)
+	}
+	if got := m.BaseCost(bio.Read, false); math.Abs(got-109_000) > 1000 {
+		t.Errorf("rand read base cost = %.0f ns, want ~109us", got)
+	}
+
+	// The paper's 32KB worked example actually computes 32*4096 bytes
+	// (128KiB): cost = 109us + 131072B * 2.05ns/B ~= 377us, i.e. ~2650
+	// such requests per second. (The paper prints 352us/2840; its
+	// arithmetic is slightly off, ours follows Eq. 1 exactly.)
+	cost := m.Cost(bio.Read, 32*4096, false)
+	if math.Abs(cost-377_000) > 3000 {
+		t.Errorf("rand read 128KiB cost = %.0f ns, want ~377us", cost)
+	}
+	perSec := 1e9 / cost
+	if perSec < 2500 || perSec > 2800 {
+		t.Errorf("device can service %.0f such IOs/sec, want ~2650", perSec)
+	}
+}
+
+func TestLinearModelRoundTrip(t *testing.T) {
+	// A 4KiB op at the configured IOPS must cost exactly 1s/IOPS.
+	m := MustLinearModel(fig6Params())
+	cases := []struct {
+		op   bio.Op
+		seq  bool
+		iops float64
+	}{
+		{bio.Read, true, 8932},
+		{bio.Read, false, 8518},
+		{bio.Write, true, 28755},
+		{bio.Write, false, 21940},
+	}
+	for _, tc := range cases {
+		got := m.Cost(tc.op, 4096, tc.seq)
+		want := 1e9 / tc.iops
+		if math.Abs(got-want) > 1 {
+			t.Errorf("Cost(%v, 4k, seq=%v) = %.1f, want %.1f", tc.op, tc.seq, got, want)
+		}
+	}
+}
+
+func TestLinearModelValidation(t *testing.T) {
+	bad := fig6Params()
+	bad.RBps = 0
+	if _, err := NewLinearModel(bad); err == nil {
+		t.Fatal("NewLinearModel accepted zero RBps")
+	}
+	bad = fig6Params()
+	bad.WRandIOPS = -5
+	if _, err := NewLinearModel(bad); err == nil {
+		t.Fatal("NewLinearModel accepted negative WRandIOPS")
+	}
+	if _, err := NewLinearModel(fig6Params()); err != nil {
+		t.Fatalf("NewLinearModel rejected valid params: %v", err)
+	}
+}
+
+func TestLinearModelScale(t *testing.T) {
+	m := MustLinearModel(fig6Params())
+	half := MustLinearModel(fig6Params().Scale(0.5))
+	// Halving all parameters claims half the capability, so every cost
+	// doubles.
+	for _, size := range []int64{4096, 65536, 1 << 20} {
+		for _, op := range []bio.Op{bio.Read, bio.Write} {
+			for _, seq := range []bool{false, true} {
+				base, scaled := m.Cost(op, size, seq), half.Cost(op, size, seq)
+				if math.Abs(scaled-2*base) > base*0.001 {
+					t.Errorf("Scale(0.5): Cost(%v,%d,%v) = %.0f, want %.0f", op, size, seq, scaled, 2*base)
+				}
+			}
+		}
+	}
+}
+
+func TestLinearModelProperties(t *testing.T) {
+	m := MustLinearModel(fig6Params())
+
+	// Cost is monotonically increasing in size, and random costs at least
+	// as much as sequential.
+	mono := func(a, b uint32) bool {
+		sa, sb := int64(a%(8<<20))+1, int64(b%(8<<20))+1
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		for _, op := range []bio.Op{bio.Read, bio.Write} {
+			if m.Cost(op, sa, false) > m.Cost(op, sb, false)+1e-9 {
+				return false
+			}
+			if m.Cost(op, sa, true) > m.Cost(op, sa, false)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelFunc(t *testing.T) {
+	m := ModelFunc(func(op bio.Op, size int64, seq bool) float64 {
+		return float64(size)
+	})
+	if got := m.Cost(bio.Read, 4096, false); got != 4096 {
+		t.Errorf("ModelFunc cost = %v, want 4096", got)
+	}
+}
+
+func TestParseLinearParamsRoundTrip(t *testing.T) {
+	in := "rbps=488636629 rseqiops=8932 rrandiops=8518 wbps=427891549 wseqiops=28755 wrandiops=21940"
+	p, err := ParseLinearParams(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != fig6Params() {
+		t.Errorf("parsed %+v, want Figure 6 params", p)
+	}
+	// The String form round-trips.
+	p2, err := ParseLinearParams(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("round trip mismatch: %+v vs %+v", p2, p)
+	}
+	// Kernel mode selectors are tolerated.
+	if _, err := ParseLinearParams("ctrl=user model=linear " + in); err != nil {
+		t.Errorf("mode selectors rejected: %v", err)
+	}
+}
+
+func TestParseLinearParamsErrors(t *testing.T) {
+	cases := []string{
+		"",       // all keys missing
+		"rbps=1", // most keys missing
+		"rbps=x rseqiops=1 rrandiops=1 wbps=1 wseqiops=1 wrandiops=1",         // bad number
+		"bogus=1 rbps=1 rseqiops=1 rrandiops=1 wbps=1 wseqiops=1 wrandiops=1", // unknown key
+		"rbps 1", // malformed field
+	}
+	for _, in := range cases {
+		if _, err := ParseLinearParams(in); err == nil {
+			t.Errorf("ParseLinearParams(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseQoS(t *testing.T) {
+	q, err := ParseQoS("rpct=90.00 rlat=250 wpct=95.00 wlat=5000 min=50.00 max=150.00", DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.RPct != 90 || q.RLat != 250*sim.Microsecond || q.WLat != 5000*sim.Microsecond {
+		t.Errorf("parsed %+v", q)
+	}
+	if q.VrateMin != 0.5 || q.VrateMax != 1.5 {
+		t.Errorf("vrate bounds %v..%v", q.VrateMin, q.VrateMax)
+	}
+	// Round trip through String.
+	q2, err := ParseQoS(q.String(), DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != q {
+		t.Errorf("round trip mismatch: %+v vs %+v", q2, q)
+	}
+	// Partial config keeps defaults.
+	q3, err := ParseQoS("rlat=1000", DefaultQoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.RLat != sim.Millisecond || q3.WPct != DefaultQoS().WPct {
+		t.Errorf("partial parse: %+v", q3)
+	}
+	if _, err := ParseQoS("rpct=200", DefaultQoS()); err == nil {
+		t.Error("invalid percentile accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// This file provides the introspection surface equivalent to the kernel's
+// iocost_monitor tool: a point-in-time snapshot of every tracked cgroup's
+// controller state.
+
+// CGStat is one cgroup's controller state at snapshot time.
+type CGStat struct {
+	Path          string
+	Active        bool
+	Weight        float64
+	Inuse         float64
+	HweightActive float64
+	HweightInuse  float64
+	// BudgetNS is the vtime budget (positive: can issue immediately).
+	BudgetNS float64
+	// DebtNS is outstanding absolute debt.
+	DebtNS float64
+	// Waiters is the number of bios queued for budget.
+	Waiters int
+	// UsageNS is the absolute cost issued in the current period so far.
+	UsageNS float64
+
+	// Lifetime io.stat-style counters (cgroup v2 cost.usage/cost.wait/
+	// cost.indebt equivalents).
+	CostUsageNS  float64
+	CostWaitNS   sim.Time
+	CostIndebtNS sim.Time
+}
+
+// Snapshot returns the controller's per-cgroup state, sorted by path.
+func (c *Controller) Snapshot() []CGStat {
+	gV := c.gvtime(c.q.Now())
+	out := make([]CGStat, 0, len(c.state))
+	for cg, st := range c.state {
+		indebt := st.indebtNS
+		if st.inDebt {
+			indebt += c.q.Now() - st.debtSince
+		}
+		out = append(out, CGStat{
+			Path:          cg.Path(),
+			Active:        cg.Active(),
+			Weight:        cg.Weight(),
+			Inuse:         cg.Inuse(),
+			HweightActive: cg.HweightActive(),
+			HweightInuse:  cg.HweightInuse(),
+			BudgetNS:      gV - st.vtime,
+			DebtNS:        st.debt,
+			Waiters:       st.waiters.Len(),
+			UsageNS:       st.usage,
+			CostUsageNS:   st.lifetimeUsage,
+			CostWaitNS:    st.waitNS,
+			CostIndebtNS:  indebt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FormatSnapshot renders a snapshot like the kernel's iocost_monitor: one
+// row per cgroup plus the global vrate header.
+func (c *Controller) FormatSnapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iocost vrate=%.0f%% period=%v\n", c.vrate*100, c.period)
+	fmt.Fprintf(&b, "%-24s %6s %8s %8s %8s %10s %10s %7s\n",
+		"cgroup", "active", "w", "inuse", "hw-in", "budget", "debt", "waiters")
+	for _, s := range c.Snapshot() {
+		fmt.Fprintf(&b, "%-24s %6v %8.0f %8.1f %8.3f %10s %10s %7d\n",
+			s.Path, s.Active, s.Weight, s.Inuse, s.HweightInuse,
+			sim.Time(s.BudgetNS).String(), sim.Time(s.DebtNS).String(), s.Waiters)
+	}
+	return b.String()
+}

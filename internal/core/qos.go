@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// QoS configures how heavily IOCost loads the device and how vrate may move
+// to compensate for cost-model inaccuracy (§3.3). The device is considered
+// saturated when more than (100-RPct)% of read completions exceed RLat (and
+// likewise for writes), or when the block layer runs out of request tags.
+//
+// For example {RPct: 90, RLat: 10ms} reads "consider the device saturated if
+// the 90th percentile read completion latency is above 10ms".
+type QoS struct {
+	RPct float64  // read latency percentile that must meet RLat
+	RLat sim.Time // read completion latency target
+	WPct float64  // write latency percentile that must meet WLat
+	WLat sim.Time // write completion latency target
+
+	// VrateMin and VrateMax bound the virtual time rate as fractions of
+	// wall time (1.0 = vtime runs at wall speed). The §3.4 tuning
+	// procedure picks these two points per device.
+	VrateMin float64
+	VrateMax float64
+}
+
+// DefaultQoS returns a permissive starting configuration: p95 read within
+// 5ms, p95 write within 20ms, vrate free to move between 25% and 400%.
+func DefaultQoS() QoS {
+	return QoS{
+		RPct: 95, RLat: 5 * sim.Millisecond,
+		WPct: 95, WLat: 20 * sim.Millisecond,
+		VrateMin: 0.25, VrateMax: 4.0,
+	}
+}
+
+// Validate reports an error for out-of-range parameters.
+func (q QoS) Validate() error {
+	if q.RPct <= 0 || q.RPct > 100 || q.WPct <= 0 || q.WPct > 100 {
+		return fmt.Errorf("core: QoS percentiles must be in (0, 100], got rpct=%v wpct=%v", q.RPct, q.WPct)
+	}
+	if q.RLat <= 0 || q.WLat <= 0 {
+		return fmt.Errorf("core: QoS latency targets must be positive, got rlat=%v wlat=%v", q.RLat, q.WLat)
+	}
+	if q.VrateMin <= 0 || q.VrateMax < q.VrateMin {
+		return fmt.Errorf("core: QoS vrate bounds invalid: min=%v max=%v", q.VrateMin, q.VrateMax)
+	}
+	return nil
+}
+
+// maxLat returns the larger of the two latency targets, which sizes the
+// planning period.
+func (q QoS) maxLat() sim.Time {
+	if q.RLat > q.WLat {
+		return q.RLat
+	}
+	return q.WLat
+}

@@ -1,0 +1,254 @@
+package core_test
+
+// Unit-level behaviour of vrate adjustment, QoS updates, debt dynamics and
+// hweight interaction, using the full stack at small scale.
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+func TestVrateDropsUnderSaturation(t *testing.T) {
+	// A latency target below the loaded operating point forces permanent
+	// saturation: vrate must descend toward its floor.
+	r := newRig(t, device.OlderGenSSD(), core.Config{
+		QoS: core.QoS{
+			RPct: 90, RLat: 50 * sim.Microsecond, // unachievable
+			WPct: 90, WLat: 50 * sim.Microsecond,
+			VrateMin: 0.25, VrateMax: 1.5,
+		},
+	})
+	cg := r.hier.Root().NewChild("w", 100)
+	w := workload.NewSaturator(r.q, workload.SaturatorConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 32, Seed: 1,
+	})
+	w.Start()
+	r.eng.RunUntil(3 * sim.Second)
+	if got := r.ctl.Vrate(); got > 0.3 {
+		t.Errorf("vrate = %.2f under permanent saturation, want near floor 0.25", got)
+	}
+}
+
+func TestVrateClimbsWhenConstrainedAndHealthy(t *testing.T) {
+	// A model that under-claims the device by 4x throttles the workload
+	// while the device stays healthy: vrate must climb toward its cap.
+	spec := device.OlderGenSSD()
+	r := newRig(t, spec, core.Config{
+		Model: core.MustLinearModel(idealParams(spec).Scale(0.25)),
+		QoS: core.QoS{
+			RPct: 90, RLat: 5 * sim.Millisecond,
+			WPct: 90, WLat: 20 * sim.Millisecond,
+			VrateMin: 0.25, VrateMax: 3.0,
+		},
+	})
+	cg := r.hier.Root().NewChild("w", 100)
+	w := workload.NewSaturator(r.q, workload.SaturatorConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 32, Seed: 1,
+	})
+	w.Start()
+	r.eng.RunUntil(5 * sim.Second)
+	if got := r.ctl.Vrate(); got < 2.0 {
+		t.Errorf("vrate = %.2f with a 4x-underclaiming model, want compensated toward 3-4x", got)
+	}
+}
+
+func TestSetQoSClampsVrate(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{})
+	r.ctl.SetQoS(core.QoS{
+		RPct: 90, RLat: sim.Millisecond, WPct: 90, WLat: sim.Millisecond,
+		VrateMin: 2.0, VrateMax: 2.5,
+	})
+	if got := r.ctl.Vrate(); got < 2.0 || got > 2.5 {
+		t.Errorf("vrate = %.2f after SetQoS, want clamped into [2, 2.5]", got)
+	}
+}
+
+func TestSetQoSRejectsInvalid(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid QoS did not panic")
+		}
+	}()
+	r.ctl.SetQoS(core.QoS{RPct: 150})
+}
+
+func TestDelayCappedAndZeroWithoutDebt(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{})
+	cg := r.hier.Root().NewChild("leaker", 100)
+	if d := r.ctl.Delay(cg); d != 0 {
+		t.Errorf("Delay without debt = %v", d)
+	}
+	// Enormous swap burst: delay must be positive but capped.
+	for i := 0; i < 2000; i++ {
+		r.q.Submit(&bio.Bio{Op: bio.Write, Flags: bio.Swap,
+			Off: int64(i) * (128 << 10), Size: 128 << 10, CG: cg})
+	}
+	d := r.ctl.Delay(cg)
+	if d <= 0 {
+		t.Fatal("no delay despite massive debt")
+	}
+	if d > 250*sim.Millisecond {
+		t.Errorf("delay %v exceeds the cap", d)
+	}
+	r.eng.RunUntil(r.eng.Now() + sim.Second) // drain the burst
+}
+
+func TestDisableDebtThrottlesSwap(t *testing.T) {
+	// With the debt mechanism off, swap writes wait for budget like any
+	// other IO (the §3.5 priority inversion).
+	spec := device.OlderGenSSD()
+	r := newRig(t, spec, core.Config{DisableDebt: true})
+	victim := r.hier.Root().NewChild("victim", 100)
+	leaker := r.hier.Root().NewChild("leaker", 100)
+	w := workload.NewSaturator(r.q, workload.SaturatorConfig{
+		CG: victim, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 32, Seed: 1,
+	})
+	w.Start()
+	r.eng.RunUntil(1 * sim.Second)
+
+	completed := 0
+	for i := 0; i < 64; i++ {
+		r.q.Submit(&bio.Bio{Op: bio.Write, Flags: bio.Swap,
+			Off: 1<<40 + int64(i)*(128<<10), Size: 128 << 10, CG: leaker,
+			OnDone: func(*bio.Bio) { completed++ }})
+	}
+	r.eng.RunUntil(r.eng.Now() + 20*sim.Millisecond)
+	if completed == 64 {
+		t.Error("all swap writes completed instantly despite DisableDebt — they should be throttled")
+	}
+	if r.ctl.Debt(leaker) != 0 {
+		t.Error("debt accrued despite DisableDebt")
+	}
+}
+
+func TestPeriodDerivedFromQoS(t *testing.T) {
+	c := core.New(core.Config{
+		Model: core.MustLinearModel(idealParams(device.OlderGenSSD())),
+		QoS: core.QoS{
+			RPct: 90, RLat: 2 * sim.Millisecond,
+			WPct: 90, WLat: 10 * sim.Millisecond,
+			VrateMin: 0.5, VrateMax: 1.5,
+		},
+	})
+	// period = 5 * max(rlat, wlat) = 50ms.
+	if got := c.Period(); got != 50*sim.Millisecond {
+		t.Errorf("Period = %v, want 50ms", got)
+	}
+	// Explicit period wins.
+	c2 := core.New(core.Config{
+		Model:  core.MustLinearModel(idealParams(device.OlderGenSSD())),
+		Period: 7 * sim.Millisecond,
+	})
+	if got := c2.Period(); got != 7*sim.Millisecond {
+		t.Errorf("explicit Period = %v", got)
+	}
+}
+
+func TestOnPeriodHookFires(t *testing.T) {
+	ticks := 0
+	r := newRig(t, device.OlderGenSSD(), core.Config{
+		OnPeriod: func(core.PeriodStats) { ticks++ },
+	})
+	r.eng.RunUntil(sim.Second)
+	period := r.ctl.Period()
+	want := int(sim.Second / period)
+	if ticks < want-1 || ticks > want+1 {
+		t.Errorf("OnPeriod fired %d times in 1s with period %v", ticks, period)
+	}
+}
+
+func TestSwapChargedToRootWithAblation(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{DebtChargeRoot: true})
+	leaker := r.hier.Root().NewChild("leaker", 100)
+	for i := 0; i < 256; i++ {
+		r.q.Submit(&bio.Bio{Op: bio.Write, Flags: bio.Swap,
+			Off: int64(i) * (128 << 10), Size: 128 << 10, CG: leaker})
+	}
+	if got := r.ctl.Debt(leaker); got != 0 {
+		t.Errorf("leaker carries debt %v despite DebtChargeRoot", got)
+	}
+	if d := r.ctl.Delay(leaker); d != 0 {
+		t.Errorf("leaker stalled (%v) despite DebtChargeRoot", d)
+	}
+	r.eng.RunUntil(r.eng.Now() + sim.Second)
+}
+
+func TestSnapshotExposesControllerState(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{})
+	a := r.hier.Root().NewChild("a", 100)
+	b := r.hier.Root().NewChild("b", 300)
+	wa := workload.NewSaturator(r.q, workload.SaturatorConfig{
+		CG: a, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 16, Seed: 1,
+	})
+	wb := workload.NewSaturator(r.q, workload.SaturatorConfig{
+		CG: b, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 16, Region: 1 << 35, Seed: 2,
+	})
+	wa.Start()
+	wb.Start()
+	r.eng.RunUntil(sim.Second)
+
+	snap := r.ctl.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Path != "/a" || snap[1].Path != "/b" {
+		t.Errorf("snapshot order: %v, %v", snap[0].Path, snap[1].Path)
+	}
+	if !snap[0].Active || !snap[1].Active {
+		t.Error("both cgroups should be active")
+	}
+	hw := snap[0].HweightActive + snap[1].HweightActive
+	if hw < 0.99 || hw > 1.01 {
+		t.Errorf("active hweights sum to %v", hw)
+	}
+	out := r.ctl.FormatSnapshot()
+	if out == "" || len(out) < 40 {
+		t.Error("FormatSnapshot produced no output")
+	}
+}
+
+func TestCostCountersAccumulate(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{})
+	busy := r.hier.Root().NewChild("busy", 100)
+	rival := r.hier.Root().NewChild("rival", 100)
+	for _, cfg := range []workload.SaturatorConfig{
+		{CG: busy, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 32, Seed: 1},
+		{CG: rival, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 32, Region: 40 << 30, Seed: 2},
+	} {
+		w := workload.NewSaturator(r.q, cfg)
+		w.Start()
+	}
+	// Swap debt for the rival.
+	r.eng.RunUntil(sim.Second)
+	for i := 0; i < 16; i++ {
+		r.q.Submit(&bio.Bio{Op: bio.Write, Flags: bio.Swap,
+			Off: 80<<30 + int64(i)*(128<<10), Size: 128 << 10, CG: rival})
+	}
+	r.eng.RunUntil(2 * sim.Second)
+
+	snap := r.ctl.Snapshot()
+	for _, s := range snap {
+		if s.CostUsageNS <= 0 {
+			t.Errorf("%s: no lifetime usage", s.Path)
+		}
+	}
+	var rivalStat core.CGStat
+	for _, s := range snap {
+		if s.Path == "/rival" {
+			rivalStat = s
+		}
+	}
+	if rivalStat.CostIndebtNS <= 0 {
+		t.Error("rival shows no indebted time despite the swap burst")
+	}
+	// Contended saturators must have accumulated wait time.
+	if rivalStat.CostWaitNS <= 0 {
+		t.Error("no wait time accumulated under contention")
+	}
+}

@@ -1,0 +1,205 @@
+// Package device implements the simulated storage devices the controllers
+// are evaluated on: SSD models with internal parallelism, write-buffer
+// absorption and garbage-collection stalls; a spinning-disk model with seek
+// and rotational delays; and remote/cloud block stores with provisioned-IOPS
+// token buckets (AWS EBS, Google Cloud Persistent Disk profiles).
+//
+// A device accepts requests, services up to Parallelism of them concurrently
+// (the device's internal channels/heads), and completes each after a
+// model-specific service time. Latency therefore rises with occupancy, which
+// is exactly the signal IO control reacts to.
+package device
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ring"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Device is a simulated block device.
+type Device interface {
+	// Name identifies the device model.
+	Name() string
+	// Submit queues b for service. done runs at completion time, after
+	// b.Completed has been set.
+	Submit(b *bio.Bio, done func(*bio.Bio))
+	// InFlight returns the number of requests submitted but not completed.
+	InFlight() int
+	// Parallelism returns how many requests the device services
+	// concurrently.
+	Parallelism() int
+}
+
+// pending is a queued request, possibly a merge of several contiguous bios
+// serviced as one device operation.
+type pending struct {
+	b    *bio.Bio
+	done func(*bio.Bio)
+	// extra holds bios merged into this request beyond b; size is the
+	// merged transfer length (b.Size when nothing merged).
+	extra []pending
+	size  int64
+}
+
+// engine is the shared queueing/dispatch machinery: a FIFO in front of
+// Parallelism service slots, with an optional token-bucket serialization
+// point for provisioned-IOPS devices. Concrete models supply the
+// service-time function.
+type engine struct {
+	eng   *sim.Engine
+	name  string
+	slots int
+	busy  int
+	// Reads and writes queue separately and are dispatched round-robin,
+	// reflecting how real devices service reads from their internal
+	// parallelism even while a deep write queue drains; without this a
+	// write flood would head-of-line-block every read, which flash does
+	// not do.
+	queues  [2]ring.Queue[pending]
+	lastDir int
+
+	// merge enables back-merging of contiguous same-cgroup requests in
+	// the queue, as the block layer's elevator does. mergeLimit caps the
+	// merged transfer size.
+	merge      bool
+	mergeLimit int64
+	// Merges counts bios absorbed into earlier requests.
+	Merges uint64
+
+	// Token bucket: a request may not begin service before nextToken;
+	// each request advances nextToken by tokNsPerIO + size*tokNsPerByte.
+	// Zero values disable the bucket.
+	tokNsPerIO   float64
+	tokNsPerByte float64
+	nextToken    sim.Time
+
+	// service returns how long the request takes once it starts.
+	service func(b *bio.Bio) sim.Time
+}
+
+func (d *engine) Name() string     { return d.name }
+func (d *engine) Parallelism() int { return d.slots }
+func (d *engine) InFlight() int    { return d.busy + d.queues[0].Len() + d.queues[1].Len() }
+
+// mergeScan bounds how far back the elevator looks for a merge candidate.
+const mergeScan = 64
+
+func (d *engine) Submit(b *bio.Bio, done func(*bio.Bio)) {
+	q := &d.queues[int(b.Op)]
+	if d.merge {
+		// Back-merge: look for a queued same-cgroup request whose end
+		// matches this bio's offset, scanning recent entries the way an
+		// elevator's merge lookup does.
+		n := q.Len()
+		lo := n - mergeScan
+		if lo < 0 {
+			lo = 0
+		}
+		for i := n - 1; i >= lo; i-- {
+			cand := q.At(i)
+			if cand.b.CG == b.CG &&
+				cand.b.Off+cand.size == b.Off &&
+				cand.size+b.Size <= d.mergeLimit {
+				cand.extra = append(cand.extra, pending{b: b, done: done, size: b.Size})
+				cand.size += b.Size
+				d.Merges++
+				return
+			}
+		}
+	}
+	q.Push(pending{b: b, done: done, size: b.Size})
+	d.dispatch()
+}
+
+func (d *engine) pop() (pending, bool) {
+	// Alternate directions when both have work.
+	next := 1 - d.lastDir
+	if d.queues[next].Empty() {
+		next = d.lastDir
+	}
+	p, ok := d.queues[next].Pop()
+	if !ok {
+		return pending{}, false
+	}
+	d.lastDir = next
+	return p, true
+}
+
+func (d *engine) dispatch() {
+	for d.busy < d.slots {
+		p, ok := d.pop()
+		if !ok {
+			return
+		}
+		d.busy++
+
+		start := d.eng.Now()
+		if d.tokNsPerIO > 0 || d.tokNsPerByte > 0 {
+			if d.nextToken > start {
+				start = d.nextToken
+			}
+			d.nextToken = start + sim.Time(d.tokNsPerIO+float64(p.b.Size)*d.tokNsPerByte)
+		}
+
+		if start > d.eng.Now() {
+			d.eng.At(start, func() { d.begin(p) })
+		} else {
+			d.begin(p)
+		}
+	}
+}
+
+func (d *engine) begin(p pending) {
+	now := d.eng.Now()
+	p.b.Dispatched = now
+	for i := range p.extra {
+		p.extra[i].b.Dispatched = now
+	}
+	svcBio := p.b
+	if p.size != p.b.Size {
+		// Service the merged request as one transfer; the constituent
+		// bios keep their own sizes for accounting.
+		svcBio = &bio.Bio{Op: p.b.Op, Flags: p.b.Flags, Off: p.b.Off, Size: p.size, CG: p.b.CG}
+	}
+	svc := d.service(svcBio)
+	if svc < 0 {
+		svc = 0
+	}
+	d.eng.After(svc, func() {
+		end := d.eng.Now()
+		p.b.Completed = end
+		d.busy--
+		// Dispatch before delivering the completion so the device stays
+		// busy even if the completion handler submits more work.
+		d.dispatch()
+		p.done(p.b)
+		for _, e := range p.extra {
+			e.b.Completed = end
+			e.done(e.b)
+		}
+	})
+}
+
+// seqTracker detects sequential access per issuing cgroup, the same way a
+// device's internal readahead/striping logic benefits contiguous streams.
+type seqTracker struct {
+	last map[*cgroupRef]int64
+}
+
+// cgroupRef keeps the tracker decoupled from the cgroup package; any stable
+// pointer identity works.
+type cgroupRef = cgroup.Node
+
+func newSeqTracker() *seqTracker {
+	return &seqTracker{last: make(map[*cgroupRef]int64)}
+}
+
+// sequential reports whether b continues the issuer's previous request and
+// records b's end offset for the next check. Requests with no cgroup are
+// keyed to the root stream (nil).
+func (t *seqTracker) sequential(b *bio.Bio) bool {
+	seq := t.last[b.CG] == b.Off && b.Off != 0
+	t.last[b.CG] = b.End()
+	return seq
+}

@@ -1,0 +1,347 @@
+package device
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// runN pushes n identical requests through dev at full depth and returns
+// total elapsed time and mean completion latency.
+func runN(eng *sim.Engine, dev Device, n int, mk func(i int) *bio.Bio) (sim.Time, sim.Time) {
+	var totalLat sim.Time
+	done := 0
+	for i := 0; i < n; i++ {
+		b := mk(i)
+		start := eng.Now()
+		dev.Submit(b, func(b *bio.Bio) {
+			totalLat += eng.Now() - start
+			done++
+		})
+	}
+	eng.Run()
+	return eng.Now(), totalLat / sim.Time(n)
+}
+
+func TestSSDThroughputMatchesSpec(t *testing.T) {
+	eng := sim.New()
+	spec := EnterpriseSSD()
+	spec.Noise = 0 // deterministic service for exact math
+	d := NewSSD(eng, spec, 1)
+
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+	const n = 20000
+	elapsed, _ := runN(eng, d, n, func(i int) *bio.Bio {
+		return &bio.Bio{Op: bio.Read, Off: int64(i) * 1 << 20, Size: 4096, CG: cg}
+	})
+	iops := float64(n) / elapsed.Seconds()
+	want := float64(spec.Parallelism) / spec.RandReadNS * 1e9 // ~752K
+	if iops < want*0.95 || iops > want*1.05 {
+		t.Errorf("4k rand read IOPS = %.0f, want ~%.0f", iops, want)
+	}
+}
+
+func TestSSDSequentialFasterThanRandom(t *testing.T) {
+	spec := NewerGenSSD()
+	eng1 := sim.New()
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+	d1 := NewSSD(eng1, spec, 1)
+	elapsedRand, _ := runN(eng1, d1, 5000, func(i int) *bio.Bio {
+		return &bio.Bio{Op: bio.Read, Off: int64(i%977) * 7 << 20, Size: 4096, CG: cg}
+	})
+	eng2 := sim.New()
+	d2 := NewSSD(eng2, spec, 1)
+	elapsedSeq, _ := runN(eng2, d2, 5000, func(i int) *bio.Bio {
+		return &bio.Bio{Op: bio.Read, Off: 4096 * int64(i+1), Size: 4096, CG: cg}
+	})
+	if elapsedSeq >= elapsedRand {
+		t.Errorf("sequential (%v) not faster than random (%v)", elapsedSeq, elapsedRand)
+	}
+}
+
+func TestSSDWriteBufferBurstThenDegrade(t *testing.T) {
+	eng := sim.New()
+	spec := OlderGenSSD()
+	spec.Noise = 0
+	spec.GCStallProb = 0
+	d := NewSSD(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+
+	// Write 4x the buffer: the first quarter is absorbed at the burst
+	// rate while the final quarter crawls at the sustained drain rate.
+	const chunk = 1 << 20
+	n := int(4 * spec.BufBytes / chunk)
+	var q1Time, q3Time sim.Time
+	done := 0
+	for i := 0; i < n; i++ {
+		d.Submit(&bio.Bio{Op: bio.Write, Off: int64(i) * chunk, Size: chunk, CG: cg}, func(*bio.Bio) {
+			done++
+			switch done {
+			case n / 4:
+				q1Time = eng.Now()
+			case 3 * n / 4:
+				q3Time = eng.Now()
+			}
+		})
+	}
+	eng.Run()
+	lastQuarter := eng.Now() - q3Time
+	if lastQuarter < 2*q1Time {
+		t.Errorf("no write-buffer degradation: first quarter %v, last quarter %v", q1Time, lastQuarter)
+	}
+}
+
+func TestSSDLatencyGrowsWithQueueDepth(t *testing.T) {
+	spec := OlderGenSSD()
+	lat := func(depth int) sim.Time {
+		eng := sim.New()
+		d := NewSSD(eng, spec, 1)
+		h := cgroup.NewHierarchy()
+		cg := h.Root().NewChild("w", 100)
+		var total sim.Time
+		n := 0
+		var issue func()
+		issue = func() {
+			start := eng.Now()
+			d.Submit(&bio.Bio{Op: bio.Read, Off: int64(n) * 5 << 20, Size: 4096, CG: cg}, func(*bio.Bio) {
+				total += eng.Now() - start
+				n++
+				if eng.Now() < 200*sim.Millisecond {
+					issue()
+				}
+			})
+		}
+		for i := 0; i < depth; i++ {
+			issue()
+		}
+		eng.Run()
+		return total / sim.Time(n)
+	}
+	shallow, deep := lat(2), lat(64)
+	if deep < 3*shallow {
+		t.Errorf("latency at depth 64 (%v) should be >3x depth 2 (%v)", deep, shallow)
+	}
+}
+
+func TestHDDSeekDominatesRandom(t *testing.T) {
+	spec := EvalHDD()
+	spec.Noise = 0
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+
+	engR := sim.New()
+	dR := NewHDD(engR, spec, 1)
+	_, latRand := runN(engR, dR, 200, func(i int) *bio.Bio {
+		return &bio.Bio{Op: bio.Read, Off: int64(i%173) * 20 << 30, Size: 4096, CG: cg}
+	})
+	engS := sim.New()
+	dS := NewHDD(engS, spec, 1)
+	_, latSeq := runN(engS, dS, 200, func(i int) *bio.Bio {
+		return &bio.Bio{Op: bio.Read, Off: 4096 * int64(i+1), Size: 4096, CG: cg}
+	})
+	if latRand < 20*latSeq {
+		t.Errorf("HDD random latency (%v) should dwarf sequential (%v)", latRand, latSeq)
+	}
+}
+
+func TestRemoteIOPSCap(t *testing.T) {
+	eng := sim.New()
+	spec := EBSgp3()
+	spec.Noise = 0
+	d := NewRemote(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+	const n = 9000 // 3 seconds at the 3000 IOPS cap
+	elapsed, _ := runN(eng, d, n, func(i int) *bio.Bio {
+		return &bio.Bio{Op: bio.Read, Off: int64(i) * 4096, Size: 4096, CG: cg}
+	})
+	iops := float64(n) / elapsed.Seconds()
+	if iops > spec.IOPS*1.05 {
+		t.Errorf("remote device exceeded provisioned IOPS: %.0f > %.0f", iops, spec.IOPS)
+	}
+	if iops < spec.IOPS*0.9 {
+		t.Errorf("remote device far below provisioned IOPS under saturation: %.0f", iops)
+	}
+}
+
+func TestFleetProfilesComplete(t *testing.T) {
+	names := FleetSSDNames()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 fleet SSDs, got %d", len(names))
+	}
+	for _, n := range names {
+		spec, err := FleetSSDSpec(n)
+		if err != nil {
+			t.Fatalf("FleetSSDSpec(%q): %v", n, err)
+		}
+		if spec.Parallelism <= 0 || spec.RandReadNS <= 0 {
+			t.Errorf("fleet SSD %q has invalid spec %+v", n, spec)
+		}
+	}
+	if _, err := FleetSSDSpec("Z"); err == nil {
+		t.Error("unknown device did not error")
+	}
+	// H must be the high-IOPS/low-latency outlier and G the low-IOPS one.
+	iopsOf := func(name string) float64 {
+		s, _ := FleetSSDSpec(name)
+		return float64(s.Parallelism) / s.RandReadNS * 1e9
+	}
+	if iopsOf("H") < 2*iopsOf("A") {
+		t.Error("SSD H should be markedly faster than A")
+	}
+	if iopsOf("G") > iopsOf("A") {
+		t.Error("SSD G should be the low-IOPS device")
+	}
+}
+
+func TestInFlightAccounting(t *testing.T) {
+	eng := sim.New()
+	spec := OlderGenSSD()
+	d := NewSSD(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+	for i := 0; i < 20; i++ {
+		d.Submit(&bio.Bio{Op: bio.Read, Off: int64(i) * 1 << 20, Size: 4096, CG: cg}, func(*bio.Bio) {})
+	}
+	if got := d.InFlight(); got != 20 {
+		t.Errorf("InFlight = %d, want 20", got)
+	}
+	eng.Run()
+	if got := d.InFlight(); got != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestBioTimestampsPopulated(t *testing.T) {
+	eng := sim.New()
+	d := NewSSD(eng, OlderGenSSD(), 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+	b := &bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg}
+	d.Submit(b, func(*bio.Bio) {})
+	eng.Run()
+	if b.Completed <= b.Dispatched {
+		t.Errorf("Completed (%v) <= Dispatched (%v)", b.Completed, b.Dispatched)
+	}
+}
+
+func TestMergingCoalescesContiguousWrites(t *testing.T) {
+	spec := EvalHDD()
+	spec.Noise = 0
+	spec.Merge = true
+	eng := sim.New()
+	d := NewHDD(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+
+	// 256 contiguous 4KiB writes submitted back-to-back: with merging
+	// they coalesce into ~1MiB requests.
+	done := 0
+	for i := 0; i < 256; i++ {
+		d.Submit(&bio.Bio{Op: bio.Write, Off: 4096 * int64(i+1), Size: 4096, CG: cg},
+			func(*bio.Bio) { done++ })
+	}
+	eng.Run()
+	if done != 256 {
+		t.Fatalf("only %d/256 merged bios completed", done)
+	}
+	if d.Merges == 0 {
+		t.Fatal("no merges recorded for a contiguous stream")
+	}
+	mergedElapsed := eng.Now()
+
+	// The same stream without merging is far slower on a spinning disk.
+	spec.Merge = false
+	eng2 := sim.New()
+	d2 := NewHDD(eng2, spec, 1)
+	for i := 0; i < 256; i++ {
+		d2.Submit(&bio.Bio{Op: bio.Write, Off: 4096 * int64(i+1), Size: 4096, CG: cg}, func(*bio.Bio) {})
+	}
+	eng2.Run()
+	if eng2.Now() < mergedElapsed {
+		t.Errorf("merging did not help: merged=%v unmerged=%v", mergedElapsed, eng2.Now())
+	}
+}
+
+func TestMergingRespectsCgroupBoundary(t *testing.T) {
+	spec := OlderGenSSD()
+	spec.Merge = true
+	eng := sim.New()
+	d := NewSSD(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	a := h.Root().NewChild("a", 100)
+	b := h.Root().NewChild("b", 100)
+
+	// Contiguous offsets but alternating cgroups: must not merge.
+	for i := 0; i < 16; i++ {
+		cg := a
+		if i%2 == 1 {
+			cg = b
+		}
+		d.Submit(&bio.Bio{Op: bio.Write, Off: 4096 * int64(i+1), Size: 4096, CG: cg}, func(*bio.Bio) {})
+	}
+	if d.Merges != 0 {
+		t.Errorf("%d merges across cgroup boundaries", d.Merges)
+	}
+	eng.Run()
+}
+
+func TestMergingCapsAtLimit(t *testing.T) {
+	spec := OlderGenSSD()
+	spec.Merge = true
+	eng := sim.New()
+	d := NewSSD(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+	// 1024 contiguous 4KiB writes = 4MiB; the merge limit is 1MiB, so at
+	// least 4 distinct requests survive (merges <= 1020).
+	for i := 0; i < 1024; i++ {
+		d.Submit(&bio.Bio{Op: bio.Write, Off: 4096 * int64(i+1), Size: 4096, CG: cg}, func(*bio.Bio) {})
+	}
+	if d.Merges > 1020 {
+		t.Errorf("merge limit not enforced: %d merges", d.Merges)
+	}
+	eng.Run()
+}
+
+func TestInjectDegradation(t *testing.T) {
+	eng := sim.New()
+	spec := OlderGenSSD()
+	spec.Noise = 0
+	d := NewSSD(eng, spec, 1)
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+
+	elapsed := func(n int) sim.Time {
+		start := eng.Now()
+		for i := 0; i < n; i++ {
+			d.Submit(&bio.Bio{Op: bio.Read, Off: int64(i) * 5 << 20, Size: 4096, CG: cg}, func(*bio.Bio) {})
+		}
+		eng.Run()
+		return eng.Now() - start
+	}
+
+	healthy := elapsed(64)
+	d.InjectDegradation(3, sim.Second)
+	if !d.Degraded() {
+		t.Fatal("not degraded after injection")
+	}
+	degraded := elapsed(64)
+	if degraded < 2*healthy {
+		t.Errorf("degradation had no effect: healthy=%v degraded=%v", healthy, degraded)
+	}
+	// The episode expires.
+	eng.RunUntil(eng.Now() + 2*sim.Second)
+	if d.Degraded() {
+		t.Error("degradation did not expire")
+	}
+	recovered := elapsed(64)
+	if recovered > healthy*3/2 {
+		t.Errorf("service did not recover: %v vs healthy %v", recovered, healthy)
+	}
+}

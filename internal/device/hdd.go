@@ -1,0 +1,130 @@
+package device
+
+import (
+	"math"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// HDDSpec parameterizes a spinning disk. Random requests pay a
+// distance-dependent seek plus half a rotation on average; sequential
+// streams are served through a per-stream readahead/track buffer, so
+// interleaved sequential streams from different cgroups mostly hit the
+// buffer and only occasionally pay a repositioning seek to refill it — as
+// real drives with NCQ and readahead behave. The single actuator means
+// Parallelism is always 1.
+type HDDSpec struct {
+	Name string
+	// CapBytes is the addressable capacity, used to normalize seek
+	// distance.
+	CapBytes int64
+	// FullSeekNS is a full-stroke seek; short seeks scale with
+	// sqrt(distance) as real actuators do.
+	FullSeekNS float64
+	// MinSeekNS is the track-to-track seek floor.
+	MinSeekNS float64
+	// RPM determines rotational delay (half a revolution on average for
+	// random access).
+	RPM float64
+	// MediaBps is the media transfer rate in bytes/second.
+	MediaBps float64
+	// SeqOverheadNS is the fixed per-request cost for a buffer hit.
+	SeqOverheadNS float64
+	// ReadaheadBytes is how much the drive buffers ahead per stream when
+	// it repositions; 0 selects 512KiB.
+	ReadaheadBytes int64
+	// Noise is the sigma of the log-normal service multiplier.
+	Noise float64
+
+	// Merge enables elevator-style back-merging of contiguous
+	// same-cgroup requests, as the kernel's schedulers do for buffered
+	// sequential streams.
+	Merge bool
+}
+
+// HDD is a simulated spinning disk.
+type HDD struct {
+	engine
+	spec HDDSpec
+	rnd  *rng.Source
+	head int64 // current head byte position
+
+	// Per-stream sequential detection and readahead credit.
+	streams map[*cgroupRef]*hddStream
+}
+
+type hddStream struct {
+	lastEnd int64
+	buffer  int64 // readahead bytes remaining
+}
+
+// NewHDD builds a spinning disk from spec.
+func NewHDD(eng *sim.Engine, spec HDDSpec, seed uint64) *HDD {
+	if spec.ReadaheadBytes == 0 {
+		spec.ReadaheadBytes = 512 << 10
+	}
+	d := &HDD{spec: spec, rnd: rng.New(seed), streams: make(map[*cgroupRef]*hddStream)}
+	d.engine = engine{eng: eng, name: spec.Name, slots: 1,
+		merge: spec.Merge, mergeLimit: 1 << 20}
+	d.engine.service = d.serviceTime
+	return d
+}
+
+// Spec returns the device parameters.
+func (d *HDD) Spec() HDDSpec { return d.spec }
+
+func (d *HDD) seekCost(to int64) float64 {
+	dist := float64(to - d.head)
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := dist / float64(d.spec.CapBytes)
+	if frac > 1 {
+		frac = 1
+	}
+	seek := d.spec.MinSeekNS + (d.spec.FullSeekNS-d.spec.MinSeekNS)*math.Sqrt(frac)
+	rot := 0.5 * 60e9 / d.spec.RPM // average half revolution
+	return seek + rot
+}
+
+func (d *HDD) serviceTime(b *bio.Bio) sim.Time {
+	st := d.streams[b.CG]
+	if st == nil {
+		st = &hddStream{}
+		d.streams[b.CG] = st
+	}
+	sequential := st.lastEnd == b.Off && b.Off != 0
+	st.lastEnd = b.End()
+
+	transfer := float64(b.Size) / d.spec.MediaBps * 1e9
+	var ns float64
+	switch {
+	case sequential && st.buffer >= b.Size:
+		// Track-buffer/readahead hit: no mechanical delay.
+		st.buffer -= b.Size
+		ns = d.spec.SeqOverheadNS + transfer
+	case sequential:
+		// Stream continues but the buffer is dry: reposition (unless
+		// the head happens to already be there) and refill the
+		// readahead buffer, paying its transfer up front.
+		if b.Off != d.head {
+			ns = d.seekCost(b.Off)
+			ns += d.spec.SeqOverheadNS + float64(d.spec.ReadaheadBytes)/d.spec.MediaBps*1e9
+			st.buffer = d.spec.ReadaheadBytes - b.Size
+		} else {
+			ns += d.spec.SeqOverheadNS + transfer
+			st.buffer = d.spec.ReadaheadBytes
+		}
+	default:
+		// Random access: full mechanical cost, buffer restarts.
+		ns = d.seekCost(b.Off) + transfer
+		st.buffer = 0
+	}
+	if d.spec.Noise > 0 {
+		ns *= d.rnd.LogNormal(0, d.spec.Noise)
+	}
+	d.head = b.End()
+	return sim.Time(ns)
+}

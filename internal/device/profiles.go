@@ -1,0 +1,170 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// This file defines the concrete device population used by the experiments:
+// the eight fleet SSD types A-H of Figure 3, the three evaluation SSDs
+// (older-generation commercial, newer-generation commercial, enterprise),
+// the spinning disk of Figure 12, and the four remote-store configurations
+// of Figure 17. Parameters are chosen to land each device in the qualitative
+// region the paper describes (e.g. SSD H: high IOPS at low latency; SSD G:
+// low IOPS at relatively low latency; SSD A: moderate IOPS, higher latency).
+
+// Fleet SSD profiles, Figure 3.
+var fleetSSDs = map[string]SSDSpec{
+	"A": fleetSSD("A", 32, 213_000, 150_000, 1.6e9, 130_000, 900e6, 512<<20, 350e6),
+	"B": fleetSSD("B", 32, 160_000, 112_000, 1.8e9, 115_000, 1.0e9, 512<<20, 420e6),
+	"C": fleetSSD("C", 48, 160_000, 112_000, 2.2e9, 140_000, 1.4e9, 768<<20, 600e6),
+	"D": fleetSSD("D", 16, 160_000, 112_000, 1.1e9, 110_000, 600e6, 256<<20, 240e6),
+	"E": fleetSSD("E", 48, 120_000, 84_000, 2.6e9, 120_000, 1.6e9, 1<<30, 800e6),
+	"F": fleetSSD("F", 32, 128_000, 90_000, 2.0e9, 105_000, 1.2e9, 512<<20, 500e6),
+	"G": fleetSSD("G", 8, 133_000, 93_000, 700e6, 95_000, 350e6, 128<<20, 140e6),
+	"H": fleetSSD("H", 64, 80_000, 70_000, 3.4e9, 100_000, 2.2e9, 2<<30, 1.3e9),
+}
+
+func fleetSSD(name string, par int, rr, sr float64, rbps, wr, wbps float64, buf int64, sustained float64) SSDSpec {
+	return SSDSpec{
+		Name:         "ssd-" + name,
+		Parallelism:  par,
+		RandReadNS:   rr,
+		SeqReadNS:    sr,
+		RandWriteNS:  wr * 1.3,
+		SeqWriteNS:   wr,
+		ReadBps:      rbps,
+		WriteBps:     wbps,
+		BufBytes:     buf,
+		SustainedWBp: sustained,
+		GCStallProb:  0.02,
+		GCStallNS:    2e6,
+		Noise:        0.18,
+	}
+}
+
+// FleetSSDNames returns the Figure 3 device names in order.
+func FleetSSDNames() []string {
+	names := make([]string, 0, len(fleetSSDs))
+	for n := range fleetSSDs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FleetSSDSpec returns the spec for one of the Figure 3 devices (A-H).
+func FleetSSDSpec(name string) (SSDSpec, error) {
+	s, ok := fleetSSDs[name]
+	if !ok {
+		return SSDSpec{}, fmt.Errorf("device: unknown fleet SSD %q", name)
+	}
+	return s, nil
+}
+
+// The three evaluation SSDs of §4.
+
+// OlderGenSSD is the older-generation commercial SSD: low latency but little
+// internal parallelism, so it has the highest demands on IO control.
+func OlderGenSSD() SSDSpec {
+	return SSDSpec{
+		Name:        "older-gen-ssd",
+		Parallelism: 8,
+		RandReadNS:  90_000, SeqReadNS: 60_000,
+		RandWriteNS: 80_000, SeqWriteNS: 65_000,
+		ReadBps: 520e6, WriteBps: 420e6,
+		BufBytes: 192 << 20, SustainedWBp: 130e6,
+		GCStallProb: 0.04, GCStallNS: 3e6,
+		Noise: 0.20,
+	}
+}
+
+// NewerGenSSD is the newer-generation commercial SSD used for the vrate
+// experiment (Figure 13) with a p90 read-latency QoS of 250us.
+func NewerGenSSD() SSDSpec {
+	return SSDSpec{
+		Name:        "newer-gen-ssd",
+		Parallelism: 32,
+		RandReadNS:  128_000, SeqReadNS: 85_000,
+		RandWriteNS: 120_000, SeqWriteNS: 95_000,
+		ReadBps: 1.3e9, WriteBps: 1.1e9,
+		BufBytes: 512 << 20, SustainedWBp: 430e6,
+		GCStallProb: 0.03, GCStallNS: 2.5e6,
+		Noise: 0.18,
+	}
+}
+
+// EnterpriseSSD is the high-end enterprise device with ~750K max read IOPS
+// used for the overhead (Figure 9) and ZooKeeper (Figure 16) experiments.
+func EnterpriseSSD() SSDSpec {
+	return SSDSpec{
+		Name:        "enterprise-ssd",
+		Parallelism: 64,
+		RandReadNS:  85_000, SeqReadNS: 55_000,
+		RandWriteNS: 110_000, SeqWriteNS: 90_000,
+		ReadBps: 3.2e9, WriteBps: 2.6e9,
+		BufBytes: 4 << 30, SustainedWBp: 1.9e9,
+		GCStallProb: 0.01, GCStallNS: 1.5e6,
+		Noise: 0.15,
+	}
+}
+
+// EvalHDD is the spinning disk of Figure 12.
+func EvalHDD() HDDSpec {
+	return HDDSpec{
+		Name:          "spinning-disk",
+		CapBytes:      4 << 40,
+		FullSeekNS:    16e6,
+		MinSeekNS:     500_000,
+		RPM:           7200,
+		MediaBps:      180e6,
+		SeqOverheadNS: 30_000,
+		Noise:         0.10,
+	}
+}
+
+// Remote-store configurations of Figure 17.
+
+// EBSgp3 models an AWS EBS gp3 volume provisioned at 3000 IOPS.
+func EBSgp3() RemoteSpec {
+	return RemoteSpec{
+		Name: "ebs-gp3-3000iops", RTTNS: 600_000, WriteExtraNS: 200_000,
+		IOPS: 3000, Bps: 125e6, Parallelism: 32, Noise: 0.25,
+	}
+}
+
+// EBSio2 models an AWS EBS io2 volume provisioned at 64000 IOPS.
+func EBSio2() RemoteSpec {
+	return RemoteSpec{
+		Name: "ebs-io2-64000iops", RTTNS: 250_000, WriteExtraNS: 100_000,
+		IOPS: 64000, Bps: 1e9, Parallelism: 64, Noise: 0.20,
+	}
+}
+
+// GCPBalanced models a Google Cloud Persistent Disk balanced volume.
+func GCPBalanced() RemoteSpec {
+	return RemoteSpec{
+		Name: "gcp-pd-balanced", RTTNS: 800_000, WriteExtraNS: 250_000,
+		IOPS: 6000, Bps: 240e6, Parallelism: 32, Noise: 0.25,
+	}
+}
+
+// GCPSSD models a Google Cloud Persistent Disk SSD volume.
+func GCPSSD() RemoteSpec {
+	return RemoteSpec{
+		Name: "gcp-pd-ssd", RTTNS: 400_000, WriteExtraNS: 150_000,
+		IOPS: 30000, Bps: 480e6, Parallelism: 64, Noise: 0.20,
+	}
+}
+
+// New4kLatencyHint returns the unloaded 4KiB random-read latency implied by a
+// spec, useful for sizing QoS targets in tests and examples.
+func New4kLatencyHint(spec SSDSpec) sim.Time {
+	ns := spec.RandReadNS
+	if bw := 4096 * float64(spec.Parallelism) / spec.ReadBps * 1e9; bw > ns {
+		ns = bw
+	}
+	return sim.Time(ns)
+}

@@ -1,0 +1,67 @@
+package device
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// RemoteSpec parameterizes a network-attached block store such as AWS EBS or
+// Google Cloud Persistent Disk: every request pays a network round trip, and
+// the provider enforces provisioned IOPS and throughput with a token bucket
+// (requests queue at the bucket once the provisioned rate is exceeded, which
+// is exactly how these products behave).
+type RemoteSpec struct {
+	Name string
+	// RTTNS is the base network round-trip plus backend service time.
+	RTTNS float64
+	// WriteExtraNS is added to writes (replication acknowledgement).
+	WriteExtraNS float64
+	// IOPS is the provisioned IOPS cap; 0 means uncapped.
+	IOPS float64
+	// Bps is the provisioned throughput cap in bytes/second; 0 uncapped.
+	Bps float64
+	// Parallelism bounds concurrent in-flight requests to the backend.
+	Parallelism int
+	// Noise is the sigma of the log-normal latency multiplier; network
+	// paths are noisier than local flash.
+	Noise float64
+}
+
+// Remote is a simulated cloud block device.
+type Remote struct {
+	engine
+	spec RemoteSpec
+	rnd  *rng.Source
+}
+
+// NewRemote builds a remote block store from spec.
+func NewRemote(eng *sim.Engine, spec RemoteSpec, seed uint64) *Remote {
+	d := &Remote{spec: spec, rnd: rng.New(seed)}
+	d.engine = engine{eng: eng, name: spec.Name, slots: spec.Parallelism}
+	if spec.IOPS > 0 {
+		d.engine.tokNsPerIO = 1e9 / spec.IOPS
+	}
+	if spec.Bps > 0 {
+		d.engine.tokNsPerByte = 1e9 / spec.Bps
+	}
+	d.engine.service = d.serviceTime
+	return d
+}
+
+// Spec returns the device parameters.
+func (d *Remote) Spec() RemoteSpec { return d.spec }
+
+func (d *Remote) serviceTime(b *bio.Bio) sim.Time {
+	ns := d.spec.RTTNS
+	if b.Op == bio.Write {
+		ns += d.spec.WriteExtraNS
+	}
+	if d.spec.Bps > 0 {
+		ns += float64(b.Size) / d.spec.Bps * 1e9
+	}
+	if d.spec.Noise > 0 {
+		ns *= d.rnd.LogNormal(0, d.spec.Noise)
+	}
+	return sim.Time(ns)
+}

@@ -1,0 +1,246 @@
+// Package exp implements the paper's experiments: one harness per table and
+// figure of the evaluation (§4), runnable both from the bench suite and the
+// iocost-bench command. Each harness builds the full stack — simulated
+// device, block layer, controller, cgroup hierarchy, memory pool, workloads
+// — runs the scenario, and reports the same rows/series the paper plots.
+package exp
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Controller kinds under comparison.
+const (
+	KindNone      = "none"
+	KindMQDL      = "mq-deadline"
+	KindKyber     = "kyber"
+	KindThrottle  = "blk-throttle"
+	KindBFQ       = "bfq"
+	KindIOLatency = "iolatency"
+	KindIOCost    = "iocost"
+)
+
+// AllKinds lists every mechanism in Table 1 order.
+func AllKinds() []string {
+	return []string{KindNone, KindMQDL, KindKyber, KindThrottle, KindBFQ, KindIOLatency, KindIOCost}
+}
+
+// CgroupKinds lists the cgroup-aware mechanisms compared in Figure 10/16.
+func CgroupKinds() []string {
+	return []string{KindThrottle, KindBFQ, KindIOLatency, KindIOCost}
+}
+
+// DeviceChoice selects the device model for a machine; exactly one field
+// set.
+type DeviceChoice struct {
+	SSD    *device.SSDSpec
+	HDD    *device.HDDSpec
+	Remote *device.RemoteSpec
+}
+
+func ssdChoice(spec device.SSDSpec) DeviceChoice { return DeviceChoice{SSD: &spec} }
+
+// MachineConfig describes one simulated host.
+type MachineConfig struct {
+	Device     DeviceChoice
+	Controller string
+	// Engine, if non-nil, is the simulation engine to build on; machines
+	// sharing an engine share one virtual clock (multi-machine
+	// topologies). Nil creates a fresh engine.
+	Engine *sim.Engine
+	// IOCostCfg is used when Controller == KindIOCost. Model, if nil, is
+	// derived from the device spec (ideal profiling).
+	IOCostCfg core.Config
+	// Mem, if non-nil, attaches a memory pool.
+	Mem *mem.Config
+	// Tags overrides the block-layer tag count.
+	Tags int
+	Seed uint64
+}
+
+// Machine is a fully assembled host.
+type Machine struct {
+	Eng    *sim.Engine
+	Dev    device.Device
+	Q      *blk.Queue
+	Ctl    blk.Controller
+	IOCost *core.Controller // non-nil iff the controller is iocost
+	Hier   *cgroup.Hierarchy
+	Mem    *mem.Pool
+
+	// The production hierarchy of Figure 1.
+	System       *cgroup.Node
+	HostCritical *cgroup.Node
+	Workload     *cgroup.Node
+}
+
+// IdealParams derives linear cost-model parameters analytically from an SSD
+// spec — what a perfect profiling run measures. Experiments that care about
+// profiling fidelity use the profiler package instead.
+func IdealParams(spec device.SSDSpec) core.LinearParams {
+	p := float64(spec.Parallelism)
+	return core.LinearParams{
+		RBps:      spec.ReadBps,
+		RSeqIOPS:  p / spec.SeqReadNS * 1e9,
+		RRandIOPS: p / spec.RandReadNS * 1e9,
+		WBps:      spec.SustainedWBp,
+		WSeqIOPS:  p / spec.SeqWriteNS * 1e9,
+		WRandIOPS: p / spec.RandWriteNS * 1e9,
+	}
+}
+
+// IdealHDDParams derives cost-model parameters for the spinning disk.
+func IdealHDDParams(spec device.HDDSpec) core.LinearParams {
+	randNS := spec.MinSeekNS + (spec.FullSeekNS-spec.MinSeekNS)*0.45 + 0.5*60e9/spec.RPM
+	seqNS := spec.SeqOverheadNS + 4096/spec.MediaBps*1e9
+	return core.LinearParams{
+		RBps:      spec.MediaBps,
+		RSeqIOPS:  1e9 / seqNS,
+		RRandIOPS: 1e9 / randNS,
+		WBps:      spec.MediaBps,
+		WSeqIOPS:  1e9 / seqNS,
+		WRandIOPS: 1e9 / randNS,
+	}
+}
+
+// IdealRemoteParams derives cost-model parameters for a cloud volume: the
+// provisioned IOPS and throughput are the capability.
+func IdealRemoteParams(spec device.RemoteSpec) core.LinearParams {
+	iops := spec.IOPS
+	if iops == 0 {
+		iops = 100000
+	}
+	return core.LinearParams{
+		RBps: spec.Bps, RSeqIOPS: iops, RRandIOPS: iops,
+		WBps: spec.Bps, WSeqIOPS: iops, WRandIOPS: iops,
+	}
+}
+
+// TunedQoS returns §3.4-style QoS parameters for an SSD spec: latency
+// targets a small multiple of the device's loaded operating point in each
+// direction, vrate free within a moderate band. The write target must be
+// derived from the device's sustained (buffer-exhausted) write service
+// time, or it is unachievable under any write load and pins vrate at the
+// minimum.
+func TunedQoS(spec device.SSDSpec) core.QoS {
+	unloadedR := device.New4kLatencyHint(spec)
+	wService := spec.RandWriteNS
+	if sustained := 128 << 10 * float64(spec.Parallelism) / spec.SustainedWBp * 1e9; sustained > wService {
+		wService = sustained
+	}
+	return core.QoS{
+		RPct: 90, RLat: 5 * unloadedR,
+		WPct: 90, WLat: 8 * sim.Time(wService),
+		VrateMin: 0.5, VrateMax: 1.5,
+	}
+}
+
+// newIOCostController builds a standalone IOCost controller for an SSD with
+// ideal model parameters and tuned QoS, for experiments that assemble
+// multi-machine topologies by hand.
+func newIOCostController(spec device.SSDSpec) *core.Controller {
+	return core.New(core.Config{
+		Model: core.MustLinearModel(IdealParams(spec)),
+		QoS:   TunedQoS(spec),
+	})
+}
+
+// NewMachine assembles a host.
+func NewMachine(cfg MachineConfig) *Machine {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.New()
+	}
+	m := &Machine{Eng: eng, Hier: cgroup.NewHierarchy()}
+
+	var ssdSpec *device.SSDSpec
+	switch {
+	case cfg.Device.SSD != nil:
+		ssdSpec = cfg.Device.SSD
+		m.Dev = device.NewSSD(eng, *cfg.Device.SSD, cfg.Seed^0xde5)
+	case cfg.Device.HDD != nil:
+		m.Dev = device.NewHDD(eng, *cfg.Device.HDD, cfg.Seed^0xde5)
+	case cfg.Device.Remote != nil:
+		m.Dev = device.NewRemote(eng, *cfg.Device.Remote, cfg.Seed^0xde5)
+	default:
+		panic("exp: MachineConfig.Device must select a device")
+	}
+
+	switch cfg.Controller {
+	case KindNone, "":
+		m.Ctl = ctl.NewNone()
+	case KindMQDL:
+		m.Ctl = ctl.NewMQDeadline()
+	case KindKyber:
+		m.Ctl = ctl.NewKyber()
+	case KindThrottle:
+		m.Ctl = ctl.NewThrottle()
+	case KindBFQ:
+		m.Ctl = ctl.NewBFQ()
+	case KindIOLatency:
+		m.Ctl = ctl.NewIOLatency()
+	case KindIOCost:
+		c := cfg.IOCostCfg
+		if c.Model == nil {
+			switch {
+			case ssdSpec != nil:
+				c.Model = core.MustLinearModel(IdealParams(*ssdSpec))
+			case cfg.Device.HDD != nil:
+				c.Model = core.MustLinearModel(IdealHDDParams(*cfg.Device.HDD))
+			default:
+				c.Model = core.MustLinearModel(IdealRemoteParams(*cfg.Device.Remote))
+			}
+		}
+		if c.QoS == (core.QoS{}) {
+			switch {
+			case ssdSpec != nil:
+				c.QoS = TunedQoS(*ssdSpec)
+			case cfg.Device.HDD != nil:
+				c.QoS = core.QoS{
+					RPct: 90, RLat: 15 * sim.Millisecond,
+					WPct: 90, WLat: 40 * sim.Millisecond,
+					VrateMin: 0.1, VrateMax: 1.2,
+				}
+			default:
+				rtt := sim.Time(cfg.Device.Remote.RTTNS)
+				c.QoS = core.QoS{
+					RPct: 90, RLat: 6 * rtt,
+					WPct: 90, WLat: 10 * rtt,
+					VrateMin: 0.25, VrateMax: 1.5,
+				}
+			}
+		}
+		ioc := core.New(c)
+		m.IOCost = ioc
+		m.Ctl = ioc
+	default:
+		panic(fmt.Sprintf("exp: unknown controller %q", cfg.Controller))
+	}
+
+	m.Q = blk.New(eng, m.Dev, m.Ctl, cfg.Tags)
+
+	// Figure 1 hierarchy.
+	m.System = m.Hier.Root().NewChild("system", 50)
+	m.HostCritical = m.Hier.Root().NewChild("hostcritical", 100)
+	m.Workload = m.Hier.Root().NewChild("workload", 850)
+
+	if cfg.Mem != nil {
+		mc := *cfg.Mem
+		if mc.DebtDelay == nil && m.IOCost != nil {
+			mc.DebtDelay = m.IOCost.Delay
+		}
+		m.Mem = mem.NewPool(m.Q, mc)
+	}
+	return m
+}
+
+// Run advances the machine's clock to t.
+func (m *Machine) Run(t sim.Time) { m.Eng.RunUntil(t) }

@@ -1,0 +1,554 @@
+// Package mem simulates the memory-management subsystem at the level IOCost
+// interacts with it: per-cgroup resident/swapped byte accounting, direct
+// reclaim triggered by allocation beyond capacity, swap-out writes charged
+// to the *owner* of the memory (not the allocating task), synchronous
+// swap-in on working-set faults, an OOM killer, and the return-to-userspace
+// debt stall of §3.5.
+//
+// The model is aggregate (bytes with hot/cold temperature per cgroup) rather
+// than per-page, which preserves the dynamics that matter for IO control —
+// who gets charged for reclaim IO, who stalls on faults, and how thrashing
+// feeds back into device load — at simulation-friendly cost.
+package mem
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ring"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// DebugSlowOp, when non-nil, is called for memory operations exceeding a
+// threshold, for test diagnostics.
+var DebugSlowOp func(cg *cgroup.Node, stage string, d sim.Time, bytes int64)
+
+// PageSize is the simulated page size.
+const PageSize = 4096
+
+// swapCluster is the granularity of swap-out writeback.
+const swapCluster = 128 << 10
+
+// swapOutSlots bounds concurrent swap-out cluster writes.
+const swapOutSlots = 48
+
+// pendingSwapOut is a queued swap-out write.
+type pendingSwapOut struct {
+	cg   *cgroup.Node
+	off  int64
+	size int64
+	done func(*bio.Bio)
+}
+
+// Config parameterizes a memory pool.
+type Config struct {
+	// Capacity is RAM in bytes.
+	Capacity int64
+	// SwapCapacity is swap space in bytes; exhausting it triggers OOM.
+	SwapCapacity int64
+	// DebtDelay, if set, is consulted after memory operations: a positive
+	// duration stalls the calling task before it returns to userspace
+	// (IOCost's debt mechanism). Nil means no stalling.
+	DebtDelay func(*cgroup.Node) sim.Time
+	// OnOOM, if set, is notified when the OOM killer terminates a cgroup.
+	OnOOM func(*cgroup.Node)
+	// ScanImprecision is the fraction of each reclaim round taken from
+	// memory that is NOT the coldest — the LRU-approximation error of
+	// real page scanning, which is what lets sustained pressure from one
+	// cgroup bleed into others' working sets. Negative disables; 0
+	// selects 0.08.
+	ScanImprecision float64
+	// Seed drives fault sampling.
+	Seed uint64
+}
+
+// Pool is the machine's memory.
+type Pool struct {
+	eng *sim.Engine
+	q   *blk.Queue
+	cfg Config
+	rnd *rng.Source
+
+	cgs           map[*cgroup.Node]*memCG
+	order         []*memCG // deterministic iteration order
+	totalResident int64
+	swapUsed      int64
+	swapNext      int64 // next swap-area offset for writeback clustering
+
+	// reclaimInFlight is how many bytes are currently being evicted;
+	// it counts against the deficit seen by concurrent reclaimers so they
+	// do not pile on redundant eviction.
+	reclaimInFlight int64
+
+	// Swap writeback is paced: at most swapOutSlots cluster writes are in
+	// flight, the rest queue here. Without pacing a large reclaim burst
+	// exhausts the block layer's tag set and blacks out unrelated reads,
+	// which real reclaim's writeback throttling prevents.
+	swapOutBusy    int
+	swapOutPending ring.Queue[pendingSwapOut]
+
+	// Dirty page-cache writeback state (see writeback.go).
+	wbStates   map[*cgroup.Node]*wbState
+	wbOrder    []*wbState
+	wbTicker   *sim.Ticker
+	totalDirty int64
+
+	// Lifetime counters.
+	SwapOuts   uint64
+	SwapIns    uint64
+	OOMKills   uint64
+	Writebacks uint64
+	StallTime  sim.Time
+}
+
+type memCG struct {
+	cg         *cgroup.Node
+	resident   int64
+	swapped    int64
+	workingSet int64 // declared hot bytes, reclaimed last
+	protection int64 // memory.low-style reclaim protection
+	killable   bool
+	dead       bool
+}
+
+// NewPool builds a memory pool whose swap IO goes to q's device.
+func NewPool(q *blk.Queue, cfg Config) *Pool {
+	if cfg.Capacity <= 0 {
+		panic("mem: Capacity must be positive")
+	}
+	if cfg.ScanImprecision == 0 {
+		cfg.ScanImprecision = 0.08
+	}
+	if cfg.ScanImprecision < 0 {
+		cfg.ScanImprecision = 0
+	}
+	return &Pool{
+		eng:      q.Engine(),
+		q:        q,
+		cfg:      cfg,
+		rnd:      rng.New(cfg.Seed ^ 0x6d656d),
+		cgs:      make(map[*cgroup.Node]*memCG),
+		wbStates: make(map[*cgroup.Node]*wbState),
+	}
+}
+
+func (p *Pool) state(cg *cgroup.Node) *memCG {
+	m := p.cgs[cg]
+	if m == nil {
+		m = &memCG{cg: cg}
+		p.cgs[cg] = m
+		p.order = append(p.order, m)
+	}
+	return m
+}
+
+// Engine returns the simulation engine driving the pool.
+func (p *Pool) Engine() *sim.Engine { return p.eng }
+
+// SetWorkingSet declares cg's hot set: bytes it touches continuously, which
+// reclaim will only take when nothing colder remains (thrashing).
+func (p *Pool) SetWorkingSet(cg *cgroup.Node, bytes int64) {
+	p.state(cg).workingSet = bytes
+}
+
+// SetProtection gives cg memory.low-style protection: reclaim avoids its
+// pages while unprotected memory exists.
+func (p *Pool) SetProtection(cg *cgroup.Node, bytes int64) {
+	p.state(cg).protection = bytes
+}
+
+// SetKillable marks cg eligible for the OOM killer.
+func (p *Pool) SetKillable(cg *cgroup.Node, ok bool) {
+	p.state(cg).killable = ok
+}
+
+// Resident returns cg's resident bytes.
+func (p *Pool) Resident(cg *cgroup.Node) int64 { return p.state(cg).resident }
+
+// Swapped returns cg's swapped-out bytes.
+func (p *Pool) Swapped(cg *cgroup.Node) int64 { return p.state(cg).swapped }
+
+// Dead reports whether cg was OOM-killed.
+func (p *Pool) Dead(cg *cgroup.Node) bool { return p.state(cg).dead }
+
+// TotalResident returns machine-wide resident bytes.
+func (p *Pool) TotalResident() int64 { return p.totalResident }
+
+// Alloc gives cg `bytes` of new anonymous memory. If the machine is over
+// capacity, the calling task performs direct reclaim — swapping out other
+// memory and waiting for the writeback — before done runs. done also
+// absorbs any debt stall owed by cg.
+func (p *Pool) Alloc(cg *cgroup.Node, bytes int64, done func()) {
+	m := p.state(cg)
+	if m.dead {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	m.resident += bytes
+	p.totalResident += bytes
+	ctx := &opCtx{}
+	p.reclaimIfNeeded(cg, bytes, ctx, func() { p.finishOp(cg, ctx, done) })
+}
+
+// opCtx tracks whether one logical memory operation entered reclaim; only
+// such operations are subject to the return-to-userspace debt stall, as in
+// the kernel.
+type opCtx struct{ reclaimed bool }
+
+// Free releases bytes of cg's memory (resident first, then swap).
+func (p *Pool) Free(cg *cgroup.Node, bytes int64) {
+	m := p.state(cg)
+	fromRes := min64(bytes, m.resident)
+	m.resident -= fromRes
+	p.totalResident -= fromRes
+	bytes -= fromRes
+	fromSwap := min64(bytes, m.swapped)
+	m.swapped -= fromSwap
+	p.swapUsed -= fromSwap
+}
+
+// Touch simulates cg touching `touched` bytes of its working set. Swapped
+// working-set pages fault and are read back synchronously; done runs after
+// all fault IO completes (plus any debt stall).
+func (p *Pool) Touch(cg *cgroup.Node, touched int64, done func()) {
+	m := p.state(cg)
+	if m.dead {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	ws := m.workingSet
+	if ws <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	// The fraction of the working set currently swapped out determines
+	// the expected faults for this touch.
+	swappedWS := m.swapped
+	if swappedWS > ws {
+		swappedWS = ws
+	}
+	faultBytes := int64(float64(touched) * float64(swappedWS) / float64(ws))
+	faultBytes = p.roundToPages(faultBytes)
+	if faultBytes == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if faultBytes > m.swapped {
+		faultBytes = m.swapped
+	}
+	ctx := &opCtx{}
+	t0 := p.eng.Now()
+	p.swapIn(cg, faultBytes, ctx, func() {
+		if DebugSlowOp != nil {
+			if d := p.eng.Now() - t0; d > 200*sim.Millisecond {
+				DebugSlowOp(cg, "touch-swapin+reclaim", d, faultBytes)
+			}
+		}
+		p.finishOp(cg, ctx, done)
+	})
+}
+
+// roundToPages rounds bytes to whole pages, probabilistically carrying the
+// remainder so small rates are not systematically lost.
+func (p *Pool) roundToPages(bytes int64) int64 {
+	pages := bytes / PageSize
+	rem := bytes % PageSize
+	if rem > 0 && p.rnd.Int63n(PageSize) < rem {
+		pages++
+	}
+	return pages * PageSize
+}
+
+// finishOp applies the return-to-userspace debt stall — only for operations
+// that entered reclaim — before invoking done.
+func (p *Pool) finishOp(cg *cgroup.Node, ctx *opCtx, done func()) {
+	if p.cfg.DebtDelay != nil && ctx.reclaimed {
+		if d := p.cfg.DebtDelay(cg); d > 0 {
+			p.StallTime += d
+			p.eng.After(d, func() {
+				if done != nil {
+					done()
+				}
+			})
+			return
+		}
+	}
+	if done != nil {
+		done()
+	}
+}
+
+// reclaimIfNeeded performs direct reclaim and calls done when the
+// operation's share of eviction writeback completes. As in the kernel, a
+// direct reclaimer frees roughly what it is allocating (not the whole
+// global deficit — that would serialize every small fault behind the
+// largest allocator's reclaim wave); eviction already in flight from other
+// reclaimers counts against the deficit. The reclaim IO (swap-out writes)
+// is charged to the cgroups owning the evicted memory, with bio.Swap set so
+// IOCost's debt mechanism applies.
+func (p *Pool) reclaimIfNeeded(reclaimer *cgroup.Node, opBytes int64, ctx *opCtx, done func()) {
+	deficit := p.totalResident - p.cfg.Capacity - p.reclaimInFlight
+	if deficit <= 0 {
+		done()
+		return
+	}
+	ctx.reclaimed = true
+	if p.swapUsed+p.reclaimInFlight >= p.cfg.SwapCapacity {
+		p.oom()
+		done()
+		return
+	}
+	need := min64(deficit, max64(opBytes, swapCluster))
+	need = min64(need, p.cfg.SwapCapacity-p.swapUsed-p.reclaimInFlight)
+	if need <= 0 {
+		done()
+		return
+	}
+
+	victims := p.pickVictims(need)
+	// LRU scanning is approximate: a slice of each round lands on pages
+	// that are not actually the coldest, nibbling other cgroups' working
+	// sets under sustained pressure.
+	if collateral := int64(float64(need) * p.cfg.ScanImprecision); collateral >= PageSize && len(victims) > 0 {
+		primary := victims[0].cg
+		var worst *memCG
+		for _, m := range p.order {
+			if m.dead || m.cg == primary {
+				continue
+			}
+			avail := m.resident - m.protection
+			if avail <= 0 {
+				continue
+			}
+			if worst == nil || avail > worst.resident-worst.protection {
+				worst = m
+			}
+		}
+		if worst != nil {
+			if max := worst.resident - worst.protection; collateral > max {
+				collateral = max
+			}
+			if collateral > 0 {
+				victims = append(victims, victim{worst.cg, collateral})
+			}
+		}
+	}
+	if len(victims) == 0 {
+		p.oom()
+		done()
+		return
+	}
+
+	outstanding := 0
+	completed := func(b *bio.Bio) {
+		outstanding--
+		p.reclaimInFlight -= b.Size
+		if outstanding == 0 {
+			done()
+		}
+	}
+
+	for _, v := range victims {
+		m := p.state(v.cg)
+		amount := min64(v.bytes, m.resident)
+		if amount <= 0 {
+			continue
+		}
+		m.resident -= amount
+		m.swapped += amount
+		p.totalResident -= amount
+		p.swapUsed += amount
+		// Swap-out writeback in clusters, sequential within the swap
+		// area, charged to the OWNER of the memory.
+		for off := int64(0); off < amount; off += swapCluster {
+			sz := min64(swapCluster, amount-off)
+			p.SwapOuts++
+			outstanding++
+			p.reclaimInFlight += sz
+			p.submitSwapOut(v.cg, p.swapNext, sz, completed)
+			p.swapNext += sz
+		}
+	}
+	if outstanding == 0 {
+		// Nothing evictable was found.
+		p.oom()
+		done()
+	}
+}
+
+type victim struct {
+	cg    *cgroup.Node
+	bytes int64
+}
+
+// pickVictims chooses what to evict: cold unprotected memory first (most
+// cold first), then protected cold memory, and finally hot working sets —
+// which is when thrashing begins. Amounts already claimed in earlier passes
+// are tracked so a cgroup is not double-counted.
+func (p *Pool) pickVictims(need int64) []victim {
+	var out []victim
+	taken := make(map[*memCG]int64)
+
+	cold := func(m *memCG) int64 {
+		c := m.resident - m.workingSet
+		if m.resident-c < m.protection {
+			c = m.resident - m.protection
+		}
+		return max64(c, 0)
+	}
+	passes := []func(*memCG) int64{
+		func(m *memCG) int64 { // unprotected cold
+			if m.protection > 0 {
+				return 0
+			}
+			return cold(m)
+		},
+		cold, // any cold
+		func(m *memCG) int64 { return max64(m.resident-m.protection, 0) }, // hot: thrashing
+	}
+
+	for _, classify := range passes {
+		for need > 0 {
+			var best *memCG
+			var bestAvail int64
+			for _, m := range p.order {
+				if m.dead {
+					continue
+				}
+				if avail := classify(m) - taken[m]; avail > bestAvail {
+					best, bestAvail = m, avail
+				}
+			}
+			if best == nil {
+				break
+			}
+			amount := min64(need, bestAvail)
+			out = append(out, victim{best.cg, amount})
+			taken[best] += amount
+			need -= amount
+		}
+		if need <= 0 {
+			break
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// swapIn reads bytes back from swap for cg, synchronously (the task
+// faulted). The reads are charged to the faulting cgroup and are throttled
+// normally — faults are how an over-limit cgroup feels memory pressure.
+func (p *Pool) swapIn(cg *cgroup.Node, bytes int64, ctx *opCtx, done func()) {
+	m := p.state(cg)
+	bytes = min64(bytes, m.swapped)
+	m.swapped -= bytes
+	m.resident += bytes
+	p.swapUsed -= bytes
+	p.totalResident += bytes
+
+	outstanding := 0
+	completed := func(*bio.Bio) {
+		outstanding--
+		if outstanding == 0 {
+			// Faulting back in may push the machine over capacity
+			// again; the faulting task eats that reclaim too.
+			p.reclaimIfNeeded(cg, bytes, ctx, done)
+		}
+	}
+	const faultChunk = 32 << 10 // swap readahead granularity
+	for off := int64(0); off < bytes; off += faultChunk {
+		sz := min64(faultChunk, bytes-off)
+		p.SwapIns++
+		outstanding++
+		p.q.Submit(&bio.Bio{
+			Op:     bio.Read,
+			Flags:  bio.Sync,
+			Off:    p.rnd.Int63n(1 << 40), // swap-in is effectively random
+			Size:   sz,
+			CG:     cg,
+			OnDone: completed,
+		})
+	}
+	if outstanding == 0 {
+		done()
+	}
+}
+
+// oom kills the largest killable cgroup.
+func (p *Pool) oom() {
+	var worst *memCG
+	for _, m := range p.order {
+		if m.dead || !m.killable {
+			continue
+		}
+		if worst == nil || m.resident+m.swapped > worst.resident+worst.swapped {
+			worst = m
+		}
+	}
+	if worst == nil {
+		return
+	}
+	worst.dead = true
+	p.totalResident -= worst.resident
+	p.swapUsed -= worst.swapped
+	worst.resident = 0
+	worst.swapped = 0
+	p.OOMKills++
+	if p.cfg.OnOOM != nil {
+		p.cfg.OnOOM(worst.cg)
+	}
+}
+
+// submitSwapOut issues one swap-out cluster, queueing it if the writeback
+// pacing limit is reached.
+func (p *Pool) submitSwapOut(cg *cgroup.Node, off, size int64, done func(*bio.Bio)) {
+	if p.swapOutBusy >= swapOutSlots {
+		p.swapOutPending.Push(pendingSwapOut{cg, off, size, done})
+		return
+	}
+	p.swapOutBusy++
+	p.q.Submit(&bio.Bio{
+		Op:    bio.Write,
+		Flags: bio.Swap,
+		Off:   off,
+		Size:  size,
+		CG:    cg,
+		OnDone: func(b *bio.Bio) {
+			p.swapOutBusy--
+			if next, ok := p.swapOutPending.Pop(); ok {
+				p.submitSwapOut(next.cg, next.off, next.size, next.done)
+			}
+			done(b)
+		},
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String summarizes pool state for diagnostics.
+func (p *Pool) String() string {
+	return fmt.Sprintf("mem{resident=%d/%d swap=%d/%d oom=%d}",
+		p.totalResident, p.cfg.Capacity, p.swapUsed, p.cfg.SwapCapacity, p.OOMKills)
+}

@@ -1,0 +1,275 @@
+package mem_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	q    *blk.Queue
+	pool *mem.Pool
+	hier *cgroup.Hierarchy
+}
+
+func newRig(t *testing.T, cfg mem.Config) *rig {
+	t.Helper()
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.OlderGenSSD(), 1)
+	q := blk.New(eng, dev, ctl.NewNone(), 0)
+	return &rig{eng: eng, q: q, pool: mem.NewPool(q, cfg), hier: cgroup.NewHierarchy()}
+}
+
+func TestAllocWithinCapacityIsFree(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	cg := r.hier.Root().NewChild("a", 100)
+	done := false
+	r.pool.Alloc(cg, 512<<20, func() { done = true })
+	if !done {
+		t.Error("in-capacity allocation should complete synchronously")
+	}
+	if r.pool.Resident(cg) != 512<<20 {
+		t.Errorf("Resident = %d", r.pool.Resident(cg))
+	}
+	if r.pool.SwapOuts != 0 {
+		t.Error("no swap expected within capacity")
+	}
+}
+
+func TestReclaimSwapsOutColdestAndChargesOwner(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 4 << 30, Seed: 1})
+	cold := r.hier.Root().NewChild("cold", 100)
+	hot := r.hier.Root().NewChild("hot", 100)
+	r.pool.SetWorkingSet(hot, 512<<20)
+	r.pool.Alloc(hot, 512<<20, nil)
+	r.pool.Alloc(cold, 400<<20, nil) // no working set: all cold
+
+	// Now exceed capacity: the cold cgroup's memory must go first.
+	allocDone := false
+	r.pool.Alloc(hot, 256<<20, func() { allocDone = true })
+	r.eng.Run()
+	if !allocDone {
+		t.Fatal("allocation never completed")
+	}
+	if r.pool.Swapped(cold) == 0 {
+		t.Error("cold memory was not evicted")
+	}
+	if got := r.pool.Swapped(hot); got > 64<<20 {
+		t.Errorf("hot working set lost %d bytes; cold should go first", got)
+	}
+	if r.pool.SwapOuts == 0 {
+		t.Error("no swap-out IO recorded")
+	}
+}
+
+func TestTouchFaultsSwappedWorkingSet(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 4 << 30, Seed: 1})
+	ws := r.hier.Root().NewChild("svc", 100)
+	r.pool.SetWorkingSet(ws, 600<<20)
+	r.pool.Alloc(ws, 600<<20, nil)
+	// A hog pushes the service's memory out: with nothing colder on the
+	// machine, eviction must hit the hot set.
+	hog := r.hier.Root().NewChild("hog", 100)
+	r.pool.Alloc(hog, 900<<20, nil)
+	r.eng.Run()
+	if r.pool.Swapped(ws) == 0 {
+		t.Fatal("expected the service's memory to be partially swapped")
+	}
+	before := r.pool.SwapIns
+	done := false
+	r.pool.Touch(ws, 64<<20, func() { done = true })
+	r.eng.Run()
+	if !done {
+		t.Fatal("touch never completed")
+	}
+	if r.pool.SwapIns == before {
+		t.Error("touching a partially-swapped working set generated no faults")
+	}
+}
+
+func TestOOMKillsLargestKillable(t *testing.T) {
+	var killed *cgroup.Node
+	r := newRig(t, mem.Config{
+		Capacity: 256 << 20, SwapCapacity: 128 << 20, Seed: 1,
+		OnOOM: func(cg *cgroup.Node) { killed = cg },
+	})
+	small := r.hier.Root().NewChild("small", 100)
+	big := r.hier.Root().NewChild("big", 100)
+	r.pool.SetKillable(small, true)
+	r.pool.SetKillable(big, true)
+	r.pool.Alloc(small, 64<<20, nil)
+	r.pool.Alloc(big, 512<<20, nil)
+	r.eng.Run()
+	// Reclaim is per-operation: the allocation that finds swap exhausted
+	// is the one that draws the OOM killer, as with a real allocator.
+	r.pool.Alloc(small, 4<<20, nil)
+	r.eng.Run()
+	if r.pool.OOMKills == 0 {
+		t.Fatal("OOM killer never fired despite swap exhaustion")
+	}
+	if killed != big {
+		t.Errorf("OOM killed %v, want the largest (big)", killed)
+	}
+	if !r.pool.Dead(big) {
+		t.Error("big not marked dead")
+	}
+	if r.pool.Resident(big) != 0 || r.pool.Swapped(big) != 0 {
+		t.Error("killed cgroup retains memory")
+	}
+}
+
+func TestDebtDelayStallsReclaimers(t *testing.T) {
+	stallASked := 0
+	r := newRig(t, mem.Config{
+		Capacity: 256 << 20, SwapCapacity: 4 << 30, Seed: 1,
+		DebtDelay: func(cg *cgroup.Node) sim.Time {
+			stallASked++
+			return 10 * sim.Millisecond
+		},
+	})
+	cg := r.hier.Root().NewChild("leaker", 100)
+	r.pool.Alloc(cg, 200<<20, nil)
+
+	start := r.eng.Now()
+	done := false
+	r.pool.Alloc(cg, 128<<20, func() { done = true }) // triggers reclaim
+	r.eng.Run()
+	if !done {
+		t.Fatal("alloc never completed")
+	}
+	if stallASked == 0 {
+		t.Error("DebtDelay was never consulted for a reclaiming operation")
+	}
+	if r.eng.Now()-start < 10*sim.Millisecond {
+		t.Error("stall was not applied")
+	}
+}
+
+func TestNoStallWithoutReclaim(t *testing.T) {
+	asked := 0
+	r := newRig(t, mem.Config{
+		Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1,
+		DebtDelay: func(*cgroup.Node) sim.Time { asked++; return sim.Second },
+	})
+	cg := r.hier.Root().NewChild("a", 100)
+	r.pool.Alloc(cg, 64<<20, nil) // within capacity: no reclaim
+	r.eng.Run()
+	if asked != 0 {
+		t.Errorf("DebtDelay consulted %d times for a non-reclaiming op", asked)
+	}
+}
+
+func TestFreeReleasesMemory(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	cg := r.hier.Root().NewChild("a", 100)
+	r.pool.Alloc(cg, 512<<20, nil)
+	r.pool.Free(cg, 256<<20)
+	if r.pool.Resident(cg) != 256<<20 {
+		t.Errorf("Resident after Free = %d", r.pool.Resident(cg))
+	}
+	if r.pool.TotalResident() != 256<<20 {
+		t.Errorf("TotalResident = %d", r.pool.TotalResident())
+	}
+}
+
+func TestSwapBiosCarrySwapFlag(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 128 << 20, SwapCapacity: 1 << 30, Seed: 1})
+	cg := r.hier.Root().NewChild("a", 100)
+	sawSwap := false
+	// Intercept via a child bio counter: watch the queue totals before
+	// and after; swap writes are the only writes in this test.
+	r.pool.Alloc(cg, 256<<20, nil)
+	r.eng.Run()
+	if r.q.WriteLat.Count() > 0 {
+		sawSwap = true
+	}
+	if !sawSwap {
+		t.Error("reclaim produced no write IO")
+	}
+	_ = bio.Swap
+}
+
+func TestBufferedWritesUnderThresholdAreFree(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	r.pool.StartWriteback(0)
+	cg := r.hier.Root().NewChild("w", 100)
+	done := false
+	r.pool.WriteBuffered(cg, 16<<20, func() { done = true })
+	if !done {
+		t.Error("under-threshold buffered write stalled")
+	}
+	if r.pool.Dirty(cg) != 16<<20 {
+		t.Errorf("Dirty = %d", r.pool.Dirty(cg))
+	}
+	// The flusher writes it back within a few periods.
+	r.eng.RunUntil(2 * sim.Second)
+	if r.pool.Dirty(cg) != 0 {
+		t.Errorf("dirty pages never flushed: %d", r.pool.Dirty(cg))
+	}
+	if r.pool.Writebacks == 0 {
+		t.Error("no writeback IO recorded")
+	}
+}
+
+func TestDirtyThresholdThrottlesWriters(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 256 << 20, SwapCapacity: 1 << 30, Seed: 1})
+	r.pool.StartWriteback(0)
+	cg := r.hier.Root().NewChild("w", 100)
+	// The threshold is 10% of 256MiB = ~25MiB. A 100MiB buffered write
+	// must stall until writeback drains.
+	stalled := true
+	r.pool.WriteBuffered(cg, 100<<20, func() { stalled = false })
+	if !stalled {
+		t.Fatal("over-threshold write completed synchronously")
+	}
+	r.eng.RunUntil(5 * sim.Second)
+	if stalled {
+		t.Error("throttled writer never released")
+	}
+}
+
+func TestFsyncWaitsForWriteback(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	r.pool.StartWriteback(0)
+	cg := r.hier.Root().NewChild("w", 100)
+	r.pool.WriteBuffered(cg, 8<<20, nil)
+	synced := false
+	r.pool.Fsync(cg, func() { synced = true })
+	if synced {
+		t.Fatal("fsync returned before writeback completed")
+	}
+	r.eng.RunUntil(sim.Second)
+	if !synced {
+		t.Error("fsync never completed")
+	}
+	if r.pool.Dirty(cg) != 0 {
+		t.Error("dirty pages remain after fsync")
+	}
+	// Fsync with nothing dirty completes immediately.
+	immediate := false
+	r.pool.Fsync(cg, func() { immediate = true })
+	if !immediate {
+		t.Error("no-op fsync stalled")
+	}
+}
+
+func TestWritebackChargedToDirtier(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	r.pool.StartWriteback(0)
+	dirtier := r.hier.Root().NewChild("dirtier", 100)
+	r.pool.WriteBuffered(dirtier, 32<<20, nil)
+	r.pool.Fsync(dirtier, nil)
+	r.eng.RunUntil(2 * sim.Second)
+	// Every write on the queue in this test came from writeback, and all
+	// of it must have activated the dirtier's cgroup (cgroup writeback).
+	if !dirtier.Active() {
+		t.Error("writeback IO was not charged to the dirtying cgroup")
+	}
+}

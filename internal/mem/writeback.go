@@ -1,0 +1,163 @@
+package mem
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ring"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Buffered writes and dirty writeback — the remaining arrow of the paper's
+// Figure 2: userspace writes land in the page cache as dirty memory, a
+// background flusher writes them back in large chunks *charged to the
+// dirtying cgroup* (cgroup writeback), and writers that outrun both the
+// flusher and the dirty threshold are throttled in the style of
+// balance_dirty_pages. Filesystems force their own dirty data out with
+// Fsync, whose writes are synchronous and also owner-charged.
+
+// writebackChunk is the flusher's IO granularity.
+const writebackChunk = 1 << 20
+
+// dirtyRatio is the fraction of capacity that may be dirty before writers
+// are throttled.
+const dirtyRatio = 0.10
+
+// wbState tracks one cgroup's dirty page-cache state.
+type wbState struct {
+	cg       *cgroup.Node
+	dirty    int64
+	nextOff  int64 // file-offset cursor for writeback placement
+	inFlight int64
+	// fsyncs waiting for this cgroup's dirty count to reach zero.
+	fsyncWaiters []func()
+	// writers stalled at the dirty threshold.
+	throttled ring.Queue[func()]
+}
+
+// StartWriteback attaches the background flusher to the pool. interval 0
+// selects 200ms, as periodic kupdate-style flushing.
+func (p *Pool) StartWriteback(interval sim.Time) {
+	if p.wbTicker != nil {
+		return
+	}
+	if interval == 0 {
+		interval = 200 * sim.Millisecond
+	}
+	p.wbTicker = p.eng.NewTicker(interval, p.flushAll)
+}
+
+func (p *Pool) wb(cg *cgroup.Node) *wbState {
+	st := p.wbStates[cg]
+	if st == nil {
+		st = &wbState{cg: cg, nextOff: int64(len(p.wbStates)+7) << 36}
+		p.wbStates[cg] = st
+		p.wbOrder = append(p.wbOrder, st)
+	}
+	return st
+}
+
+// Dirty returns cg's dirty page-cache bytes.
+func (p *Pool) Dirty(cg *cgroup.Node) int64 { return p.wb(cg).dirty }
+
+// TotalDirty returns machine-wide dirty bytes.
+func (p *Pool) TotalDirty() int64 { return p.totalDirty }
+
+// WriteBuffered dirties `bytes` of page cache on behalf of cg. done runs
+// immediately while under the dirty threshold; above it, the writer stalls
+// until writeback drains below the threshold (balance_dirty_pages).
+func (p *Pool) WriteBuffered(cg *cgroup.Node, bytes int64, done func()) {
+	st := p.wb(cg)
+	st.dirty += bytes
+	p.totalDirty += bytes
+	limit := int64(dirtyRatio * float64(p.cfg.Capacity))
+	if p.totalDirty <= limit {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	// Over the threshold: kick writeback now and stall the writer.
+	p.flushAll()
+	if done == nil {
+		done = func() {}
+	}
+	st.throttled.Push(done)
+}
+
+// Fsync forces cg's dirty data to stable storage; done runs when all of it
+// has been written back.
+func (p *Pool) Fsync(cg *cgroup.Node, done func()) {
+	st := p.wb(cg)
+	if st.dirty == 0 && st.inFlight == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if done != nil {
+		st.fsyncWaiters = append(st.fsyncWaiters, done)
+	}
+	p.flush(st, st.dirty)
+}
+
+// flushAll writes back every cgroup's dirty pages, oldest-created cgroups
+// first, bounded per tick so one huge dirtier cannot monopolize a flush
+// pass.
+func (p *Pool) flushAll() {
+	for _, st := range p.wbOrder {
+		if st.dirty > 0 {
+			p.flush(st, st.dirty)
+		}
+	}
+}
+
+// flush issues writeback IO for up to n bytes of st's dirty data, charged
+// to the dirtying cgroup.
+func (p *Pool) flush(st *wbState, n int64) {
+	for n > 0 && st.dirty > 0 {
+		sz := min64(writebackChunk, st.dirty)
+		st.dirty -= sz
+		p.totalDirty -= sz
+		st.inFlight += sz
+		n -= sz
+		off := st.nextOff
+		st.nextOff += sz
+		p.Writebacks++
+		p.q.Submit(&bio.Bio{
+			Op:   bio.Write,
+			Off:  off,
+			Size: sz,
+			CG:   st.cg,
+			OnDone: func(b *bio.Bio) {
+				st.inFlight -= b.Size
+				p.writebackDone(st)
+			},
+		})
+	}
+}
+
+// writebackDone releases throttled writers and fsync waiters as dirty state
+// drains.
+func (p *Pool) writebackDone(st *wbState) {
+	limit := int64(dirtyRatio * float64(p.cfg.Capacity))
+	for p.totalDirty <= limit {
+		released := false
+		for _, s := range p.wbOrder {
+			if w, ok := s.throttled.Pop(); ok {
+				w()
+				released = true
+				break
+			}
+		}
+		if !released {
+			break
+		}
+	}
+	if st.dirty == 0 && st.inFlight == 0 && len(st.fsyncWaiters) > 0 {
+		ws := st.fsyncWaiters
+		st.fsyncWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}

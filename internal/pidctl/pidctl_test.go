@@ -1,0 +1,83 @@
+package pidctl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConvergesToSetpoint(t *testing.T) {
+	// A trivial first-order plant: value moves toward the control output.
+	pid := New(0.8, 0.4, 0.0, 10, -100, 100)
+	value := 0.0
+	for i := 0; i < 200; i++ {
+		out := pid.Update(value, 0.1)
+		value += 0.1 * (out - 0.2*value)
+	}
+	if value < 9 || value > 11 {
+		t.Errorf("plant settled at %.2f, want ~10", value)
+	}
+}
+
+func TestOutputClamping(t *testing.T) {
+	pid := New(100, 0, 0, 0, -1, 1)
+	if out := pid.Update(-1000, 1); out != 1 {
+		t.Errorf("output %v, want clamped to 1", out)
+	}
+	if out := pid.Update(1000, 1); out != -1 {
+		t.Errorf("output %v, want clamped to -1", out)
+	}
+}
+
+func TestAntiWindup(t *testing.T) {
+	// Saturate hard for a long time, then flip the error: without
+	// anti-windup the integral would keep the output pinned for ages.
+	pid := New(0.1, 0.5, 0, 0, -1, 1)
+	for i := 0; i < 1000; i++ {
+		pid.Update(-100, 0.1) // large positive error, output pinned at +1
+	}
+	flips := 0
+	for i := 0; i < 5; i++ {
+		if pid.Update(100, 0.1) < 0 {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Error("output never flipped after error reversal; integral wound up")
+	}
+}
+
+func TestReset(t *testing.T) {
+	pid := New(1, 1, 1, 0, -10, 10)
+	pid.Update(5, 1)
+	pid.Update(3, 1)
+	pid.Reset()
+	// After reset, a zero-error measurement yields zero output.
+	if out := pid.Update(0, 1); out != 0 {
+		t.Errorf("output after reset = %v, want 0", out)
+	}
+}
+
+func TestOutputAlwaysWithinClamps(t *testing.T) {
+	prop := func(meas []float64) bool {
+		pid := New(2, 0.7, 0.3, 5, -2, 3)
+		for _, m := range meas {
+			out := pid.Update(m, 0.5)
+			if out < -2 || out > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnInvertedClamps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with min>max did not panic")
+		}
+	}()
+	New(1, 1, 1, 0, 5, -5)
+}

@@ -1,0 +1,130 @@
+// Package profiler derives IOCost linear cost-model parameters for a device
+// the same way the paper's open-sourced tooling does (§3.2): saturating
+// fio-style workloads measure sustainable peak 4KiB random/sequential IOPS
+// in each direction and peak large-IO bandwidth, which translate directly
+// into the six linear-model parameters.
+package profiler
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+// DeviceFactory builds a fresh instance of the device under test on the
+// given engine. Each measurement runs on a fresh device so earlier phases
+// cannot perturb later ones (e.g. by draining the write buffer).
+type DeviceFactory func(eng *sim.Engine) device.Device
+
+// Result holds the measurements of one profiling run and the derived model.
+type Result struct {
+	Params core.LinearParams
+
+	// Figure 3 quantities.
+	RandReadIOPS  float64
+	SeqReadIOPS   float64
+	RandWriteIOPS float64
+	SeqWriteIOPS  float64
+	ReadBps       float64
+	WriteBps      float64
+	ReadLatP50    sim.Time
+	WriteLatP50   sim.Time
+}
+
+// Options tunes the profiling run.
+type Options struct {
+	// Warmup is discarded before measuring; it must be long enough to
+	// exhaust SSD write buffers when measuring sustained write rates.
+	// 0 selects 2s for reads and 8s for writes.
+	Warmup sim.Time
+	// Measure is the measurement window; 0 selects 2s.
+	Measure sim.Time
+	// Depth is the saturation queue depth; 0 selects 128.
+	Depth int
+	// Seed drives device noise.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Measure == 0 {
+		o.Measure = 2 * sim.Second
+	}
+	if o.Depth == 0 {
+		o.Depth = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) warmupFor(op bio.Op) sim.Time {
+	if o.Warmup != 0 {
+		return o.Warmup
+	}
+	if op == bio.Write {
+		return 8 * sim.Second
+	}
+	return 2 * sim.Second
+}
+
+// Profile measures the device and derives linear-model parameters.
+func Profile(factory DeviceFactory, opts Options) Result {
+	opts = opts.withDefaults()
+
+	iops := func(op bio.Op, pat workload.Pattern, size int64) (float64, sim.Time) {
+		eng := sim.New()
+		dev := factory(eng)
+		q := blk.New(eng, dev, ctl.NewNone(), 0)
+		h := cgroup.NewHierarchy()
+		cg := h.Root().NewChild("fio", cgroup.DefaultWeight)
+		w := workload.NewSaturator(q, workload.SaturatorConfig{
+			CG: cg, Op: op, Pattern: pat, Size: size, Depth: opts.Depth, Seed: opts.Seed,
+		})
+		w.Start()
+		warm := opts.warmupFor(op)
+		eng.RunUntil(warm)
+		w.Stats.TakeWindow()
+		q.ReadLat.Reset()
+		q.WriteLat.Reset()
+		eng.RunUntil(warm + opts.Measure)
+		done := w.Stats.TakeWindow()
+		w.Stop()
+
+		lat := q.ReadLat
+		if op == bio.Write {
+			lat = q.WriteLat
+		}
+		return float64(done) / opts.Measure.Seconds(), sim.Time(lat.Quantile(0.5))
+	}
+
+	var r Result
+	const bwSize = 1 << 20
+	r.RandReadIOPS, r.ReadLatP50 = iops(bio.Read, workload.Random, 4096)
+	r.SeqReadIOPS, _ = iops(bio.Read, workload.Sequential, 4096)
+	r.RandWriteIOPS, r.WriteLatP50 = iops(bio.Write, workload.Random, 4096)
+	r.SeqWriteIOPS, _ = iops(bio.Write, workload.Sequential, 4096)
+	rdBW, _ := iops(bio.Read, workload.Sequential, bwSize)
+	wrBW, _ := iops(bio.Write, workload.Sequential, bwSize)
+	r.ReadBps = rdBW * bwSize
+	r.WriteBps = wrBW * bwSize
+
+	r.Params = core.LinearParams{
+		RBps: r.ReadBps, RSeqIOPS: r.SeqReadIOPS, RRandIOPS: r.RandReadIOPS,
+		WBps: r.WriteBps, WSeqIOPS: r.SeqWriteIOPS, WRandIOPS: r.RandWriteIOPS,
+	}
+	return r
+}
+
+// String renders the result in the io.cost.model configuration format.
+func (r Result) String() string {
+	return fmt.Sprintf("%s (randread %.0f IOPS @%v, randwrite %.0f IOPS @%v)",
+		r.Params, r.RandReadIOPS, r.ReadLatP50, r.RandWriteIOPS, r.WriteLatP50)
+}

@@ -1,0 +1,71 @@
+package profiler
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func TestProfileOlderGenSSD(t *testing.T) {
+	spec := device.OlderGenSSD()
+	r := Profile(func(eng *sim.Engine) device.Device {
+		return device.NewSSD(eng, spec, 42)
+	}, Options{})
+
+	// Spec implies ~89K 4k random read IOPS (8 channels / 90us).
+	wantRR := float64(spec.Parallelism) / spec.RandReadNS * 1e9
+	if r.RandReadIOPS < wantRR*0.8 || r.RandReadIOPS > wantRR*1.2 {
+		t.Errorf("rand read IOPS = %.0f, want within 20%% of %.0f", r.RandReadIOPS, wantRR)
+	}
+	// Sequential reads must beat random reads.
+	if r.SeqReadIOPS <= r.RandReadIOPS {
+		t.Errorf("seq read IOPS (%.0f) <= rand read IOPS (%.0f)", r.SeqReadIOPS, r.RandReadIOPS)
+	}
+	// Sustained write throughput must reflect buffer exhaustion: well
+	// below the buffered burst rate, in the vicinity of the sustained
+	// drain rate.
+	if r.WriteBps > spec.WriteBps*0.8 {
+		t.Errorf("sustained write bandwidth %.0f suspiciously close to burst rate %.0f; buffer model not engaged",
+			r.WriteBps, spec.WriteBps)
+	}
+	if r.WriteBps < spec.SustainedWBp*0.5 || r.WriteBps > spec.SustainedWBp*2 {
+		t.Errorf("sustained write bandwidth %.0f, want near %.0f", r.WriteBps, spec.SustainedWBp)
+	}
+	// Read bandwidth should approach the spec.
+	if r.ReadBps < spec.ReadBps*0.7 || r.ReadBps > spec.ReadBps*1.3 {
+		t.Errorf("read bandwidth %.0f, want near %.0f", r.ReadBps, spec.ReadBps)
+	}
+	if err := r.Params.Validate(); err != nil {
+		t.Errorf("derived params invalid: %v", err)
+	}
+}
+
+func TestProfileHDDRandomVsSequential(t *testing.T) {
+	spec := device.EvalHDD()
+	r := Profile(func(eng *sim.Engine) device.Device {
+		return device.NewHDD(eng, spec, 42)
+	}, Options{Warmup: 500 * sim.Millisecond, Measure: 2 * sim.Second, Depth: 16})
+
+	// A spinning disk's defining property: random IOPS are orders of
+	// magnitude below sequential IOPS.
+	if r.RandReadIOPS > r.SeqReadIOPS/10 {
+		t.Errorf("HDD rand read IOPS %.0f vs seq %.0f: random should be >10x slower",
+			r.RandReadIOPS, r.SeqReadIOPS)
+	}
+	// ~7200rpm + seeks lands random 4k reads in the 60-200 IOPS range.
+	if r.RandReadIOPS < 40 || r.RandReadIOPS > 300 {
+		t.Errorf("HDD rand read IOPS = %.0f, want 40-300", r.RandReadIOPS)
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	spec := device.NewerGenSSD()
+	opts := Options{Warmup: 200 * sim.Millisecond, Measure: 300 * sim.Millisecond, Depth: 64, Seed: 7}
+	f := func(eng *sim.Engine) device.Device { return device.NewSSD(eng, spec, 7) }
+	a := Profile(f, opts)
+	b := Profile(f, opts)
+	if a != b {
+		t.Errorf("profiling is not deterministic:\n a=%+v\n b=%+v", a, b)
+	}
+}

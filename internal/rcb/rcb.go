@@ -1,0 +1,205 @@
+// Package rcb implements ResourceControlBench (§3.4): a configurable
+// synthetic workload imitating Meta's latency-sensitive services. Each
+// request touches part of a resident working set (faulting swapped pages
+// back in), performs a small amount of storage IO, and burns simulated CPU
+// time. Offered load arrives open-loop at a configurable rate with a
+// concurrency cap, so delivered RPS degrades — and queueing latency grows —
+// exactly when memory pressure or IO contention slow requests down.
+//
+// The package also implements the paper's QoS-tuning procedure built on the
+// benchmark: sweeping pinned vrates across two scenarios to find the range
+// worth letting vrate move in.
+package rcb
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/stats"
+)
+
+// Config parameterizes a ResourceControlBench instance.
+type Config struct {
+	CG *cgroup.Node
+	// WorkingSet is the resident memory the service needs hot.
+	WorkingSet int64
+	// TouchPerReq is how much of the working set each request touches.
+	// 0 selects 256KiB.
+	TouchPerReq int64
+	// ReadPerReq is the size of each storage read; 0 selects 16KiB,
+	// negative disables storage IO.
+	ReadPerReq int64
+	// ReadsPerReq is how many serial storage reads a request performs;
+	// 0 selects 1.
+	ReadsPerReq int
+	// CPUTime is simulated computation per request; 0 selects 2ms.
+	CPUTime sim.Time
+	// Rate is offered load in requests/second.
+	Rate float64
+	// MaxConcurrency caps in-flight requests (queue beyond it is
+	// rejected and counted); 0 selects 64.
+	MaxConcurrency int
+	Seed           uint64
+}
+
+// Bench is a running ResourceControlBench instance.
+type Bench struct {
+	q    *blk.Queue
+	pool *mem.Pool
+	cfg  Config
+	rnd  *rng.Source
+	reg  int64
+
+	inflight int
+	rate     float64
+
+	// Completed counts finished requests; Rejected counts requests shed
+	// at the concurrency cap.
+	Completed stats.Counter
+	Rejected  stats.Counter
+	// Lat is end-to-end request latency.
+	Lat *stats.Histogram
+	// WinLat is the latency histogram since the last TakeWindow.
+	WinLat *stats.Histogram
+	// TouchLat and IOLat break request latency into the memory stage and
+	// the storage stage, for diagnosing which subsystem is slow.
+	TouchLat *stats.Histogram
+	IOLat    *stats.Histogram
+
+	stopped bool
+}
+
+// New builds a bench. The working set is allocated and registered hot
+// immediately.
+func New(q *blk.Queue, pool *mem.Pool, cfg Config) *Bench {
+	if cfg.TouchPerReq == 0 {
+		cfg.TouchPerReq = 256 << 10
+	}
+	if cfg.ReadPerReq == 0 {
+		cfg.ReadPerReq = 16 << 10
+	}
+	if cfg.CPUTime == 0 {
+		cfg.CPUTime = 2 * sim.Millisecond
+	}
+	if cfg.ReadsPerReq == 0 {
+		cfg.ReadsPerReq = 1
+	}
+	if cfg.MaxConcurrency == 0 {
+		cfg.MaxConcurrency = 64
+	}
+	b := &Bench{
+		q:        q,
+		pool:     pool,
+		cfg:      cfg,
+		rnd:      rng.New(cfg.Seed ^ 0x7cb),
+		rate:     cfg.Rate,
+		Lat:      stats.NewHistogram(),
+		WinLat:   stats.NewHistogram(),
+		TouchLat: stats.NewHistogram(),
+		IOLat:    stats.NewHistogram(),
+	}
+	pool.SetWorkingSet(cfg.CG, cfg.WorkingSet)
+	pool.Alloc(cfg.CG, cfg.WorkingSet, nil)
+	return b
+}
+
+// SetRate changes the offered load.
+func (b *Bench) SetRate(rps float64) {
+	if rps < 1 {
+		rps = 1
+	}
+	b.rate = rps
+}
+
+// Rate returns the current offered load.
+func (b *Bench) Rate() float64 { return b.rate }
+
+// SetWorkingSet resizes the working set, allocating or freeing the delta.
+func (b *Bench) SetWorkingSet(bytes int64) {
+	cur := b.cfg.WorkingSet
+	b.cfg.WorkingSet = bytes
+	b.pool.SetWorkingSet(b.cfg.CG, bytes)
+	if bytes > cur {
+		b.pool.Alloc(b.cfg.CG, bytes-cur, nil)
+	} else if bytes < cur {
+		b.pool.Free(b.cfg.CG, cur-bytes)
+	}
+}
+
+// Start begins serving the offered load.
+func (b *Bench) Start() { b.arrival() }
+
+// Stop ceases new arrivals.
+func (b *Bench) Stop() { b.stopped = true }
+
+func (b *Bench) arrival() {
+	if b.stopped {
+		return
+	}
+	gap := sim.Time(b.rnd.Exp(1e9 / b.rate))
+	if gap < 1 {
+		gap = 1
+	}
+	b.q.Engine().After(gap, func() {
+		b.serveOne()
+		b.arrival()
+	})
+}
+
+func (b *Bench) serveOne() {
+	if b.stopped {
+		return
+	}
+	if b.inflight >= b.cfg.MaxConcurrency {
+		b.Rejected.Inc(1)
+		return
+	}
+	b.inflight++
+	start := b.q.Now()
+	finish := func() {
+		b.inflight--
+		b.Completed.Inc(1)
+		lat := int64(b.q.Now() - start)
+		b.Lat.Observe(lat)
+		b.WinLat.Observe(lat)
+	}
+
+	// Stage 1: touch the working set (may fault swapped pages in).
+	b.pool.Touch(b.cfg.CG, b.cfg.TouchPerReq, func() {
+		b.TouchLat.Observe(int64(b.q.Now() - start))
+		ioStart := b.q.Now()
+		// Stage 2: serial storage reads, as a request fanning through a
+		// local store performs. Stage 3: CPU.
+		reads := b.cfg.ReadsPerReq
+		if b.cfg.ReadPerReq <= 0 {
+			reads = 0
+		}
+		var step func()
+		step = func() {
+			if reads == 0 {
+				b.IOLat.Observe(int64(b.q.Now() - ioStart))
+				b.q.Engine().After(b.cfg.CPUTime, finish)
+				return
+			}
+			reads--
+			b.q.Submit(&bio.Bio{
+				Op:     bio.Read,
+				Flags:  bio.Sync,
+				Off:    b.reg + b.rnd.Int63n(1<<25)*4096,
+				Size:   b.cfg.ReadPerReq,
+				CG:     b.cfg.CG,
+				OnDone: func(*bio.Bio) { step() },
+			})
+		}
+		step()
+	})
+}
+
+// RPS returns delivered requests/second over the given window given the
+// completion delta.
+func RPS(delta uint64, window sim.Time) float64 {
+	return float64(delta) / window.Seconds()
+}

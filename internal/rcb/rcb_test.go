@@ -1,0 +1,127 @@
+package rcb_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/rcb"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	q    *blk.Queue
+	pool *mem.Pool
+	cg   *cgroup.Node
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.OlderGenSSD(), 1)
+	q := blk.New(eng, dev, ctl.NewNone(), 0)
+	pool := mem.NewPool(q, mem.Config{Capacity: 4 << 30, SwapCapacity: 4 << 30, Seed: 1})
+	h := cgroup.NewHierarchy()
+	return &rig{eng, q, pool, h.Root().NewChild("svc", 100)}
+}
+
+func TestDeliversOfferedLoadWhenHealthy(t *testing.T) {
+	r := newRig(t)
+	b := rcb.New(r.q, r.pool, rcb.Config{
+		CG: r.cg, WorkingSet: 256 << 20, Rate: 500,
+		CPUTime: 1 * sim.Millisecond, Seed: 1,
+	})
+	b.Start()
+	r.eng.RunUntil(2 * sim.Second)
+	b.Completed.TakeWindow()
+	r.eng.RunUntil(6 * sim.Second)
+	rps := rcb.RPS(b.Completed.TakeWindow(), 4*sim.Second)
+	if rps < 450 || rps > 550 {
+		t.Errorf("healthy RPS = %.0f, want ~500", rps)
+	}
+	if b.Rejected.Total() > 0 {
+		t.Errorf("healthy service rejected %d requests", b.Rejected.Total())
+	}
+}
+
+func TestConcurrencyCapConvertsLatencyToLoss(t *testing.T) {
+	r := newRig(t)
+	// CPU time 50ms with only 4 workers: capacity is 80 req/s.
+	b := rcb.New(r.q, r.pool, rcb.Config{
+		CG: r.cg, WorkingSet: 64 << 20, Rate: 400,
+		CPUTime: 50 * sim.Millisecond, MaxConcurrency: 4, Seed: 1,
+	})
+	b.Start()
+	r.eng.RunUntil(4 * sim.Second)
+	rps := rcb.RPS(b.Completed.Total(), 4*sim.Second)
+	if rps > 100 {
+		t.Errorf("delivered %.0f RPS, capacity should cap near 80", rps)
+	}
+	if b.Rejected.Total() == 0 {
+		t.Error("no rejections despite offered load far above capacity")
+	}
+}
+
+func TestSetRateAndWorkingSet(t *testing.T) {
+	r := newRig(t)
+	b := rcb.New(r.q, r.pool, rcb.Config{
+		CG: r.cg, WorkingSet: 128 << 20, Rate: 100, CPUTime: sim.Millisecond, Seed: 1,
+	})
+	b.Start()
+	b.SetRate(300)
+	if b.Rate() != 300 {
+		t.Errorf("Rate = %v", b.Rate())
+	}
+	b.SetWorkingSet(256 << 20)
+	if got := r.pool.Resident(r.cg); got != 256<<20 {
+		t.Errorf("resident after grow = %d", got)
+	}
+	b.SetWorkingSet(64 << 20)
+	if got := r.pool.Resident(r.cg); got != 64<<20 {
+		t.Errorf("resident after shrink = %d", got)
+	}
+	r.eng.RunUntil(sim.Second)
+	if b.Completed.Total() == 0 {
+		t.Error("no requests completed")
+	}
+}
+
+func TestStageLatencyBreakdownRecorded(t *testing.T) {
+	r := newRig(t)
+	b := rcb.New(r.q, r.pool, rcb.Config{
+		CG: r.cg, WorkingSet: 64 << 20, Rate: 200, CPUTime: sim.Millisecond, Seed: 1,
+	})
+	b.Start()
+	r.eng.RunUntil(sim.Second)
+	if b.TouchLat.Count() == 0 || b.IOLat.Count() == 0 {
+		t.Error("stage latency histograms empty")
+	}
+	if b.Lat.Count() == 0 || b.WinLat.Count() == 0 {
+		t.Error("request latency histograms empty")
+	}
+}
+
+func TestTuneProducesValidQoS(t *testing.T) {
+	res := rcb.Tune(device.OlderGenSSD(), rcb.TuneOptions{
+		Vrates:   []float64{0.4, 0.8, 1.2},
+		Duration: 4 * sim.Second,
+		Seed:     3,
+	})
+	if err := res.QoS.Validate(); err != nil {
+		t.Fatalf("tuned QoS invalid: %v", err)
+	}
+	if res.QoS.VrateMin > res.QoS.VrateMax {
+		t.Errorf("vrate bounds inverted: %+v", res.QoS)
+	}
+	if len(res.AloneR) != 3 || len(res.LeakP95) != 3 {
+		t.Fatalf("sweep incomplete: %+v", res)
+	}
+	// Scenario 1 throughput must not decrease with more vrate.
+	if res.AloneR[2] < res.AloneR[0]*0.8 {
+		t.Errorf("throughput fell with vrate: %v", res.AloneR)
+	}
+}

@@ -1,0 +1,67 @@
+// Package ring provides a minimal FIFO queue with O(1) amortized push and
+// pop. Controllers can accumulate very large backlogs when throttling
+// overloaded workloads, so popping must not shift the remaining elements.
+package ring
+
+// Queue is a FIFO. The zero value is ready to use.
+type Queue[T any] struct {
+	items []T
+	head  int
+}
+
+// Push appends v.
+func (q *Queue[T]) Push(v T) { q.items = append(q.items, v) }
+
+// Pop removes and returns the oldest element; ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.head >= len(q.items) {
+		return v, false
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release references
+	q.head++
+	// Compact once the dead prefix dominates, keeping pop amortized O(1)
+	// without unbounded memory retention.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = zero
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.head >= len(q.items) {
+		return v, false
+	}
+	return q.items[q.head], true
+}
+
+// PeekTail returns a pointer to the newest element, or nil when empty. The
+// pointer is invalidated by the next Push or Pop.
+func (q *Queue[T]) PeekTail() *T {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return &q.items[len(q.items)-1]
+}
+
+// At returns a pointer to the i-th oldest element (0 = head). The pointer
+// is invalidated by the next Push or Pop. It panics when out of range.
+func (q *Queue[T]) At(i int) *T {
+	if i < 0 || q.head+i >= len(q.items) {
+		panic("ring: index out of range")
+	}
+	return &q.items[q.head+i]
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// Empty reports whether the queue has no elements.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }

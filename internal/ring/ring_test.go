@@ -1,0 +1,108 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop() = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[string]
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty returned ok")
+	}
+	q.Push("a")
+	q.Push("b")
+	if v, _ := q.Peek(); v != "a" {
+		t.Errorf("Peek = %q", v)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	q.Pop()
+	if v, _ := q.Peek(); v != "b" {
+		t.Errorf("Peek after pop = %q", v)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	// Property: any interleaving of pushes and pops behaves like a FIFO.
+	prop := func(ops []bool) bool {
+		var q Queue[int]
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				q.Push(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactionReleasesMemory(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10000; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 9990; i++ {
+		q.Pop()
+	}
+	// After draining most elements, the backing slice must have been
+	// compacted well below its peak.
+	if len(q.items) > 6000 {
+		t.Errorf("backing slice still %d long after compaction", len(q.items))
+	}
+	// Remaining elements intact.
+	for i := 9990; i < 10000; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("post-compaction Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue[int]
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if i%3 == 0 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs from different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs from sibling splits", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	prop := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Errorf("Exp mean = %.3f, want ~5.0", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Normal mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(sd-3) > 0.1 {
+		t.Errorf("Normal stddev = %.3f, want ~3", sd)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto(2, 1.5) = %v below xm", v)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(17)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(0, 0.5)
+	}
+	// Median of lognormal(0, s) is 1; verify with a counting argument.
+	below := 0
+	for _, v := range vals {
+		if v < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction below median = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate = %.3f", frac)
+	}
+}

@@ -1,0 +1,148 @@
+// Package scenario provides a small declarative runner for multi-phase
+// experiments — the moral equivalent of the paper's open-sourced
+// resctl-demo: a scenario is a machine plus a sequence of named phases,
+// each of which mutates the workload mix and is measured for throughput,
+// utilization, latency and controller state at its end.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Phase is one stage of a scenario.
+type Phase struct {
+	// Name labels the phase in the report.
+	Name string
+	// Dur is how long the phase runs.
+	Dur sim.Time
+	// Setup, if non-nil, runs at phase start (spawn/stop workloads,
+	// reconfigure the controller, inject a fault).
+	Setup func(m *exp.Machine)
+	// Probe, if non-nil, adds custom metrics at phase end.
+	Probe func(m *exp.Machine, metrics map[string]float64)
+}
+
+// Scenario is a machine plus its phase script.
+type Scenario struct {
+	Name    string
+	Machine exp.MachineConfig
+	Phases  []Phase
+}
+
+// PhaseResult is one phase's measurements.
+type PhaseResult struct {
+	Name    string
+	Start   sim.Time
+	Dur     sim.Time
+	Metrics map[string]float64
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Name    string
+	Machine *exp.Machine
+	Phases  []PhaseResult
+}
+
+// Run executes the scenario and returns per-phase measurements. Built-in
+// metrics per phase: iops (completions/s), mbps (issued bytes/s), util
+// (device busy fraction), read-p50/p99 and write-p99 in ms, and vrate when
+// the controller is iocost.
+func Run(s Scenario) *Result {
+	m := exp.NewMachine(s.Machine)
+	res := &Result{Name: s.Name, Machine: m}
+
+	var prevComp, prevBytes uint64
+	var prevBusy sim.Time
+	for _, ph := range s.Phases {
+		if ph.Setup != nil {
+			ph.Setup(m)
+		}
+		start := m.Eng.Now()
+		m.Q.ReadLat.Reset()
+		m.Q.WriteLat.Reset()
+		m.Run(start + ph.Dur)
+
+		metrics := map[string]float64{}
+		comp, bytes := m.Q.Completions(), m.Q.IssuedBytes()
+		busy := m.Q.BusyTime()
+		secs := ph.Dur.Seconds()
+		metrics["iops"] = float64(comp-prevComp) / secs
+		metrics["mbps"] = float64(bytes-prevBytes) / secs / 1e6
+		metrics["util"] = float64(busy-prevBusy) / float64(ph.Dur)
+		metrics["read-p50-ms"] = float64(m.Q.ReadLat.Quantile(0.5)) / 1e6
+		metrics["read-p99-ms"] = float64(m.Q.ReadLat.Quantile(0.99)) / 1e6
+		metrics["write-p99-ms"] = float64(m.Q.WriteLat.Quantile(0.99)) / 1e6
+		if m.IOCost != nil {
+			metrics["vrate"] = m.IOCost.Vrate()
+		}
+		if ph.Probe != nil {
+			ph.Probe(m, metrics)
+		}
+		prevComp, prevBytes, prevBusy = comp, bytes, busy
+
+		res.Phases = append(res.Phases, PhaseResult{
+			Name: ph.Name, Start: start, Dur: ph.Dur, Metrics: metrics,
+		})
+	}
+	return res
+}
+
+// Format renders the result as a phase table. Columns are the union of all
+// metrics, built-ins first.
+func (r *Result) Format() string {
+	builtins := []string{"iops", "mbps", "util", "read-p50-ms", "read-p99-ms", "write-p99-ms", "vrate"}
+	seen := map[string]bool{}
+	var cols []string
+	for _, c := range builtins {
+		for _, ph := range r.Phases {
+			if _, ok := ph.Metrics[c]; ok {
+				cols = append(cols, c)
+				seen[c] = true
+				break
+			}
+		}
+	}
+	for _, ph := range r.Phases {
+		for k := range ph.Metrics {
+			if !seen[k] {
+				cols = append(cols, k)
+				seen[k] = true
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n%-20s", r.Name, "phase")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, ph := range r.Phases {
+		fmt.Fprintf(&b, "%-20s", ph.Name)
+		for _, c := range cols {
+			if v, ok := ph.Metrics[c]; ok {
+				fmt.Fprintf(&b, " %12.2f", v)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Metric returns a named metric from the named phase (0 when absent), a
+// convenience for assertions in tests and demos.
+func (r *Result) Metric(phase, name string) float64 {
+	for _, ph := range r.Phases {
+		if ph.Name == phase {
+			return ph.Metrics[name]
+		}
+	}
+	return 0
+}

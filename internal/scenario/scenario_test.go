@@ -1,0 +1,87 @@
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/scenario"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+func ssdChoice(spec device.SSDSpec) exp.DeviceChoice {
+	return exp.DeviceChoice{SSD: &spec}
+}
+
+func TestScenarioPhasesAndMetrics(t *testing.T) {
+	var w *workload.Saturator
+	s := scenario.Scenario{
+		Name: "test",
+		Machine: exp.MachineConfig{
+			Device:     ssdChoice(device.OlderGenSSD()),
+			Controller: exp.KindIOCost,
+			Seed:       1,
+		},
+		Phases: []scenario.Phase{
+			{
+				Name: "idle",
+				Dur:  sim.Second,
+			},
+			{
+				Name: "loaded",
+				Dur:  2 * sim.Second,
+				Setup: func(m *exp.Machine) {
+					w = workload.NewSaturator(m.Q, workload.SaturatorConfig{
+						CG: m.Workload.NewChild("w", 100), Op: bio.Read,
+						Pattern: workload.Random, Size: 4096, Depth: 16, Seed: 1,
+					})
+					w.Start()
+				},
+				Probe: func(m *exp.Machine, metrics map[string]float64) {
+					metrics["custom"] = 42
+				},
+			},
+			{
+				Name: "stopped",
+				Dur:  sim.Second,
+				Setup: func(m *exp.Machine) {
+					w.Stop()
+				},
+			},
+		},
+	}
+	res := scenario.Run(s)
+	if len(res.Phases) != 3 {
+		t.Fatalf("got %d phases", len(res.Phases))
+	}
+	if got := res.Metric("idle", "iops"); got != 0 {
+		t.Errorf("idle iops = %v", got)
+	}
+	if got := res.Metric("loaded", "iops"); got < 10000 {
+		t.Errorf("loaded iops = %v, expected a busy device", got)
+	}
+	if got := res.Metric("loaded", "util"); got < 0.9 {
+		t.Errorf("loaded util = %v", got)
+	}
+	if got := res.Metric("loaded", "custom"); got != 42 {
+		t.Errorf("custom metric = %v", got)
+	}
+	if got := res.Metric("stopped", "iops"); got > 2000 {
+		t.Errorf("stopped iops = %v, workload should have drained", got)
+	}
+	if got := res.Metric("loaded", "vrate"); got <= 0 {
+		t.Errorf("vrate metric missing: %v", got)
+	}
+	out := res.Format()
+	for _, want := range []string{"scenario: test", "idle", "loaded", "custom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	if res.Metric("nonexistent", "iops") != 0 {
+		t.Error("missing phase should read 0")
+	}
+}

@@ -1,0 +1,216 @@
+// Package sim implements the discrete-event simulation engine underlying the
+// whole repository: a virtual clock in nanoseconds and an event heap.
+//
+// All simulated components — devices, controllers, workloads, the memory
+// subsystem — schedule callbacks on a single *Engine. The engine runs events
+// in (time, sequence) order, so simulations are fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, mirroring time.Duration but in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns t in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break so equal-time events run FIFO
+	fn   func()
+	idx  int // heap index, -1 when popped/cancelled
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ e *event }
+
+// Engine is the discrete-event simulator. The zero value is not usable; use
+// New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nrun   uint64
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun reports how many events have executed so far.
+func (e *Engine) EventsRun() uint64 { return e.nrun }
+
+// Pending reports how many events are scheduled (including cancelled ones not
+// yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before Now) panics: it always indicates a simulation bug.
+func (e *Engine) At(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran (or was cancelled) is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.e == nil || id.e.dead || id.e.idx < 0 {
+		return
+	}
+	id.e.dead = true
+}
+
+// Step runs the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.nrun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the next event would be after deadline, then
+// advances the clock to exactly deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Ticker invokes fn every period until Stop is called. The first invocation
+// occurs one period from the time of NewTicker.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	id      EventID
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period. period must be positive.
+func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.id = t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.eng.Cancel(t.id)
+}
+
+// SetPeriod changes the tick period for subsequent ticks.
+func (t *Ticker) SetPeriod(p Time) {
+	if p <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t.period = p
+}
+
+// Period returns the current tick period.
+func (t *Ticker) Period() Time { return t.period }

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events ran in order %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineEqualTimesRunFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	ran := false
+	id := e.At(10, func() { ran = true })
+	e.Cancel(id)
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestEngineCancelAfterRunIsNoop(t *testing.T) {
+	e := New()
+	id := e.At(1, func() {})
+	e.Run()
+	e.Cancel(id) // must not panic
+	e.Cancel(EventID{})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(100, func() { ran++ })
+	e.RunUntil(50)
+	if ran != 1 {
+		t.Errorf("ran %d events by t=50, want 1", ran)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now() = %v, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if ran != 2 {
+		t.Errorf("ran %d events by t=200, want 2", ran)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var got []Time
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Errorf("got %v, want [10 15]", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	var ticks []Time
+	tk := e.NewTicker(10, func() { ticks = append(ticks, e.Now()) })
+	e.RunUntil(35)
+	tk.Stop()
+	e.RunUntil(100)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (at 10,20,30): %v", len(ticks), ticks)
+	}
+	for i, at := range []Time{10, 20, 30} {
+		if ticks[i] != at {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], at)
+		}
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		ticks = append(ticks, e.Now())
+		tk.SetPeriod(20)
+	})
+	e.RunUntil(55)
+	tk.Stop()
+	// Ticks at 10, 30, 50.
+	if len(ticks) != 3 || ticks[1] != 30 || ticks[2] != 50 {
+		t.Errorf("ticks = %v, want [10 30 50]", ticks)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 1e9 {
+		t.Errorf("Second = %d ns", Second)
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := (3 * Millisecond).String(); got != "3ms" {
+		t.Errorf("String() = %q, want 3ms", got)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed uint8) []Time {
+		e := New()
+		var order []Time
+		// A bounded self-scheduling storm: each event schedules two more
+		// until the event budget is exhausted.
+		budget := 4000
+		var step func(d Time)
+		step = func(d Time) {
+			order = append(order, e.Now())
+			if budget > 0 {
+				budget -= 2
+				e.After(d, func() { step(d + 1) })
+				e.After(d*2+1, func() { step(d) })
+			}
+		}
+		e.After(Time(seed%7)+1, func() { step(3) })
+		e.Run()
+		return order
+	}
+	prop := func(seed uint8) bool {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%100)+1, func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 128 && e.Step() {
+			}
+		}
+	}
+	e.Run()
+}

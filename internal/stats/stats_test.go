@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/iocost-sim/iocost/internal/rng"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50500) > 1 {
+		t.Errorf("Mean = %v, want 50500", got)
+	}
+	if h.Max() != 100000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if h.Min() != 1000 {
+		t.Errorf("Min = %d", h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Log-bucketed histograms must answer quantiles within one bucket
+	// (~6% relative error at 16 sub-buckets).
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHistogram()
+		vals := make([]int64, 5000)
+		for i := range vals {
+			v := int64(r.Exp(2e6)) + 1
+			vals[i] = v
+			h.Observe(v)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			exact := exactQuantile(vals, q)
+			got := h.Quantile(q)
+			if exact == 0 {
+				continue
+			}
+			relerr := math.Abs(float64(got-exact)) / float64(exact)
+			if relerr > 0.10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func exactQuantile(vals []int64, q float64) int64 {
+	s := append([]int64(nil), vals...)
+	for i := 1; i < len(s); i++ { // insertion sort is fine at this size... use sort
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	r := rng.New(5)
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Observe(int64(r.Pareto(1000, 1.2)))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: Q(%v) = %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramResetAndMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(1000)
+		b.Observe(100000)
+	}
+	a.AddTo(b)
+	if b.Count() != 200 {
+		t.Errorf("merged count = %d, want 200", b.Count())
+	}
+	if b.Min() != 1000 || b.Max() != 100000 {
+		t.Errorf("merged min/max = %d/%d", b.Min(), b.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.9) != 0 {
+		t.Error("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0) // clamps to 1
+	h.Observe(math.MaxInt64)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0); q < 1 {
+		t.Errorf("Q(0) = %d", q)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Primed() {
+		t.Error("zero EWMA claims primed")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Errorf("first update = %v, want 10 (seeding)", e.Value())
+	}
+	e.Update(20)
+	if e.Value() != 15 {
+		t.Errorf("after 20: %v, want 15", e.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i), float64(i*10))
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.MeanY(); got != 55 {
+		t.Errorf("MeanY = %v, want 55", got)
+	}
+	if s.MinY() != 10 || s.MaxY() != 100 {
+		t.Errorf("MinY/MaxY = %v/%v", s.MinY(), s.MaxY())
+	}
+	if got := s.QuantileY(0.5); got != 60 {
+		t.Errorf("QuantileY(0.5) = %v, want 60", got)
+	}
+	var empty Series
+	if empty.MeanY() != 0 || empty.QuantileY(0.5) != 0 || empty.MinY() != 0 {
+		t.Error("empty series should report zeros")
+	}
+}
+
+func TestCounterWindow(t *testing.T) {
+	var c Counter
+	c.Inc(5)
+	c.Inc(3)
+	if c.TakeWindow() != 8 {
+		t.Error("first window wrong")
+	}
+	c.Inc(2)
+	if c.TakeWindow() != 2 {
+		t.Error("second window wrong")
+	}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		512:        "512.0B",
+		2048:       "2.0KiB",
+		3 << 20:    "3.0MiB",
+		1.5 * 1024: "1.5KiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i%1000000 + 1))
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		h.Observe(int64(r.Exp(1e6)))
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += h.Quantile(0.99)
+	}
+	_ = sink
+}

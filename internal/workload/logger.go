@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Logger models a service appending to a log through the page cache: it
+// dirties Chunk bytes every Interval and fsyncs every SyncEvery chunks —
+// the write-side pattern of databases and log daemons. Its IO reaches the
+// device as cgroup-charged writeback, so a low-weight logger's flood is
+// exactly what IO controllers must contain without stalling the
+// high-priority fsync()ers (the shared-filesystem interaction of §3.5).
+type Logger struct {
+	pool *mem.Pool
+	cg   *cgroup.Node
+
+	// Chunk bytes are dirtied every Interval.
+	Chunk    int64
+	Interval sim.Time
+	// SyncEvery issues an Fsync after this many chunks; 0 never syncs
+	// (pure background writeback).
+	SyncEvery int
+
+	// Written counts bytes dirtied; Syncs counts completed fsyncs.
+	// SyncLatency aggregates fsync durations.
+	Written int64
+	Syncs   uint64
+
+	chunks  int
+	stopped bool
+}
+
+// NewLogger builds a logger writing rate bytes/second in 256KiB chunks.
+func NewLogger(pool *mem.Pool, cg *cgroup.Node, rate float64, syncEvery int) *Logger {
+	const chunk = 256 << 10
+	return &Logger{
+		pool:      pool,
+		cg:        cg,
+		Chunk:     chunk,
+		Interval:  sim.Time(float64(chunk) / rate * 1e9),
+		SyncEvery: syncEvery,
+	}
+}
+
+// Start begins the write loop. Like a real thread, the next write waits for
+// any dirty-threshold stall or fsync the previous one incurred.
+func (l *Logger) Start() { l.step() }
+
+// Stop ceases writing.
+func (l *Logger) Stop() { l.stopped = true }
+
+func (l *Logger) step() {
+	if l.stopped {
+		return
+	}
+	l.pool.WriteBuffered(l.cg, l.Chunk, func() {
+		l.Written += l.Chunk
+		l.chunks++
+		next := func() {
+			l.pool.Engine().After(l.Interval, l.step)
+		}
+		if l.SyncEvery > 0 && l.chunks%l.SyncEvery == 0 {
+			l.pool.Fsync(l.cg, func() {
+				l.Syncs++
+				next()
+			})
+			return
+		}
+		next()
+	})
+}

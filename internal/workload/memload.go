@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Leaker allocates memory at a fixed rate and never frees it — the
+// misbehaving system service of §4.5. Each allocation may stall in direct
+// reclaim (swapping out someone's memory) and, under IOCost, in the
+// return-to-userspace debt throttle.
+type Leaker struct {
+	pool *mem.Pool
+	cg   *cgroup.Node
+
+	// Chunk is allocated every Interval.
+	Chunk    int64
+	Interval sim.Time
+
+	Allocated int64
+	stopped   bool
+}
+
+// NewLeaker builds a leaker that allocates rate bytes/second in 4MiB
+// chunks.
+func NewLeaker(pool *mem.Pool, cg *cgroup.Node, rate float64) *Leaker {
+	const chunk = 4 << 20
+	return &Leaker{
+		pool:     pool,
+		cg:       cg,
+		Chunk:    chunk,
+		Interval: sim.Time(float64(chunk) / rate * 1e9),
+	}
+}
+
+// Start begins leaking. The loop is closed: the next allocation is not
+// attempted until the previous one (including any reclaim it performed and
+// any debt stall) finished, as a real thread would behave.
+func (l *Leaker) Start() { l.step() }
+
+// Stop ceases allocating.
+func (l *Leaker) Stop() { l.stopped = true }
+
+func (l *Leaker) step() {
+	if l.stopped || l.pool.Dead(l.cg) {
+		return
+	}
+	l.pool.Alloc(l.cg, l.Chunk, func() {
+		l.Allocated += l.Chunk
+		l.pool.Engine().After(l.Interval, l.step)
+	})
+}
+
+// Stress touches a fixed working set at a fixed rate, like the stress(1)
+// memory consumer of §4.5: it constantly re-references its pages, faulting
+// any that reclaim swapped out.
+type Stress struct {
+	pool *mem.Pool
+	cg   *cgroup.Node
+
+	// TouchBytes of the working set are touched every Interval.
+	TouchBytes int64
+	Interval   sim.Time
+
+	Touches uint64
+	stopped bool
+}
+
+// NewStress builds a stress workload with the given working set, touching
+// it at approximately rate bytes/second.
+func NewStress(pool *mem.Pool, cg *cgroup.Node, workingSet int64, rate float64) *Stress {
+	pool.SetWorkingSet(cg, workingSet)
+	pool.Alloc(cg, workingSet, nil)
+	// Touch in fine-grained chunks: page-at-a-time referencing produces a
+	// steady fault stream, not giant waves.
+	chunk := workingSet / 64
+	if chunk < mem.PageSize {
+		chunk = mem.PageSize
+	}
+	return &Stress{
+		pool:       pool,
+		cg:         cg,
+		TouchBytes: chunk,
+		Interval:   sim.Time(float64(chunk) / rate * 1e9),
+	}
+}
+
+// Start begins touching.
+func (s *Stress) Start() { s.step() }
+
+// Stop ceases touching.
+func (s *Stress) Stop() { s.stopped = true }
+
+func (s *Stress) step() {
+	if s.stopped || s.pool.Dead(s.cg) {
+		return
+	}
+	s.pool.Touch(s.cg, s.TouchBytes, func() {
+		s.Touches++
+		s.pool.Engine().After(s.Interval, s.step)
+	})
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// DemandProfile describes a workload's steady-state IO demand, the axes of
+// Figure 4: bytes per second by direction, and how much of each direction
+// is random vs sequential.
+type DemandProfile struct {
+	Name string
+	// ReadBps and WriteBps are demanded bytes/second.
+	ReadBps  float64
+	WriteBps float64
+	// ReadRandFrac and WriteRandFrac are the random fractions in [0, 1].
+	ReadRandFrac  float64
+	WriteRandFrac float64
+	// IOSize is the request size; 0 selects 16KiB.
+	IOSize int64
+}
+
+// MetaProfiles returns IO-demand profiles shaped after the Figure 4
+// workload population: two web services with moderate, evenly mixed IO; an
+// overcommitted serverless platform; two caches doing heavy sequential IO
+// to their backing store; and two non-storage services whose IO is mostly
+// paging and software updates.
+func MetaProfiles() []DemandProfile {
+	return []DemandProfile{
+		{Name: "web-a", ReadBps: 6e6, WriteBps: 5e6, ReadRandFrac: 0.5, WriteRandFrac: 0.5},
+		{Name: "web-b", ReadBps: 9e6, WriteBps: 7e6, ReadRandFrac: 0.45, WriteRandFrac: 0.55},
+		{Name: "serverless", ReadBps: 14e6, WriteBps: 11e6, ReadRandFrac: 0.65, WriteRandFrac: 0.4},
+		{Name: "cache-a", ReadBps: 48e6, WriteBps: 35e6, ReadRandFrac: 0.1, WriteRandFrac: 0.05},
+		{Name: "cache-b", ReadBps: 30e6, WriteBps: 55e6, ReadRandFrac: 0.15, WriteRandFrac: 0.05},
+		{Name: "non-storage-a", ReadBps: 0.8e6, WriteBps: 0.5e6, ReadRandFrac: 0.8, WriteRandFrac: 0.3},
+		{Name: "non-storage-b", ReadBps: 1.5e6, WriteBps: 0.9e6, ReadRandFrac: 0.7, WriteRandFrac: 0.4},
+	}
+}
+
+// Replayer issues IO matching a DemandProfile: open-loop arrivals at the
+// demanded rates with the demanded random/sequential mix.
+type Replayer struct {
+	q       *blk.Queue
+	cg      *cgroup.Node
+	profile DemandProfile
+	rnd     *rng.Source
+	randReg region
+	seqReg  region
+
+	ReadStats  *Stats
+	WriteStats *Stats
+	stopped    bool
+}
+
+// NewReplayer builds a profile replayer.
+func NewReplayer(q *blk.Queue, cg *cgroup.Node, p DemandProfile, base int64, seed uint64) *Replayer {
+	if p.IOSize <= 0 {
+		p.IOSize = 16 << 10
+	}
+	r := rng.New(seed ^ 0x4e4f)
+	return &Replayer{
+		q: q, cg: cg, profile: p, rnd: r,
+		randReg:    region{base: base, size: 8 << 30, rnd: r.Split()},
+		seqReg:     region{base: base + (8 << 30), size: 8 << 30, rnd: r.Split()},
+		ReadStats:  newStats(),
+		WriteStats: newStats(),
+	}
+}
+
+// Start begins both arrival streams.
+func (w *Replayer) Start() {
+	if w.profile.ReadBps > 0 {
+		w.loop(bio.Read, w.profile.ReadBps, w.profile.ReadRandFrac)
+	}
+	if w.profile.WriteBps > 0 {
+		w.loop(bio.Write, w.profile.WriteBps, w.profile.WriteRandFrac)
+	}
+}
+
+// Stop ceases issuing.
+func (w *Replayer) Stop() { w.stopped = true }
+
+func (w *Replayer) loop(op bio.Op, bps, randFrac float64) {
+	if w.stopped {
+		return
+	}
+	gap := sim.Time(float64(w.profile.IOSize) / bps * 1e9)
+	if gap < 1 {
+		gap = 1
+	}
+	w.q.Engine().After(gap, func() {
+		if w.stopped {
+			return
+		}
+		pat, reg := Sequential, &w.seqReg
+		if w.rnd.Bool(randFrac) {
+			pat, reg = Random, &w.randReg
+		}
+		st := w.ReadStats
+		if op == bio.Write {
+			st = w.WriteStats
+		}
+		w.q.Submit(&bio.Bio{
+			Op:   op,
+			Off:  reg.offset(pat, w.profile.IOSize),
+			Size: w.profile.IOSize,
+			CG:   w.cg,
+			OnDone: func(b *bio.Bio) {
+				st.observe(b)
+			},
+		})
+		w.loop(op, bps, randFrac)
+	})
+}

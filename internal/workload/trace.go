@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// TraceOp is one record of an IO trace.
+type TraceOp struct {
+	// At is the issue time relative to trace start.
+	At sim.Time
+	Op bio.Op
+	// Off and Size are in bytes.
+	Off  int64
+	Size int64
+}
+
+// ParseTrace reads a whitespace-separated trace with one operation per
+// line:
+//
+//	<time-us> <r|w> <offset-bytes> <size-bytes>
+//
+// Empty lines and lines starting with '#' are skipped. Records must be in
+// non-decreasing time order.
+func ParseTrace(r io.Reader) ([]TraceOp, error) {
+	var ops []TraceOp
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", lineNo, len(f))
+		}
+		tUS, err := strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: time: %v", lineNo, err)
+		}
+		var op bio.Op
+		switch strings.ToLower(f[1]) {
+		case "r", "read":
+			op = bio.Read
+		case "w", "write":
+			op = bio.Write
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: op %q", lineNo, f[1])
+		}
+		off, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: offset: %v", lineNo, err)
+		}
+		size, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad size %q", lineNo, f[3])
+		}
+		at := sim.Time(tUS * float64(sim.Microsecond))
+		if len(ops) > 0 && at < ops[len(ops)-1].At {
+			return nil, fmt.Errorf("workload: trace line %d: time goes backwards", lineNo)
+		}
+		ops = append(ops, TraceOp{At: at, Op: op, Off: off, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// TraceReplayer issues a recorded trace against a queue, open-loop at the
+// trace's own timing (optionally time-scaled).
+type TraceReplayer struct {
+	q   *blk.Queue
+	cg  *cgroup.Node
+	ops []TraceOp
+	// Speed scales replay: 2.0 issues the trace twice as fast. 0 selects
+	// 1.0.
+	Speed float64
+
+	Stats   *Stats
+	idx     int
+	stopped bool
+}
+
+// NewTraceReplayer builds a replayer for ops, charged to cg.
+func NewTraceReplayer(q *blk.Queue, cg *cgroup.Node, ops []TraceOp) *TraceReplayer {
+	return &TraceReplayer{q: q, cg: cg, ops: ops, Speed: 1.0, Stats: newStats()}
+}
+
+// Start begins replay from the current simulated time.
+func (w *TraceReplayer) Start() {
+	if w.Speed == 0 {
+		w.Speed = 1.0
+	}
+	w.scheduleNext(w.q.Now())
+}
+
+// Stop ceases issuing.
+func (w *TraceReplayer) Stop() { w.stopped = true }
+
+// Done reports whether the whole trace has been issued.
+func (w *TraceReplayer) Done() bool { return w.idx >= len(w.ops) }
+
+func (w *TraceReplayer) scheduleNext(base sim.Time) {
+	if w.stopped || w.idx >= len(w.ops) {
+		return
+	}
+	op := w.ops[w.idx]
+	at := base + sim.Time(float64(op.At)/w.Speed)
+	if now := w.q.Now(); at < now {
+		at = now
+	}
+	w.q.Engine().At(at, func() {
+		if w.stopped {
+			return
+		}
+		w.idx++
+		w.q.Submit(&bio.Bio{
+			Op:   op.Op,
+			Off:  op.Off,
+			Size: op.Size,
+			CG:   w.cg,
+			OnDone: func(b *bio.Bio) {
+				w.Stats.observe(b)
+			},
+		})
+		w.scheduleNext(base)
+	})
+}

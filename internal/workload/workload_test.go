@@ -1,0 +1,281 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+func newRig(t *testing.T) (*sim.Engine, *blk.Queue, *cgroup.Node) {
+	t.Helper()
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.OlderGenSSD(), 1)
+	q := blk.New(eng, dev, ctl.NewNone(), 0)
+	h := cgroup.NewHierarchy()
+	return eng, q, h.Root().NewChild("w", 100)
+}
+
+func TestSaturatorKeepsDepth(t *testing.T) {
+	eng, q, cg := newRig(t)
+	w := workload.NewSaturator(q, workload.SaturatorConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 8, Seed: 1,
+	})
+	w.Start()
+	eng.RunUntil(100 * sim.Millisecond)
+	if got := q.InFlight() + int(0); got != 8 {
+		t.Errorf("in flight = %d, want depth 8", got)
+	}
+	w.Stop()
+	eng.RunUntil(200 * sim.Millisecond)
+	if q.InFlight() != 0 {
+		t.Errorf("in flight after Stop = %d", q.InFlight())
+	}
+	if w.Stats.Done == 0 || w.Stats.Bytes != w.Stats.Done*4096 {
+		t.Errorf("stats inconsistent: %+v", w.Stats)
+	}
+}
+
+func TestSaturatorSequentialOffsets(t *testing.T) {
+	eng, q, cg := newRig(t)
+	var offs []int64
+	w := workload.NewSaturator(q, workload.SaturatorConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Sequential, Size: 4096, Depth: 1, Seed: 1,
+	})
+	w.Start()
+	for i := 0; i < 50 && eng.Step(); i++ {
+	}
+	_ = offs
+	// Sequential issue must advance contiguously: check via stats region
+	// behaviour — issue 100 ops, all bytes accounted.
+	eng.RunUntil(50 * sim.Millisecond)
+	if w.Stats.Done == 0 {
+		t.Fatal("no sequential completions")
+	}
+}
+
+func TestThinkTimeIsSerial(t *testing.T) {
+	eng, q, cg := newRig(t)
+	w := workload.NewThinkTime(q, workload.ThinkTimeConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Random, Size: 4096,
+		Think: 1 * sim.Millisecond, Seed: 1,
+	})
+	w.Start()
+	eng.RunUntil(sim.Second)
+	// Serial with 1ms think + ~100us service: ~900 ops/sec.
+	got := w.Stats.Done
+	if got < 700 || got > 1100 {
+		t.Errorf("think-time ops = %d, want ~900", got)
+	}
+}
+
+func TestLoadShedderHoldsLatencyTarget(t *testing.T) {
+	eng, q, cg := newRig(t)
+	w := workload.NewLoadShedder(q, workload.LoadShedderConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Random, Size: 4096,
+		Target: 200 * sim.Microsecond, Seed: 1,
+	})
+	w.Start()
+	eng.RunUntil(2 * sim.Second)
+	w.Stats.Latency.Reset()
+	eng.RunUntil(4 * sim.Second)
+	p50 := sim.Time(w.Stats.Latency.Quantile(0.5))
+	// The shedder must stabilize with p50 near its target (it raises
+	// rate until the device pushes latency to the target).
+	if p50 > 2*(200*sim.Microsecond) {
+		t.Errorf("load shedder p50 = %v, far above its 200us target", p50)
+	}
+	if w.Rate() < 1000 {
+		t.Errorf("shedder rate collapsed to %.0f on an idle device", w.Rate())
+	}
+}
+
+func TestLoadShedderBacksOffUnderImpossibleTarget(t *testing.T) {
+	eng, q, cg := newRig(t)
+	// Target far below the device's unloaded latency: the shedder must
+	// shed to its floor rather than oscillate upward.
+	w := workload.NewLoadShedder(q, workload.LoadShedderConfig{
+		CG: cg, Op: bio.Read, Pattern: workload.Random, Size: 4096,
+		Target: 10 * sim.Microsecond, Seed: 1,
+	})
+	w.Start()
+	eng.RunUntil(2 * sim.Second)
+	if w.Rate() > 200 {
+		t.Errorf("rate = %.0f despite impossible latency target", w.Rate())
+	}
+}
+
+func TestReplayerApproximatesDemand(t *testing.T) {
+	eng, q, cg := newRig(t)
+	p := workload.DemandProfile{
+		Name: "x", ReadBps: 20e6, WriteBps: 10e6,
+		ReadRandFrac: 0.5, WriteRandFrac: 0.5,
+	}
+	r := workload.NewReplayer(q, cg, p, 0, 3)
+	r.Start()
+	eng.RunUntil(4 * sim.Second)
+	rb := float64(r.ReadStats.Bytes) / 4
+	wb := float64(r.WriteStats.Bytes) / 4
+	if rb < 17e6 || rb > 23e6 {
+		t.Errorf("read demand = %.0f B/s, want ~20e6", rb)
+	}
+	if wb < 8e6 || wb > 12e6 {
+		t.Errorf("write demand = %.0f B/s, want ~10e6", wb)
+	}
+}
+
+func TestMetaProfilesShape(t *testing.T) {
+	ps := workload.MetaProfiles()
+	if len(ps) != 7 {
+		t.Fatalf("expected 7 profiles, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.ReadBps <= 0 || p.WriteBps <= 0 {
+			t.Errorf("%s: non-positive demand", p.Name)
+		}
+		if p.ReadRandFrac < 0 || p.ReadRandFrac > 1 || p.WriteRandFrac < 0 || p.WriteRandFrac > 1 {
+			t.Errorf("%s: fractions out of range", p.Name)
+		}
+	}
+}
+
+func TestLoggerWritebackAndFsync(t *testing.T) {
+	eng, q, cg := newRig(t)
+	pool := mem.NewPool(q, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	pool.StartWriteback(0)
+	l := workload.NewLogger(pool, cg, 20e6, 8)
+	l.Start()
+	eng.RunUntil(3 * sim.Second)
+	l.Stop()
+	if l.Written < 40<<20 {
+		t.Errorf("logger wrote only %d bytes in 3s at 20MB/s", l.Written)
+	}
+	if l.Syncs == 0 {
+		t.Error("no fsyncs completed")
+	}
+	if pool.Writebacks == 0 {
+		t.Error("no writeback IO issued")
+	}
+}
+
+func TestLoggerThrottledByIOCostWeights(t *testing.T) {
+	// A heavy low-weight logger's writeback floods the device; a
+	// high-weight reader must keep most of its throughput because
+	// writeback is charged to the dirtying cgroup.
+	eng := sim.New()
+	spec := device.OlderGenSSD()
+	c := core.New(core.Config{
+		Model: core.MustLinearModel(core.LinearParams{
+			RBps: spec.ReadBps, RSeqIOPS: 110000, RRandIOPS: 88000,
+			WBps: spec.SustainedWBp, WSeqIOPS: 98000, WRandIOPS: 80000,
+		}),
+		QoS: core.QoS{
+			RPct: 90, RLat: 500 * sim.Microsecond,
+			WPct: 90, WLat: 65 * sim.Millisecond,
+			VrateMin: 0.5, VrateMax: 1.2,
+		},
+	})
+	dev := device.NewSSD(eng, spec, 1)
+	q := blk.New(eng, dev, c, 0)
+	h := cgroup.NewHierarchy()
+	reader := h.Root().NewChild("reader", 800)
+	logCG := h.Root().NewChild("logger", 50)
+
+	pool := mem.NewPool(q, mem.Config{Capacity: 2 << 30, SwapCapacity: 2 << 30, Seed: 2})
+	pool.StartWriteback(0)
+
+	rd := workload.NewSaturator(q, workload.SaturatorConfig{
+		CG: reader, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 16, Seed: 3,
+	})
+	rd.Start()
+	eng.RunUntil(sim.Second)
+	rd.Stats.TakeWindow()
+	eng.RunUntil(2 * sim.Second)
+	baseline := rd.Stats.TakeWindow()
+
+	lg := workload.NewLogger(pool, logCG, 300e6, 0) // dirty far beyond drain rate
+	lg.Start()
+	eng.RunUntil(4 * sim.Second)
+	rd.Stats.TakeWindow()
+	eng.RunUntil(6 * sim.Second)
+	contended := rd.Stats.TakeWindow()
+
+	if float64(contended) < 0.6*float64(baseline) {
+		t.Errorf("reader dropped from %d to %d IOPS under a low-weight logger's writeback",
+			baseline/2, contended/2)
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	in := `# time-us op offset size
+0    r 4096 4096
+100  w 8192 65536
+
+250.5 read 0 4096
+`
+	ops, err := workload.ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("parsed %d ops, want 3", len(ops))
+	}
+	if ops[0].Op != bio.Read || ops[0].Off != 4096 {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if ops[1].Op != bio.Write || ops[1].At != 100*sim.Microsecond || ops[1].Size != 65536 {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+	if ops[2].At != sim.Time(250.5*1000) {
+		t.Errorf("op2 time = %v", ops[2].At)
+	}
+
+	bad := []string{
+		"0 r 4096",                 // missing field
+		"0 x 0 4096",               // bad op
+		"0 r 0 0",                  // zero size
+		"100 r 0 4096\n0 w 0 4096", // time backwards
+		"abc r 0 4096",             // bad time
+	}
+	for _, in := range bad {
+		if _, err := workload.ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted", in)
+		}
+	}
+}
+
+func TestTraceReplayTiming(t *testing.T) {
+	eng, q, cg := newRig(t)
+	ops := []workload.TraceOp{
+		{At: 0, Op: bio.Read, Off: 4096, Size: 4096},
+		{At: 10 * sim.Millisecond, Op: bio.Write, Off: 8192, Size: 4096},
+		{At: 20 * sim.Millisecond, Op: bio.Read, Off: 16384, Size: 4096},
+	}
+	w := workload.NewTraceReplayer(q, cg, ops)
+	w.Start()
+	eng.RunUntil(100 * sim.Millisecond)
+	if !w.Done() {
+		t.Fatal("trace not fully issued")
+	}
+	if w.Stats.Done != 3 {
+		t.Fatalf("completed %d ops, want 3", w.Stats.Done)
+	}
+
+	// Replay at 2x speed finishes issuing by ~10ms.
+	eng2, q2, cg2 := newRig(t)
+	w2 := workload.NewTraceReplayer(q2, cg2, ops)
+	w2.Speed = 2.0
+	w2.Start()
+	eng2.RunUntil(11 * sim.Millisecond)
+	if !w2.Done() {
+		t.Error("2x replay did not finish issuing by 11ms")
+	}
+}

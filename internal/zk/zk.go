@@ -1,0 +1,336 @@
+// Package zk simulates the stacked ZooKeeper-like coordination service of
+// §4.6: ensembles of participants spread across machines, quorum-replicated
+// writes that append synchronously to per-participant transaction logs,
+// reads served mostly from memory, and periodic in-memory database snapshots
+// that produce momentary write spikes. Operation latencies are tracked
+// against a one-second SLO per ensemble.
+package zk
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/stats"
+)
+
+// Config parameterizes a cluster. Zero values select the paper's setup
+// scaled to simulation length: twelve ensembles of five participants over
+// five machines, 3000 reads/s and 100 writes/s per ensemble, 100KB payloads
+// with a twelfth noisy ensemble at 300KB.
+type Config struct {
+	Machines     int
+	Ensembles    int
+	Participants int
+	Quorum       int
+
+	ReadRate  float64 // reads/sec per ensemble
+	WriteRate float64 // writes/sec per ensemble
+
+	PayloadSize      int64 // well-behaved ensembles
+	NoisyPayloadSize int64 // the last ensemble
+	// ReadSampleRate is the fraction of reads that miss the page cache
+	// and hit the device; the rest complete at memory speed.
+	ReadSampleRate float64
+
+	// SnapshotEvery triggers a snapshot after this many transactions on a
+	// participant. The paper's service snapshots every 500000 txns; scale
+	// this down proportionally to shortened simulation runs.
+	SnapshotEvery uint64
+	// SnapshotBytes is the in-memory database size written per snapshot.
+	SnapshotBytes int64
+
+	// SLO is the per-operation latency objective (1s in production).
+	SLO sim.Time
+	// Window is the SLO evaluation window for p99 (10s windows by
+	// default).
+	Window sim.Time
+
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == 0 {
+		c.Machines = 5
+	}
+	if c.Ensembles == 0 {
+		c.Ensembles = 12
+	}
+	if c.Participants == 0 {
+		c.Participants = 5
+	}
+	if c.Quorum == 0 {
+		c.Quorum = c.Participants/2 + 1
+	}
+	if c.ReadRate == 0 {
+		c.ReadRate = 3000
+	}
+	if c.WriteRate == 0 {
+		c.WriteRate = 100
+	}
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 100 << 10
+	}
+	if c.NoisyPayloadSize == 0 {
+		c.NoisyPayloadSize = 300 << 10
+	}
+	if c.ReadSampleRate == 0 {
+		c.ReadSampleRate = 0.02
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4000
+	}
+	if c.SnapshotBytes == 0 {
+		c.SnapshotBytes = 1 << 30
+	}
+	if c.SLO == 0 {
+		c.SLO = sim.Second
+	}
+	if c.Window == 0 {
+		c.Window = 10 * sim.Second
+	}
+	return c
+}
+
+// Violation is one SLO violation window of an ensemble.
+type Violation struct {
+	Ensemble int
+	At       sim.Time
+	P99      sim.Time
+}
+
+// Cluster is a running simulation of the stacked deployment.
+type Cluster struct {
+	cfg     Config
+	queues  []*blk.Queue
+	rnd     *rng.Source
+	ens     []*ensemble
+	stopped bool
+
+	// Violations collects SLO violation windows of the well-behaved
+	// ensembles (the noisy ensemble is excluded, as in Figure 16).
+	Violations []Violation
+}
+
+type ensemble struct {
+	id      int
+	noisy   bool
+	parts   []*participant
+	payload int64
+	winLat  *stats.Histogram
+	// AllLat aggregates operation latency over the whole run.
+	AllLat *stats.Histogram
+}
+
+type participant struct {
+	q      *blk.Queue
+	cg     *cgroup.Node
+	logOff int64
+	logPos int64
+	snapAt int64
+	txns   uint64
+}
+
+// CGFor returns the cgroup for ensemble e's participant p on machine m.
+type CGFor func(machine, ensemble int) *cgroup.Node
+
+// NewCluster builds the cluster over pre-built per-machine block queues.
+// Participant p of ensemble e lives on machine (e+p) mod len(queues), so no
+// two participants of an ensemble share a machine (given enough machines).
+func NewCluster(queues []*blk.Queue, cgFor CGFor, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	if len(queues) != cfg.Machines {
+		panic("zk: queue count must match cfg.Machines")
+	}
+	c := &Cluster{cfg: cfg, queues: queues, rnd: rng.New(cfg.Seed ^ 0x7a6b)}
+	for e := 0; e < cfg.Ensembles; e++ {
+		ens := &ensemble{
+			id:      e,
+			noisy:   e == cfg.Ensembles-1,
+			payload: cfg.PayloadSize,
+			winLat:  stats.NewHistogram(),
+			AllLat:  stats.NewHistogram(),
+		}
+		if ens.noisy {
+			ens.payload = cfg.NoisyPayloadSize
+		}
+		for p := 0; p < cfg.Participants; p++ {
+			m := (e + p) % cfg.Machines
+			ens.parts = append(ens.parts, &participant{
+				q:      queues[m],
+				cg:     cgFor(m, e),
+				logOff: int64(e) << 33, // distinct log regions
+			})
+		}
+		c.ens = append(c.ens, ens)
+	}
+	return c
+}
+
+// Start begins traffic and SLO evaluation.
+func (c *Cluster) Start() {
+	eng := c.queues[0].Engine()
+	for _, e := range c.ens {
+		c.writeLoop(e)
+		c.readLoop(e)
+	}
+	eng.NewTicker(c.cfg.Window, c.evaluate)
+}
+
+// Stop ceases new operations.
+func (c *Cluster) Stop() { c.stopped = true }
+
+func (c *Cluster) writeLoop(e *ensemble) {
+	if c.stopped {
+		return
+	}
+	eng := c.queues[0].Engine()
+	gap := sim.Time(c.rnd.Exp(1e9 / c.cfg.WriteRate))
+	eng.After(gap, func() {
+		if !c.stopped {
+			c.writeOp(e)
+			c.writeLoop(e)
+		}
+	})
+}
+
+// writeOp replicates one transaction: every participant appends the payload
+// to its log synchronously; the operation completes at quorum.
+func (c *Cluster) writeOp(e *ensemble) {
+	eng := c.queues[0].Engine()
+	start := eng.Now()
+	acks := 0
+	done := false
+	for _, p := range c.parts(e) {
+		p := p
+		p.q.Submit(&bio.Bio{
+			Op:    bio.Write,
+			Flags: bio.Sync, // log appends are synchronous writes
+			Off:   p.logOff + p.logPos,
+			Size:  e.payload,
+			CG:    p.cg,
+			OnDone: func(*bio.Bio) {
+				acks++
+				if acks == c.cfg.Quorum && !done {
+					done = true
+					lat := int64(eng.Now() - start)
+					e.winLat.Observe(lat)
+					e.AllLat.Observe(lat)
+				}
+			},
+		})
+		p.logPos += e.payload
+		p.txns++
+		if p.txns%c.cfg.SnapshotEvery == 0 {
+			c.snapshot(p)
+		}
+	}
+}
+
+// snapshot writes the in-memory database as a spike of large sequential
+// writes. The snapshot thread streams through the page cache, so writeback
+// keeps a bounded window of chunks in flight rather than dumping the whole
+// database into the block layer at once.
+func (c *Cluster) snapshot(p *participant) {
+	const chunk = 1 << 20
+	const window = 64
+	base := p.logOff + (1 << 32) + p.snapAt
+	p.snapAt += c.cfg.SnapshotBytes
+	var off int64
+	inFlight := 0
+	var pump func()
+	pump = func() {
+		for inFlight < window && off < c.cfg.SnapshotBytes {
+			sz := chunk
+			inFlight++
+			p.q.Submit(&bio.Bio{
+				Op:   bio.Write,
+				Off:  base + off,
+				Size: int64(sz),
+				CG:   p.cg,
+				OnDone: func(*bio.Bio) {
+					inFlight--
+					pump()
+				},
+			})
+			off += int64(sz)
+		}
+	}
+	pump()
+}
+
+func (c *Cluster) readLoop(e *ensemble) {
+	if c.stopped {
+		return
+	}
+	eng := c.queues[0].Engine()
+	// Only cache-missing reads are simulated as device IO; cache hits
+	// complete at memory speed and cannot violate a 1s SLO, so they are
+	// accounted without events.
+	missRate := c.cfg.ReadRate * c.cfg.ReadSampleRate
+	gap := sim.Time(c.rnd.Exp(1e9 / missRate))
+	eng.After(gap, func() {
+		if c.stopped {
+			return
+		}
+		p := e.parts[c.rnd.Intn(len(e.parts))]
+		start := eng.Now()
+		p.q.Submit(&bio.Bio{
+			Op:    bio.Read,
+			Flags: bio.Sync,
+			Off:   p.logOff + c.rnd.Int63n(1<<22)*4096,
+			Size:  16 << 10,
+			CG:    p.cg,
+			OnDone: func(*bio.Bio) {
+				lat := int64(eng.Now() - start)
+				e.winLat.Observe(lat)
+				e.AllLat.Observe(lat)
+			},
+		})
+		c.readLoop(e)
+	})
+}
+
+func (c *Cluster) parts(e *ensemble) []*participant { return e.parts }
+
+// evaluate closes one SLO window for each well-behaved ensemble.
+func (c *Cluster) evaluate() {
+	now := c.queues[0].Engine().Now()
+	for _, e := range c.ens {
+		if e.winLat.Count() > 0 && !e.noisy {
+			p99 := sim.Time(e.winLat.Quantile(0.99))
+			if p99 > c.cfg.SLO {
+				c.Violations = append(c.Violations, Violation{
+					Ensemble: e.id, At: now, P99: p99,
+				})
+			}
+		}
+		e.winLat.Reset()
+	}
+}
+
+// ViolationCount returns the number of SLO violation windows recorded.
+func (c *Cluster) ViolationCount() int { return len(c.Violations) }
+
+// WorstP99 returns the worst violating window's p99, or 0.
+func (c *Cluster) WorstP99() sim.Time {
+	var worst sim.Time
+	for _, v := range c.Violations {
+		if v.P99 > worst {
+			worst = v.P99
+		}
+	}
+	return worst
+}
+
+// P99All returns the overall p99 of the well-behaved ensembles.
+func (c *Cluster) P99All() sim.Time {
+	agg := stats.NewHistogram()
+	for _, e := range c.ens {
+		if !e.noisy {
+			e.AllLat.AddTo(agg)
+		}
+	}
+	return sim.Time(agg.Quantile(0.99))
+}

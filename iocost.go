@@ -1,0 +1,293 @@
+// Package iocost is a simulation-backed reproduction of IOCost, the block IO
+// controller for containerized datacenters described in "IOCost: Block IO
+// Control for Containers in Datacenters" (ASPLOS 2022). It bundles a
+// deterministic discrete-event simulation of the Linux block layer, storage
+// devices, the cgroup hierarchy and the memory-management subsystem with
+// implementations of IOCost and every baseline controller the paper
+// evaluates (mq-deadline, kyber, blk-throttle, BFQ, io.latency).
+//
+// The top-level entry point is a Machine: a simulated host with one device,
+// one IO controller, a cgroup hierarchy and optionally a memory pool.
+// Workloads issue IO against cgroups; the simulation runs on a virtual clock
+// so experiments are fast and perfectly repeatable.
+//
+//	spec := iocost.OlderGenSSD()
+//	m := iocost.NewMachine(iocost.MachineConfig{
+//		Device:     iocost.SSD(spec),
+//		Controller: iocost.ControllerIOCost,
+//	})
+//	hi := m.Workload.NewChild("hi", 200)
+//	lo := m.Workload.NewChild("lo", 100)
+//	... attach workloads, m.Run(10 * iocost.Second) ...
+//
+// Everything the paper's evaluation measures is available under the
+// experiment harness (the iocost-bench command and the bench suite).
+package iocost
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/profiler"
+	"github.com/iocost-sim/iocost/internal/rcb"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+	"github.com/iocost-sim/iocost/internal/zk"
+)
+
+// Simulated time. Time is in nanoseconds on the virtual clock.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Engine is the discrete-event simulation engine.
+type Engine = sim.Engine
+
+// NewEngine returns a fresh simulation engine, for multi-machine topologies
+// that share one virtual clock via MachineConfig.Engine.
+func NewEngine() *Engine { return sim.New() }
+
+// Controller kind names accepted by MachineConfig.Controller.
+const (
+	ControllerNone      = exp.KindNone
+	ControllerMQDL      = exp.KindMQDL
+	ControllerKyber     = exp.KindKyber
+	ControllerThrottle  = exp.KindThrottle
+	ControllerBFQ       = exp.KindBFQ
+	ControllerIOLatency = exp.KindIOLatency
+	ControllerIOCost    = exp.KindIOCost
+)
+
+// Machine is a fully assembled simulated host. See exp.Machine for fields:
+// Q (the block queue), Workload/System/HostCritical (the Figure 1 cgroup
+// slices), IOCost (the controller, when selected) and Mem (the optional
+// memory pool).
+type Machine = exp.Machine
+
+// MachineConfig configures NewMachine.
+type MachineConfig = exp.MachineConfig
+
+// DeviceChoice selects the device model; construct with SSD, HDD or Remote.
+type DeviceChoice = exp.DeviceChoice
+
+// NewMachine assembles a host from cfg.
+func NewMachine(cfg MachineConfig) *Machine { return exp.NewMachine(cfg) }
+
+// SSD selects a flash device model.
+func SSD(spec SSDSpec) DeviceChoice { return DeviceChoice{SSD: &spec} }
+
+// HDD selects a spinning-disk model.
+func HDD(spec HDDSpec) DeviceChoice { return DeviceChoice{HDD: &spec} }
+
+// Remote selects a cloud block-store model.
+func Remote(spec RemoteSpec) DeviceChoice { return DeviceChoice{Remote: &spec} }
+
+// Device models.
+type (
+	// SSDSpec parameterizes a flash device.
+	SSDSpec = device.SSDSpec
+	// HDDSpec parameterizes a spinning disk.
+	HDDSpec = device.HDDSpec
+	// RemoteSpec parameterizes a cloud volume.
+	RemoteSpec = device.RemoteSpec
+)
+
+// Stock device profiles used throughout the paper's evaluation.
+var (
+	OlderGenSSD   = device.OlderGenSSD
+	NewerGenSSD   = device.NewerGenSSD
+	EnterpriseSSD = device.EnterpriseSSD
+	EvalHDD       = device.EvalHDD
+	EBSgp3        = device.EBSgp3
+	EBSio2        = device.EBSio2
+	GCPBalanced   = device.GCPBalanced
+	GCPSSD        = device.GCPSSD
+)
+
+// The IOCost controller and its configuration.
+type (
+	// Controller is the IOCost controller itself.
+	Controller = core.Controller
+	// ControllerConfig parameterizes IOCost (cost model, QoS, ablation
+	// switches). Used as MachineConfig.IOCostCfg.
+	ControllerConfig = core.Config
+	// QoS is the device quality-of-service configuration (§3.3).
+	QoS = core.QoS
+	// LinearParams is the six-parameter linear cost model configuration
+	// (Figure 6).
+	LinearParams = core.LinearParams
+	// LinearModel is the compiled linear cost model.
+	LinearModel = core.LinearModel
+	// Model is the pluggable cost-model interface.
+	Model = core.Model
+	// ModelFunc adapts a function to Model.
+	ModelFunc = core.ModelFunc
+	// PeriodStats is the planning path's per-period telemetry.
+	PeriodStats = core.PeriodStats
+)
+
+// NewLinearModel compiles linear cost-model parameters.
+func NewLinearModel(p LinearParams) (*LinearModel, error) { return core.NewLinearModel(p) }
+
+// MustLinearModel is NewLinearModel that panics on error.
+func MustLinearModel(p LinearParams) *LinearModel { return core.MustLinearModel(p) }
+
+// DefaultQoS returns permissive starting QoS parameters.
+func DefaultQoS() QoS { return core.DefaultQoS() }
+
+// TunedQoS derives §3.4-style QoS parameters for an SSD.
+var TunedQoS = exp.TunedQoS
+
+// IdealParams derives cost-model parameters analytically from an SSD spec.
+var IdealParams = exp.IdealParams
+
+// Cgroups.
+type (
+	// CGroup is one node of the weight hierarchy.
+	CGroup = cgroup.Node
+	// Hierarchy is the cgroup tree.
+	Hierarchy = cgroup.Hierarchy
+)
+
+// NewHierarchy returns a fresh cgroup tree.
+func NewHierarchy() *Hierarchy { return cgroup.NewHierarchy() }
+
+// Block layer and IO types.
+type (
+	// Queue is the per-device block layer.
+	Queue = blk.Queue
+	// Bio is one block IO request.
+	Bio = bio.Bio
+	// Op is a request direction.
+	Op = bio.Op
+	// Flags are request attributes.
+	Flags = bio.Flags
+)
+
+// Request directions and flags.
+const (
+	Read  = bio.Read
+	Write = bio.Write
+	Sync  = bio.Sync
+	Swap  = bio.Swap
+	Meta  = bio.Meta
+)
+
+// Memory subsystem.
+type (
+	// MemPool is the simulated memory subsystem.
+	MemPool = mem.Pool
+	// MemConfig parameterizes it. Used as MachineConfig.Mem.
+	MemConfig = mem.Config
+)
+
+// Workloads.
+type (
+	// Saturator keeps a fixed queue depth of IO outstanding (fio-style).
+	Saturator = workload.Saturator
+	// SaturatorConfig configures a Saturator.
+	SaturatorConfig = workload.SaturatorConfig
+	// LoadShedder is a latency-target online-service workload.
+	LoadShedder = workload.LoadShedder
+	// LoadShedderConfig configures a LoadShedder.
+	LoadShedderConfig = workload.LoadShedderConfig
+	// ThinkTime is a serial reader with per-IO think time.
+	ThinkTime = workload.ThinkTime
+	// ThinkTimeConfig configures a ThinkTime workload.
+	ThinkTimeConfig = workload.ThinkTimeConfig
+	// Leaker allocates memory without bound.
+	Leaker = workload.Leaker
+	// Stress continuously touches a fixed working set.
+	Stress = workload.Stress
+	// Logger appends through the page cache and fsyncs periodically.
+	Logger = workload.Logger
+	// Pattern selects random or sequential access.
+	Pattern = workload.Pattern
+	// TraceOp is one record of an IO trace.
+	TraceOp = workload.TraceOp
+	// TraceReplayer replays a recorded trace.
+	TraceReplayer = workload.TraceReplayer
+	// RCB is ResourceControlBench, the latency-sensitive service proxy.
+	RCB = rcb.Bench
+	// RCBConfig configures ResourceControlBench.
+	RCBConfig = rcb.Config
+)
+
+// Access patterns.
+const (
+	RandomAccess     = workload.Random
+	SequentialAccess = workload.Sequential
+)
+
+// Workload constructors.
+var (
+	NewSaturator   = workload.NewSaturator
+	NewLoadShedder = workload.NewLoadShedder
+	NewThinkTime   = workload.NewThinkTime
+	NewLeaker      = workload.NewLeaker
+	NewStress      = workload.NewStress
+	NewLogger      = workload.NewLogger
+	NewRCB         = rcb.New
+	// ParseTrace reads a whitespace-separated IO trace.
+	ParseTrace = workload.ParseTrace
+	// NewTraceReplayer replays a parsed trace against a queue.
+	NewTraceReplayer = workload.NewTraceReplayer
+)
+
+// Profiling (the offline device-modeling step of §3.2).
+type (
+	// ProfileResult is a profiling run's measurements and derived model.
+	ProfileResult = profiler.Result
+	// ProfileOptions tunes a profiling run.
+	ProfileOptions = profiler.Options
+	// DeviceFactory builds the device under test.
+	DeviceFactory = profiler.DeviceFactory
+)
+
+// Profile measures a device and derives its linear cost model.
+var Profile = profiler.Profile
+
+// QoS tuning (§3.4): sweep pinned vrates over the two
+// ResourceControlBench scenarios to find the vrate band worth allowing.
+type (
+	// TuneResult is a tuning sweep's outcome.
+	TuneResult = rcb.TuneResult
+	// TuneOptions parameterizes the sweep.
+	TuneOptions = rcb.TuneOptions
+)
+
+// Tune runs the §3.4 QoS tuning procedure for an SSD spec.
+var Tune = rcb.Tune
+
+// Device is a simulated block device.
+type Device = device.Device
+
+// Device constructors for profiling and custom topologies.
+var (
+	NewSSDDevice    = device.NewSSD
+	NewHDDDevice    = device.NewHDD
+	NewRemoteDevice = device.NewRemote
+)
+
+// Stacked coordination-service simulation (§4.6).
+type (
+	// ZKCluster is the ZooKeeper-like stacked deployment.
+	ZKCluster = zk.Cluster
+	// ZKConfig parameterizes it.
+	ZKConfig = zk.Config
+	// ZKViolation is one SLO-violation window.
+	ZKViolation = zk.Violation
+)
+
+// NewZKCluster builds the stacked deployment over per-machine block queues.
+var NewZKCluster = zk.NewCluster
