@@ -1,0 +1,18 @@
+# Tier-1: the checks every change must keep green.
+.PHONY: all build test bench ci
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Engine microbenchmarks (scheduler hot path) + the per-figure harness.
+bench:
+	go test -bench=BenchmarkEngine -benchmem ./internal/sim/
+
+# Tier-2: vet + race detector, including the parallel experiment fan-out.
+ci:
+	./scripts/ci.sh

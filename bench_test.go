@@ -10,11 +10,25 @@
 package iocost_test
 
 import (
+	"flag"
+	"os"
 	"testing"
 
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
+
+// -exp.parallel fans independent experiment cells across GOMAXPROCS
+// goroutines (the name avoids go test's reserved -parallel flag). Results
+// are identical to serial runs; only wall clock changes.
+var expParallel = flag.Bool("exp.parallel", false,
+	"run experiment cells in parallel (identical results, less wall clock)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	exp.SetParallel(*expParallel)
+	os.Exit(m.Run())
+}
 
 func BenchmarkTable1FeatureMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	iocost-bench [-run table1,fig3,...|all] [-short]
+//	iocost-bench [-run table1,fig3,...|all] [-short] [-parallel] [-json]
 //
 // Experiment ids: table1, fig3, fig4, fig6, fig8, fig9, fig10, fig11,
 // fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19, ext-degradation,
@@ -181,7 +181,10 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	short := flag.Bool("short", false, "shorter runs (quick smoke pass)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON instead of text")
+	parallel := flag.Bool("parallel", false,
+		"fan independent experiment cells across GOMAXPROCS goroutines (identical output, less wall clock)")
 	flag.Parse()
+	exp.SetParallel(*parallel)
 
 	want := map[string]bool{}
 	if *run != "all" {

@@ -59,7 +59,8 @@ func (c *Controller) donate() int {
 	// post-donation hweight targets.
 	nodes := make(map[*cgroup.Node]*donorInfo)
 	donors := 0
-	for cg, st := range c.state {
+	for _, st := range c.order {
+		cg := st.cg
 		if cg.IsRoot() || !cg.Active() {
 			continue
 		}

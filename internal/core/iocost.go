@@ -86,7 +86,12 @@ type Controller struct {
 	vbase float64
 	tbase sim.Time
 
-	state     map[*cgroup.Node]*iocg
+	state map[*cgroup.Node]*iocg
+	// order holds per-cgroup states in creation order: the planning path
+	// walks it (periodTick upkeep, donor identification) so waiter kicks,
+	// deactivations and floating-point donor sums are deterministic
+	// instead of following map iteration order.
+	order     []*iocg
 	periodSeq uint64
 	ticker    *sim.Ticker
 
@@ -234,6 +239,7 @@ func (c *Controller) stateFor(cg *cgroup.Node) *iocg {
 	if st == nil {
 		st = &iocg{cg: cg, vtime: c.gvtime(c.q.Now())}
 		c.state[cg] = st
+		c.order = append(c.order, st)
 	}
 	return st
 }
@@ -476,7 +482,8 @@ func (c *Controller) periodTick() {
 	// idle cgroups.
 	gV := c.gvtime(now)
 	active := 0
-	for cg, st := range c.state {
+	for _, st := range c.order {
+		cg := st.cg
 		if st.waiters.Empty() && st.debt == 0 {
 			c.clampBudget(st, gV)
 		}

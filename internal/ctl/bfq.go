@@ -28,6 +28,9 @@ import (
 type BFQ struct {
 	q      *blk.Queue
 	queues map[*cgroup.Node]*bfqQueue
+	// order holds queues in creation order: queue selection scans it so
+	// vtag ties break deterministically instead of by map iteration order.
+	order []*bfqQueue
 
 	// MaxBudget is the sector budget per service slot.
 	MaxBudget int64
@@ -88,6 +91,7 @@ func (c *BFQ) queueFor(cg *cgroup.Node) *bfqQueue {
 		}
 		bq = &bfqQueue{cg: cg, weight: w}
 		c.queues[cg] = bq
+		c.order = append(c.order, bq)
 	}
 	return bq
 }
@@ -120,7 +124,7 @@ func (c *BFQ) Submit(b *bio.Bio) {
 
 func (c *BFQ) minBusyVtag() (float64, bool) {
 	min, ok := math.MaxFloat64, false
-	for _, bq := range c.queues {
+	for _, bq := range c.order {
 		if (bq.pending.len() > 0 || bq.inFlight > 0) && bq.vtag < min {
 			min, ok = bq.vtag, true
 		}
@@ -160,7 +164,7 @@ func (c *BFQ) stopIdle() {
 // service slot for it.
 func (c *BFQ) selectQueue() {
 	var best *bfqQueue
-	for _, bq := range c.queues {
+	for _, bq := range c.order {
 		if bq.pending.len() == 0 {
 			continue
 		}

@@ -29,7 +29,11 @@ type IOLatency struct {
 	q       *blk.Queue
 	targets map[*cgroup.Node]sim.Time
 	state   map[*cgroup.Node]*iolatState
-	ticker  *sim.Ticker
+	// order holds states in creation order: evaluate re-issues queued bios
+	// while walking it, so issue order is deterministic instead of
+	// following map iteration order.
+	order  []*iolatState
+	ticker *sim.Ticker
 
 	// Window is the evaluation period.
 	Window sim.Time
@@ -74,6 +78,7 @@ func (c *IOLatency) stateFor(cg *cgroup.Node) *iolatState {
 			st.target = t
 		}
 		c.state[cg] = st
+		c.order = append(c.order, st)
 	}
 	return st
 }
@@ -133,7 +138,7 @@ func (c *IOLatency) release(st *iolatState) {
 func (c *IOLatency) evaluate() {
 	var victim sim.Time = math.MaxInt64
 	missed := false
-	for _, st := range c.state {
+	for _, st := range c.order {
 		if st.target == math.MaxInt64 || st.lat.Count() == 0 {
 			continue
 		}
@@ -144,7 +149,7 @@ func (c *IOLatency) evaluate() {
 			missed = true
 		}
 	}
-	for _, st := range c.state {
+	for _, st := range c.order {
 		switch {
 		case missed && st.target > victim:
 			st.okRuns = 0

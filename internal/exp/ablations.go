@@ -60,7 +60,8 @@ func AblationDonation(measure sim.Time) AblationDonationResult {
 		m.Run(measure/2 + measure)
 		return float64(wLo.Stats.TakeWindow()) / measure.Seconds()
 	}
-	with, without := run(false), run(true)
+	res := ForEach(2, func(i int) float64 { return run(i == 1) })
+	with, without := res[0], res[1]
 	gain := 0.0
 	if without > 0 {
 		gain = with / without
@@ -89,8 +90,9 @@ func AblationPeriod(measure sim.Time) []AblationPeriodRow {
 	if measure == 0 {
 		measure = 4 * sim.Second
 	}
-	var rows []AblationPeriodRow
-	for _, period := range []sim.Time{1 * sim.Millisecond, 5 * sim.Millisecond, 25 * sim.Millisecond, 100 * sim.Millisecond} {
+	periods := []sim.Time{1 * sim.Millisecond, 5 * sim.Millisecond, 25 * sim.Millisecond, 100 * sim.Millisecond}
+	return ForEach(len(periods), func(pi int) AblationPeriodRow {
+		period := periods[pi]
 		spec := device.OlderGenSSD()
 		m := NewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
@@ -122,13 +124,12 @@ func AblationPeriod(measure sim.Time) []AblationPeriodRow {
 		if nLo > 0 {
 			ratio = float64(nHi) / float64(nLo)
 		}
-		rows = append(rows, AblationPeriodRow{
+		return AblationPeriodRow{
 			Period: period, Ratio: ratio,
 			HiP50:    sim.Time(wHi.Stats.Latency.Quantile(0.5)),
 			Shortfal: abs(ratio-2) / 2,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func abs(f float64) float64 {
@@ -172,8 +173,8 @@ func AblationCostModel(measure sim.Time) []AblationCostModelRow {
 		})},
 	}
 
-	var rows []AblationCostModelRow
-	for _, mc := range models {
+	return ForEach(len(models), func(mi int) AblationCostModelRow {
+		mc := models[mi]
 		m := NewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
@@ -208,9 +209,8 @@ func AblationCostModel(measure sim.Time) []AblationCostModelRow {
 		if occLo > 0 {
 			ratio = occHi / occLo
 		}
-		rows = append(rows, AblationCostModelRow{Model: mc.name, OccRatio: ratio})
-	}
-	return rows
+		return AblationCostModelRow{Model: mc.name, OccRatio: ratio}
+	})
 }
 
 // FormatAblations renders all ablation results.
@@ -281,7 +281,8 @@ func AblationMerging(measure sim.Time) AblationMergingResult {
 		m.Run(measure)
 		return float64(m.Q.Completions()) / measure.Seconds()
 	}
-	merged, unmerged := run(true), run(false)
+	res := ForEach(2, func(i int) float64 { return run(i == 0) })
+	merged, unmerged := res[0], res[1]
 	gain := 0.0
 	if unmerged > 0 {
 		gain = merged / unmerged
@@ -311,8 +312,9 @@ func SweepWeightRatios(measure sim.Time) []WeightRatioRow {
 	if measure == 0 {
 		measure = 4 * sim.Second
 	}
-	var rows []WeightRatioRow
-	for _, ratio := range []float64{1, 2, 4, 8, 16} {
+	ratios := []float64{1, 2, 4, 8, 16}
+	return ForEach(len(ratios), func(ri int) WeightRatioRow {
+		ratio := ratios[ri]
 		spec := device.OlderGenSSD()
 		m := NewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
@@ -339,13 +341,12 @@ func SweepWeightRatios(measure sim.Time) []WeightRatioRow {
 		if nLo > 0 {
 			achieved = float64(nHi) / float64(nLo)
 		}
-		rows = append(rows, WeightRatioRow{
+		return WeightRatioRow{
 			Configured: ratio,
 			Achieved:   achieved,
 			Error:      abs(achieved-ratio) / ratio,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatWeightRatios renders the sweep.

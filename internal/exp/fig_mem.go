@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/ctl"
@@ -142,22 +143,21 @@ func Fig14(opts Fig14Options) []Fig14Row {
 		{"older-gen", device.OlderGenSSD()},
 		{"newer-gen", device.NewerGenSSD()},
 	}
-	var rows []Fig14Row
-	for _, d := range devices {
-		for _, kind := range []string{KindMQDL, KindBFQ, KindIOLatency, KindIOCost} {
-			res := runMemScenario(memScenarioConfig{
-				dev:        ssdChoice(d.spec),
-				controller: kind,
-				webRate:    900,
-				leakRate:   400e6,
-				baseline:   opts.Baseline,
-				leak:       opts.Leak,
-				seed:       0x14,
-			})
-			rows = append(rows, Fig14Row{Device: d.name, Mechanism: kind, memScenarioResult: res})
-		}
-	}
-	return rows
+	kinds := []string{KindMQDL, KindBFQ, KindIOLatency, KindIOCost}
+	return ForEach(len(devices)*len(kinds), func(ci int) Fig14Row {
+		d := devices[ci/len(kinds)]
+		kind := kinds[ci%len(kinds)]
+		res := runMemScenario(memScenarioConfig{
+			dev:        ssdChoice(d.spec),
+			controller: kind,
+			webRate:    900,
+			leakRate:   400e6,
+			baseline:   opts.Baseline,
+			leak:       opts.Leak,
+			seed:       0x14,
+		})
+		return Fig14Row{Device: d.name, Mechanism: kind, memScenarioResult: res}
+	})
 }
 
 // FormatFig14 renders the retention table.
@@ -189,9 +189,8 @@ func Fig17(opts Fig14Options) []Fig17Row {
 		opts.Leak = 20 * sim.Second
 	}
 	vols := []device.RemoteSpec{device.EBSgp3(), device.EBSio2(), device.GCPBalanced(), device.GCPSSD()}
-	var rows []Fig17Row
-	for _, v := range vols {
-		v := v
+	return ForEach(len(vols), func(i int) Fig17Row {
+		v := vols[i]
 		// Scale offered load and leak rate to the volume's capability
 		// so every volume runs meaningfully loaded.
 		webRate, leakRate := 120.0, 60e6
@@ -207,9 +206,8 @@ func Fig17(opts Fig14Options) []Fig17Row {
 			leak:       opts.Leak,
 			seed:       0x17,
 		})
-		rows = append(rows, Fig17Row{Device: v.Name, memScenarioResult: res})
-	}
-	return rows
+		return Fig17Row{Device: v.Name, memScenarioResult: res}
+	})
 }
 
 // FormatFig17 renders the remote-storage table.
@@ -272,21 +270,21 @@ func Fig15(opts Fig15Options) []Fig15Row {
 		{"iocost-no-debt", KindIOCost, withFlag(func(c *core.Config) { c.DisableDebt = true })},
 	}
 
-	var rows []Fig15Row
-	for _, c := range configs {
-		for _, stress := range []bool{false, true} {
-			t, ok := runRamp(c.kind, c.ioc, spec, stress, limit)
-			rows = append(rows, Fig15Row{Config: c.name, Stress: stress, RampTime: t, Reached: ok})
-		}
-	}
-	return rows
+	return ForEach(len(configs)*2, func(ci int) Fig15Row {
+		c := configs[ci/2]
+		stress := ci%2 == 1
+		t, ok := runRamp(c.kind, c.ioc, spec, stress, limit)
+		return Fig15Row{Config: c.name, Stress: stress, RampTime: t, Reached: ok}
+	})
 }
 
 // rampTrace, when set by tests, observes each PID tick; lastBench exposes
-// the most recent ramp's bench for stage-latency diagnostics.
+// the most recent ramp's bench for stage-latency diagnostics. lastBench is
+// mutex-guarded because Fig15 cells may run concurrently under ForEach.
 var (
-	rampTrace func(p95, smoothed, load float64)
-	lastBench *rcb.Bench
+	rampTrace   func(p95, smoothed, load float64)
+	lastBenchMu sync.Mutex
+	lastBench   *rcb.Bench
 )
 
 func runRamp(kind string, ioc core.Config, spec device.SSDSpec, stress bool, limit sim.Time) (sim.Time, bool) {
@@ -317,7 +315,9 @@ func runRamp(kind string, ioc core.Config, spec device.SSDSpec, stress bool, lim
 		CPUTime:     1 * sim.Millisecond,
 		Seed:        0x15,
 	})
+	lastBenchMu.Lock()
 	lastBench = bench
+	lastBenchMu.Unlock()
 	bench.Start()
 
 	if stress {

@@ -68,8 +68,9 @@ func configureForTwoToOne(m *Machine, hi, lo *cgroup.Node) {
 // high-priority one entitled to twice the IO of the low-priority one.
 func Fig10(opts Fig10Options) []Fig10Row {
 	opts = opts.defaults()
-	var rows []Fig10Row
-	for _, kind := range CgroupKinds() {
+	kinds := CgroupKinds()
+	return ForEach(len(kinds), func(i int) Fig10Row {
+		kind := kinds[i]
 		m := NewMachine(MachineConfig{
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
@@ -104,16 +105,15 @@ func Fig10(opts Fig10Options) []Fig10Row {
 		if nLo > 0 {
 			ratio = nHi / nLo
 		}
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			Mechanism: kind,
 			HiIOPS:    nHi,
 			LoIOPS:    nLo,
 			Ratio:     ratio,
 			HiP50:     sim.Time(wHi.Stats.Latency.Quantile(0.5)),
 			LoP50:     sim.Time(wLo.Stats.Latency.Quantile(0.5)),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig10 renders the proportional-control table.
@@ -144,8 +144,9 @@ type Fig11Row struct {
 // remaining capacity.
 func Fig11(opts Fig10Options) []Fig11Row {
 	opts = opts.defaults()
-	var rows []Fig11Row
-	for _, kind := range CgroupKinds() {
+	kinds := CgroupKinds()
+	return ForEach(len(kinds), func(i int) Fig11Row {
+		kind := kinds[i]
 		m := NewMachine(MachineConfig{
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
@@ -172,15 +173,14 @@ func Fig11(opts Fig10Options) []Fig11Row {
 		wHi.Stats.Latency.Reset()
 		m.Run(opts.Warmup + opts.Measure)
 
-		rows = append(rows, Fig11Row{
+		return Fig11Row{
 			Mechanism:   kind,
 			HiIOPS:      float64(wHi.Stats.TakeWindow()) / opts.Measure.Seconds(),
 			HiMeanLat:   sim.Time(wHi.Stats.Latency.Mean()),
 			HiStddevLat: sim.Time(wHi.Stats.Latency.Stddev()),
 			LoIOPS:      float64(wLo.Stats.TakeWindow()) / opts.Measure.Seconds(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig11 renders the work-conservation table.
@@ -222,8 +222,8 @@ func Fig12(opts Fig12Options) []Fig12Row {
 	}
 	warm := measure / 3
 
-	peak := map[workload.Pattern]float64{}
-	for _, pat := range []workload.Pattern{workload.Random, workload.Sequential} {
+	pats := []workload.Pattern{workload.Random, workload.Sequential}
+	peaks := ForEach(len(pats), func(i int) float64 {
 		m := NewMachine(MachineConfig{
 			Device:     DeviceChoice{HDD: hddSpec()},
 			Controller: KindNone,
@@ -231,14 +231,15 @@ func Fig12(opts Fig12Options) []Fig12Row {
 		})
 		cg := m.Workload.NewChild("solo", 100)
 		w := workload.NewSaturator(m.Q, workload.SaturatorConfig{
-			CG: cg, Op: bio.Read, Pattern: pat, Size: 4096, Depth: 16, Seed: 3,
+			CG: cg, Op: bio.Read, Pattern: pats[i], Size: 4096, Depth: 16, Seed: 3,
 		})
 		w.Start()
 		m.Run(warm)
 		w.Stats.TakeWindow()
 		m.Run(warm + measure)
-		peak[pat] = float64(w.Stats.TakeWindow()) / measure.Seconds()
-	}
+		return float64(w.Stats.TakeWindow()) / measure.Seconds()
+	})
+	peak := map[workload.Pattern]float64{pats[0]: peaks[0], pats[1]: peaks[1]}
 
 	scenarios := []struct {
 		name   string
@@ -249,43 +250,44 @@ func Fig12(opts Fig12Options) []Fig12Row {
 		{"seq/seq", workload.Sequential, workload.Sequential},
 	}
 
-	var rows []Fig12Row
-	for _, kind := range []string{KindMQDL, KindBFQ, KindIOCost} {
-		for _, sc := range scenarios {
-			m := NewMachine(MachineConfig{
-				Device:     DeviceChoice{HDD: hddSpec()},
-				Controller: kind,
-				Seed:       0x12,
-			})
-			hi := m.Workload.NewChild("hi", 200)
-			lo := m.Workload.NewChild("lo", 100)
-			wHi := workload.NewSaturator(m.Q, workload.SaturatorConfig{
-				CG: hi, Op: bio.Read, Pattern: sc.hi, Size: 4096, Depth: 16, Seed: 1,
-			})
-			wLo := workload.NewSaturator(m.Q, workload.SaturatorConfig{
-				CG: lo, Op: bio.Read, Pattern: sc.lo, Size: 4096, Depth: 16,
-				Region: 1 << 40, Seed: 2,
-			})
-			wHi.Start()
-			wLo.Start()
-			m.Run(warm)
-			wHi.Stats.TakeWindow()
-			wLo.Stats.TakeWindow()
-			m.Run(warm + measure)
+	// Flatten the mechanism × scenario grid into independent cells; index
+	// order matches the original nested-loop order.
+	kinds := []string{KindMQDL, KindBFQ, KindIOCost}
+	return ForEach(len(kinds)*len(scenarios), func(ci int) Fig12Row {
+		kind := kinds[ci/len(scenarios)]
+		sc := scenarios[ci%len(scenarios)]
+		m := NewMachine(MachineConfig{
+			Device:     DeviceChoice{HDD: hddSpec()},
+			Controller: kind,
+			Seed:       0x12,
+		})
+		hi := m.Workload.NewChild("hi", 200)
+		lo := m.Workload.NewChild("lo", 100)
+		wHi := workload.NewSaturator(m.Q, workload.SaturatorConfig{
+			CG: hi, Op: bio.Read, Pattern: sc.hi, Size: 4096, Depth: 16, Seed: 1,
+		})
+		wLo := workload.NewSaturator(m.Q, workload.SaturatorConfig{
+			CG: lo, Op: bio.Read, Pattern: sc.lo, Size: 4096, Depth: 16,
+			Region: 1 << 40, Seed: 2,
+		})
+		wHi.Start()
+		wLo.Start()
+		m.Run(warm)
+		wHi.Stats.TakeWindow()
+		wLo.Stats.TakeWindow()
+		m.Run(warm + measure)
 
-			hiNorm := float64(wHi.Stats.TakeWindow()) / measure.Seconds() / peak[sc.hi]
-			loNorm := float64(wLo.Stats.TakeWindow()) / measure.Seconds() / peak[sc.lo]
-			ratio := 0.0
-			if loNorm > 0 {
-				ratio = hiNorm / loNorm
-			}
-			rows = append(rows, Fig12Row{
-				Mechanism: kind, Scenario: sc.name,
-				HiNorm: hiNorm, LoNorm: loNorm, Ratio: ratio,
-			})
+		hiNorm := float64(wHi.Stats.TakeWindow()) / measure.Seconds() / peak[sc.hi]
+		loNorm := float64(wLo.Stats.TakeWindow()) / measure.Seconds() / peak[sc.lo]
+		ratio := 0.0
+		if loNorm > 0 {
+			ratio = hiNorm / loNorm
 		}
-	}
-	return rows
+		return Fig12Row{
+			Mechanism: kind, Scenario: sc.name,
+			HiNorm: hiNorm, LoNorm: loNorm, Ratio: ratio,
+		}
+	})
 }
 
 func hddSpec() *device.HDDSpec {

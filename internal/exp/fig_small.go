@@ -83,18 +83,17 @@ func Fig3(opts Fig3Options) []Fig3Row {
 	if opts.Short {
 		po = profiler.Options{Warmup: 300 * sim.Millisecond, Measure: 300 * sim.Millisecond, Depth: 64}
 	}
-	var rows []Fig3Row
-	for _, name := range device.FleetSSDNames() {
-		spec, err := device.FleetSSDSpec(name)
+	names := device.FleetSSDNames()
+	return ForEach(len(names), func(i int) Fig3Row {
+		spec, err := device.FleetSSDSpec(names[i])
 		if err != nil {
 			panic(err)
 		}
 		res := profiler.Profile(func(eng *sim.Engine) device.Device {
 			return device.NewSSD(eng, spec, 0xf3)
 		}, po)
-		rows = append(rows, Fig3Row{Device: name, Result: res})
-	}
-	return rows
+		return Fig3Row{Device: names[i], Result: res}
+	})
 }
 
 // FormatFig3 renders the sweep.
@@ -135,8 +134,9 @@ func Fig4(opts Fig4Options) []Fig4Row {
 	if dur == 0 {
 		dur = 5 * sim.Second
 	}
-	var rows []Fig4Row
-	for i, p := range workload.MetaProfiles() {
+	profiles := workload.MetaProfiles()
+	return ForEach(len(profiles), func(i int) Fig4Row {
+		p := profiles[i]
 		m := NewMachine(MachineConfig{
 			Device:     ssdChoice(device.EnterpriseSSD()),
 			Controller: KindNone,
@@ -152,14 +152,13 @@ func Fig4(opts Fig4Options) []Fig4Row {
 		rb := float64(r.ReadStats.Bytes) / sec
 		wb := float64(r.WriteStats.Bytes) / sec
 		randB := rb*p.ReadRandFrac + wb*p.WriteRandFrac
-		rows = append(rows, Fig4Row{
+		return Fig4Row{
 			Workload: p.Name,
 			ReadBps:  rb, WriteBps: wb,
 			RandBps: randB, SeqBps: rb + wb - randB,
 			ReadP50Lat: sim.Time(r.ReadStats.Latency.Quantile(0.5)),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig4 renders the demand table.
@@ -291,12 +290,19 @@ func (r Fig8Result) String() string {
 // ---------------------------------------------------------------- Figure 9
 
 // Fig9Row is one mechanism's issue-path overhead and the max IOPS it could
-// sustain on a 750K-IOPS device.
+// sustain on a 750K-IOPS device, plus the simulation engine's own event
+// throughput while running that mechanism.
 type Fig9Row struct {
 	Mechanism string
 	PerIONS   float64 // measured controller CPU cost per IO (wall clock)
 	MaxKIOPS  float64 // min(device, CPU-limited) achievable
 	SimKIOPS  float64 // achieved in simulation (no throttling configured)
+	// EventsPerIO is how many engine events one simulated IO costs under
+	// this mechanism; MEventsPerSec is the engine's wall-clock event
+	// throughput (millions/s) — the scheduler fast path EXPERIMENTS.md
+	// tracks.
+	EventsPerIO   float64
+	MEventsPerSec float64
 }
 
 // Fig9Options tunes the overhead measurement.
@@ -319,6 +325,8 @@ func Fig9(opts Fig9Options) []Fig9Row {
 	type meas struct {
 		wallPerIO float64
 		simIOPS   float64
+		evPerIO   float64
+		evPerSec  float64
 	}
 	run := func(kind string) meas {
 		m := NewMachine(MachineConfig{
@@ -346,21 +354,29 @@ func Fig9(opts Fig9Options) []Fig9Row {
 		return meas{
 			wallPerIO: wall / float64(n) * 1e9,
 			simIOPS:   float64(m.Q.Completions()) / m.Eng.Now().Seconds(),
+			evPerIO:   float64(m.Eng.EventsRun()) / float64(m.Q.Completions()),
+			evPerSec:  float64(m.Eng.EventsRun()) / wall / 1e6,
 		}
 	}
 
+	// The baseline must finish first (every mechanism's overhead is relative
+	// to it); the six mechanism cells are then independent and fan out.
 	base := run(KindNone)
 	// The paper's device does 750K IOPS; the kernel block layer consumes
 	// the rest of a core's budget.
 	const devIOPS = 750_000.0
 	const baselinePerIO = 1e9 / devIOPS
 
+	kinds := []string{KindMQDL, KindKyber, KindBFQ, KindThrottle, KindIOLatency, KindIOCost}
+	meass := ForEach(len(kinds), func(i int) meas { return run(kinds[i]) })
+
 	rows := []Fig9Row{{
 		Mechanism: KindNone, PerIONS: 0,
 		MaxKIOPS: devIOPS / 1000, SimKIOPS: base.simIOPS / 1000,
+		EventsPerIO: base.evPerIO, MEventsPerSec: base.evPerSec,
 	}}
-	for _, kind := range []string{KindMQDL, KindKyber, KindBFQ, KindThrottle, KindIOLatency, KindIOCost} {
-		r := run(kind)
+	for i, kind := range kinds {
+		r := meass[i]
 		over := r.wallPerIO - base.wallPerIO
 		if over < 0 {
 			over = 0
@@ -377,6 +393,7 @@ func Fig9(opts Fig9Options) []Fig9Row {
 			PerIONS:   over,
 			MaxKIOPS:  max / 1000,
 			SimKIOPS:  r.simIOPS / 1000,
+			EventsPerIO: r.evPerIO, MEventsPerSec: r.evPerSec,
 		})
 	}
 	return rows
@@ -385,9 +402,11 @@ func Fig9(opts Fig9Options) []Fig9Row {
 // FormatFig9 renders the overhead table.
 func FormatFig9(rows []Fig9Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %14s %12s %12s\n", "mechanism", "overhead ns/IO", "max KIOPS", "sim KIOPS")
+	fmt.Fprintf(&b, "%-14s %14s %12s %12s %10s %12s\n",
+		"mechanism", "overhead ns/IO", "max KIOPS", "sim KIOPS", "events/IO", "Mevents/s")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s %14.0f %12.0f %12.0f\n", r.Mechanism, r.PerIONS, r.MaxKIOPS, r.SimKIOPS)
+		fmt.Fprintf(&b, "%-14s %14.0f %12.0f %12.0f %10.1f %12.1f\n",
+			r.Mechanism, r.PerIONS, r.MaxKIOPS, r.SimKIOPS, r.EventsPerIO, r.MEventsPerSec)
 	}
 	return b.String()
 }

@@ -40,8 +40,9 @@ func Fig16(opts Fig16Options) []Fig16Row {
 		dur = 6 * 60 * sim.Second
 	}
 
-	var rows []Fig16Row
-	for _, kind := range CgroupKinds() {
+	kinds := CgroupKinds()
+	return ForEach(len(kinds), func(ki int) Fig16Row {
+		kind := kinds[ki]
 		eng := sim.New()
 		spec := device.EnterpriseSSD()
 		cfg := opts.Config
@@ -111,14 +112,13 @@ func Fig16(opts Fig16Options) []Fig16Row {
 		eng.RunUntil(dur)
 		cluster.Stop()
 
-		rows = append(rows, Fig16Row{
+		return Fig16Row{
 			Mechanism:  kind,
 			Violations: cluster.ViolationCount(),
 			WorstP99:   cluster.WorstP99(),
 			OverallP99: cluster.P99All(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig16 renders the SLO-violation table.

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+)
+
+// The BenchmarkEngine* suite measures the scheduler fast paths that every
+// simulated IO exercises: steady-state schedule+run, cancel-heavy churn,
+// ticker-driven periodic work, and far-future scheduling. EXPERIMENTS.md
+// records before (binary heap) vs after (timing wheel) numbers.
+
+// BenchmarkEngineSelfSchedule is the steady-state path: one event runs and
+// schedules its successor a short horizon away. This is the shape of a
+// device completion scheduling the next dispatch.
+func BenchmarkEngineSelfSchedule(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(Time(n%97)+1, fn)
+		}
+	}
+	e.After(1, fn)
+	b.ResetTimer()
+	e.Run()
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineFanout keeps a window of 512 concurrent event chains alive,
+// mimicking a deep device queue plus controller timers.
+func BenchmarkEngineFanout(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	const width = 512
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n+width <= b.N {
+			e.After(Time(n%1009)+1, fn)
+		}
+	}
+	for i := 0; i < width && i < b.N; i++ {
+		e.After(Time(i%503)+1, fn)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineCancelHeavy schedules events and cancels 3 of every 4
+// before they run — the shape of timeout timers that almost always get
+// cancelled (BFQ idle/timeout, iocost kicks).
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	var ids [64]EventID
+	ran := 0
+	fn := func() { ran++ }
+	b.ResetTimer()
+	i := 0
+	for i < b.N {
+		k := 0
+		for ; k < len(ids) && i < b.N; k++ {
+			ids[k] = e.After(Time(k%251)+1, fn)
+			i++
+		}
+		for j := 0; j < k; j++ {
+			if j%4 != 0 {
+				e.Cancel(ids[j])
+			}
+		}
+		e.RunUntil(e.Now() + 4)
+	}
+	e.Run()
+}
+
+// BenchmarkEngineTicker drives 64 tickers with co-prime periods.
+func BenchmarkEngineTicker(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	periods := []Time{7, 11, 13, 17, 19, 23, 29, 31}
+	n := 0
+	var tickers []*Ticker
+	for i := 0; i < 64; i++ {
+		tickers = append(tickers, e.NewTicker(periods[i%len(periods)]*Microsecond, func() { n++ }))
+	}
+	b.ResetTimer()
+	for n < b.N {
+		e.RunUntil(e.Now() + Millisecond)
+	}
+	b.StopTimer()
+	for _, t := range tickers {
+		t.Stop()
+	}
+}
+
+// BenchmarkEngineFarFuture schedules events far beyond the wheel horizon so
+// every event takes the overflow path, then drains them.
+func BenchmarkEngineFarFuture(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(5*Second+Time(n%1000), fn)
+		}
+	}
+	e.After(1, fn)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineMixedHorizon draws scheduling horizons across all wheel
+// levels: ns, us, ms, and seconds.
+func BenchmarkEngineMixedHorizon(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	horizons := []Time{3, 200, 5 * Microsecond, 300 * Microsecond, 2 * Millisecond, 80 * Millisecond, 2 * Second}
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(horizons[n%len(horizons)], fn)
+		}
+	}
+	e.After(1, fn)
+	b.ResetTimer()
+	e.Run()
+}

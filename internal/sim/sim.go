@@ -1,5 +1,6 @@
 // Package sim implements the discrete-event simulation engine underlying the
-// whole repository: a virtual clock in nanoseconds and an event heap.
+// whole repository: a virtual clock in nanoseconds and a hierarchical
+// timing-wheel scheduler (see wheel.go for the internals).
 //
 // All simulated components — devices, controllers, workloads, the memory
 // subsystem — schedule callbacks on a single *Engine. The engine runs events
@@ -7,8 +8,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -23,6 +24,8 @@ const (
 	Second           = 1000 * Millisecond
 )
 
+const maxTime = Time(math.MaxInt64)
+
 // Duration converts t to a time.Duration for formatting.
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
@@ -31,54 +34,29 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Seconds returns t in seconds as a float.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64 // tie-break so equal-time events run FIFO
-	fn   func()
-	idx  int // heap index, -1 when popped/cancelled
-	dead bool
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is valid and refers to no event.
+type EventID struct {
+	e   *event
+	gen uint32
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ e *event }
 
 // Engine is the discrete-event simulator. The zero value is not usable; use
 // New.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	nrun   uint64
+	now  Time
+	seq  uint64
+	nrun uint64
+
+	// cur is the wheel cursor: no pending event is earlier. It equals now
+	// whenever the engine is not inside popNext.
+	cur        Time
+	count      int
+	wheel      [numLevels][slotsPerLevel]slot
+	occupied   [numLevels][wordsPerLevel]uint64
+	levelCount [numLevels]int
+	overflow   []*event
+	free       *event
 }
 
 // New returns an empty engine at time zero.
@@ -92,9 +70,9 @@ func (e *Engine) Now() Time { return e.now }
 // EventsRun reports how many events have executed so far.
 func (e *Engine) EventsRun() uint64 { return e.nrun }
 
-// Pending reports how many events are scheduled (including cancelled ones not
-// yet drained).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many live events are scheduled. Cancelled events are
+// removed immediately and do not count.
+func (e *Engine) Pending() int { return e.count }
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // (before Now) panics: it always indicates a simulation bug.
@@ -102,10 +80,14 @@ func (e *Engine) At(at Time, fn func()) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
-	return EventID{ev}
+	ev.fn = fn
+	e.count++
+	e.enqueue(ev)
+	return EventID{ev, ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -116,44 +98,60 @@ func (e *Engine) After(d Time, fn func()) EventID {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents a scheduled event from running. Cancelling an event that
-// already ran (or was cancelled) is a no-op.
-func (e *Engine) Cancel(id EventID) {
-	if id.e == nil || id.e.dead || id.e.idx < 0 {
-		return
+// Cancel prevents a scheduled event from running, removing it immediately.
+// It reports whether the event was actually descheduled: cancelling an
+// event that already ran, was already cancelled, or a zero EventID returns
+// false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.e
+	if ev == nil || ev.gen != id.gen {
+		return false
 	}
-	id.e.dead = true
+	// Cancel on the owning engine even if called through another handle.
+	o := ev.owner
+	switch {
+	case ev.level >= 0:
+		o.unlinkWheel(ev)
+	case ev.hidx >= 0:
+		o.heapRemove(int(ev.hidx))
+	default:
+		return false
+	}
+	o.count--
+	o.release(ev)
+	return true
+}
+
+// run executes a popped event. The event is recycled before its callback
+// runs, so the callback can schedule without allocating; outstanding
+// EventIDs are invalidated by the generation bump in release.
+func (e *Engine) run(ev *event) {
+	e.now = ev.at
+	fn := ev.fn
+	e.release(ev)
+	e.nrun++
+	fn()
 }
 
 // Step runs the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.nrun++
-		ev.fn()
-		return true
+	ev := e.popNext(maxTime)
+	if ev == nil {
+		return false
 	}
-	return false
+	e.run(ev)
+	return true
 }
 
-// RunUntil executes events until the next event would be after deadline, then
-// advances the clock to exactly deadline.
+// RunUntil executes events up to and including deadline, then advances the
+// clock to exactly deadline.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 {
-		// Peek.
-		next := e.events[0]
-		if next.dead {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > deadline {
+	for {
+		ev := e.popNext(deadline)
+		if ev == nil {
 			break
 		}
-		e.Step()
+		e.run(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -173,6 +171,7 @@ type Ticker struct {
 	period  Time
 	fn      func()
 	id      EventID
+	tick    func() // allocated once; rescheduling is allocation-free
 	stopped bool
 }
 
@@ -182,29 +181,32 @@ func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{eng: e, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.id = t.eng.After(t.period, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			t.schedule()
+			t.id = t.eng.After(t.period, t.tick)
 		}
-	})
+	}
+	t.id = e.After(period, t.tick)
+	return t
 }
 
-// Stop cancels the ticker.
-func (t *Ticker) Stop() {
+// Stop cancels the ticker. It reports whether a pending tick was
+// descheduled; stopping an already-stopped ticker, or stopping from inside
+// the tick callback itself (whose event has already fired), returns false.
+func (t *Ticker) Stop() bool {
+	if t.stopped {
+		return false
+	}
 	t.stopped = true
-	t.eng.Cancel(t.id)
+	return t.eng.Cancel(t.id)
 }
 
-// SetPeriod changes the tick period for subsequent ticks.
+// SetPeriod changes the tick period, taking effect when the next tick is
+// scheduled: the currently pending tick still fires at its original time.
 func (t *Ticker) SetPeriod(p Time) {
 	if p <= 0 {
 		panic("sim: ticker period must be positive")

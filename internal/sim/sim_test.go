@@ -66,6 +66,97 @@ func TestEngineCancelAfterRunIsNoop(t *testing.T) {
 	e.Cancel(EventID{})
 }
 
+func TestCancelReportsOutcome(t *testing.T) {
+	e := New()
+	id := e.At(10, func() { t.Error("cancelled event ran") })
+	if !e.Cancel(id) {
+		t.Error("Cancel of a pending event returned false")
+	}
+	if e.Cancel(id) {
+		t.Error("double Cancel returned true")
+	}
+	ran := e.At(5, func() {})
+	e.Run()
+	if e.Cancel(ran) {
+		t.Error("Cancel of an already-run event returned true")
+	}
+	if e.Cancel(EventID{}) {
+		t.Error("Cancel of the zero EventID returned true")
+	}
+}
+
+func TestCancelStaleIDAfterPoolReuse(t *testing.T) {
+	// An EventID must stay dead even after its underlying pooled event is
+	// recycled for a new schedule: the generation counter, not the pointer,
+	// is the identity.
+	e := New()
+	id := e.At(1, func() {})
+	e.Run()
+	// The pool now holds the freed event; the next At reuses it.
+	ran := false
+	id2 := e.At(e.Now()+1, func() { ran = true })
+	if id2.e == nil {
+		t.Fatal("expected a pooled event")
+	}
+	if e.Cancel(id) {
+		t.Error("stale EventID cancelled a recycled event")
+	}
+	e.Run()
+	if !ran {
+		t.Error("recycled event did not run — stale ID must not affect it")
+	}
+	if e.Cancel(id2) {
+		t.Error("Cancel after run returned true")
+	}
+}
+
+func TestRunUntilWithCancelledEventsAtDeadline(t *testing.T) {
+	// Regression: cancelled events at or beyond the deadline must neither
+	// run nor disturb later pops, and live events past the deadline survive.
+	e := New()
+	var got []Time
+	c1 := e.At(50, func() { t.Error("cancelled event at deadline ran") })
+	c2 := e.At(49, func() { t.Error("cancelled event before deadline ran") })
+	c3 := e.At(51, func() { t.Error("cancelled event past deadline ran") })
+	e.At(48, func() { got = append(got, e.Now()) })
+	e.At(50, func() { got = append(got, e.Now()) })
+	e.At(60, func() { got = append(got, e.Now()) })
+	e.Cancel(c1)
+	e.Cancel(c2)
+	e.Cancel(c3)
+	e.RunUntil(50)
+	if len(got) != 2 || got[0] != 48 || got[1] != 50 {
+		t.Errorf("events by t=50: %v, want [48 50]", got)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now() = %v, want 50", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1 (the t=60 event)", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(got) != 3 || got[2] != 60 {
+		t.Errorf("events by t=100: %v, want [48 50 60]", got)
+	}
+}
+
+func TestRunUntilCancelInsideCallbackStraddlingDeadline(t *testing.T) {
+	// An event running before the deadline cancels a sibling scheduled
+	// after it; RunUntil must honour the cancellation mid-drain.
+	e := New()
+	var victim EventID
+	victim = e.At(40, func() { t.Error("victim ran despite cancellation") })
+	e.At(30, func() {
+		if !e.Cancel(victim) {
+			t.Error("in-callback Cancel of a pending event returned false")
+		}
+	})
+	e.RunUntil(50)
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
 func TestRunUntilAdvancesClock(t *testing.T) {
 	e := New()
 	ran := 0
@@ -127,6 +218,84 @@ func TestTickerSetPeriod(t *testing.T) {
 	// Ticks at 10, 30, 50.
 	if len(ticks) != 3 || ticks[1] != 30 || ticks[2] != 50 {
 		t.Errorf("ticks = %v, want [10 30 50]", ticks)
+	}
+}
+
+func TestTickerStopReturnValues(t *testing.T) {
+	e := New()
+	tk := e.NewTicker(10, func() {})
+	if !tk.Stop() {
+		t.Error("Stop of a live ticker did not deschedule a tick")
+	}
+	if tk.Stop() {
+		t.Error("second Stop returned true")
+	}
+	e.RunUntil(100)
+	if e.EventsRun() != 0 {
+		t.Errorf("stopped ticker still ran %d events", e.EventsRun())
+	}
+}
+
+func TestTickerStopFromInsideCallback(t *testing.T) {
+	e := New()
+	ticks := 0
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		ticks++
+		if ticks == 2 {
+			// The firing event is already gone, so there is no pending
+			// tick to deschedule — Stop must report false but still
+			// prevent rescheduling.
+			if tk.Stop() {
+				t.Error("Stop from inside the tick callback returned true")
+			}
+		}
+	})
+	e.RunUntil(200)
+	if ticks != 2 {
+		t.Errorf("got %d ticks, want 2 (stopped from inside tick 2)", ticks)
+	}
+	if tk.Stop() {
+		t.Error("Stop after in-callback Stop returned true")
+	}
+}
+
+func TestTickerSetPeriodTakesEffectNextTick(t *testing.T) {
+	// SetPeriod called between ticks must not move the already-scheduled
+	// tick; only the one after it uses the new period.
+	e := New()
+	var ticks []Time
+	tk := e.NewTicker(10, func() { ticks = append(ticks, e.Now()) })
+	e.RunUntil(15) // tick at 10 fired; next is pending at 20
+	tk.SetPeriod(100)
+	e.RunUntil(130)
+	tk.Stop()
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 20 || ticks[2] != 120 {
+		t.Errorf("ticks = %v, want [10 20 120] (pending tick unmoved, next uses 100)", ticks)
+	}
+}
+
+func TestFarFutureOrdering(t *testing.T) {
+	// Events beyond the wheel span (≈4.3s) take the overflow path; they
+	// must interleave correctly with near-term events.
+	e := New()
+	var got []Time
+	note := func() { got = append(got, e.Now()) }
+	e.At(20*Second, note)
+	e.At(1, note)
+	e.At(5*Second, note)
+	e.At(10*Second, note)
+	e.At(3, note)
+	e.At(5*Second, note) // same instant as an earlier overflow event: FIFO
+	e.Run()
+	want := []Time{1, 3, 5 * Second, 5 * Second, 10 * Second, 20 * Second}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
 	}
 }
 

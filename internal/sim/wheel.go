@@ -1,0 +1,406 @@
+package sim
+
+import "math/bits"
+
+// The engine's scheduler is a hierarchical timing wheel with an overflow
+// min-heap and a free-list event pool:
+//
+//   - numLevels wheel levels of slotsPerLevel slots each. Level l has slot
+//     granularity 2^(levelBits*l) ns, so level 0 buckets single nanoseconds
+//     and the whole wheel spans 2^(levelBits*numLevels) ns (~4.3 s) ahead of
+//     the cursor. Schedule and cancel are O(1); each event cascades at most
+//     numLevels-1 times on its way down, so the run path is O(1) amortized.
+//   - Events farther out than the wheel span wait in a (time, seq) min-heap
+//     and are drained into the wheel as the cursor approaches.
+//   - Executed and cancelled events return to a per-engine free list, so the
+//     steady-state schedule/run path performs no allocation.
+//
+// Exact (time, seq) FIFO order is preserved: a level-0 slot holds events of
+// a single instant and is kept seq-sorted (direct inserts arrive in seq
+// order and append in O(1); cascaded arrivals insertion-sort near the tail),
+// and a level-0 event only runs when its time is strictly earlier than every
+// occupied higher-level slot's base time — on a tie the higher slot is
+// cascaded first, since it may hold an earlier-seq event of the same
+// instant.
+const (
+	levelBits     = 8
+	slotsPerLevel = 1 << levelBits
+	slotMask      = slotsPerLevel - 1
+	numLevels     = 4
+	// wheelSpan is how far ahead of the cursor the wheel can represent.
+	wheelSpan = Time(1) << (levelBits * numLevels)
+	// topLevelShift converts a time to a top-level slot number.
+	topLevelShift = levelBits * (numLevels - 1)
+	// wordsPerLevel is the occupancy bitmap size of one level.
+	wordsPerLevel = slotsPerLevel / 64
+	// eventBlock is how many events one pool refill allocates.
+	eventBlock = 64
+)
+
+// slot is one wheel bucket: an intrusive doubly-linked event list.
+type slot struct {
+	head, tail *event
+}
+
+// event is a scheduled callback. Its storage is pooled; gen distinguishes
+// incarnations so stale EventIDs cannot cancel a recycled event.
+type event struct {
+	at         Time
+	seq        uint64
+	fn         func()
+	next, prev *event
+	owner      *Engine
+	hidx       int32 // index in the overflow heap, -1 when not in it
+	gen        uint32
+	level      int8 // wheel level, -1 when not in the wheel
+	slotIdx    uint8
+}
+
+// alloc takes an event from the pool, refilling it block-wise when empty.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		block := make([]event, eventBlock)
+		for i := 0; i < eventBlock-1; i++ {
+			block[i].next = &block[i+1]
+		}
+		ev = &block[0]
+		e.free = &block[1]
+	} else {
+		e.free = ev.next
+	}
+	ev.next, ev.prev = nil, nil
+	ev.owner = e
+	ev.level, ev.hidx = -1, -1
+	return ev
+}
+
+// release recycles an event. Bumping gen invalidates any outstanding
+// EventID for this incarnation.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.prev = nil
+	ev.level, ev.hidx = -1, -1
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
+}
+
+func (e *Engine) setBit(l, idx int)   { e.occupied[l][idx>>6] |= 1 << uint(idx&63) }
+func (e *Engine) clearBit(l, idx int) { e.occupied[l][idx>>6] &^= 1 << uint(idx&63) }
+
+// enqueue places a pending event into the wheel or the overflow heap,
+// bucketing by distance from the cursor. Invariant: ev.at >= e.cur.
+func (e *Engine) enqueue(ev *event) {
+	delta := ev.at - e.cur
+	for l := 0; l < numLevels; l++ {
+		if delta < Time(1)<<(levelBits*(l+1)) {
+			idx := int(ev.at>>(levelBits*l)) & slotMask
+			if l > 0 && idx == int(e.cur>>(levelBits*l))&slotMask {
+				// The slot the cursor currently occupies has already been
+				// cascaded; an insert here would be a full-wrap collision
+				// (ev is ~one whole level-span ahead). Push one level up,
+				// where the index is necessarily cursor+1.
+				continue
+			}
+			e.pushSlot(l, idx, ev)
+			return
+		}
+	}
+	e.heapPush(ev)
+}
+
+// pushSlot links ev into wheel slot (l, idx). Level-0 slots hold a single
+// instant and stay sorted by seq; higher levels are unordered (ordering is
+// re-established when they cascade down to level 0).
+func (e *Engine) pushSlot(l, idx int, ev *event) {
+	ev.level, ev.slotIdx = int8(l), uint8(idx)
+	s := &e.wheel[l][idx]
+	switch {
+	case s.head == nil:
+		s.head, s.tail = ev, ev
+		e.setBit(l, idx)
+	case l != 0 || s.tail.seq < ev.seq:
+		ev.prev = s.tail
+		s.tail.next = ev
+		s.tail = ev
+	default:
+		// Cascaded arrival with an out-of-order seq: walk back from the
+		// tail to its sorted position.
+		p := s.tail
+		for p.prev != nil && p.prev.seq > ev.seq {
+			p = p.prev
+		}
+		ev.prev, ev.next = p.prev, p
+		if p.prev != nil {
+			p.prev.next = ev
+		} else {
+			s.head = ev
+		}
+		p.prev = ev
+	}
+	e.levelCount[l]++
+}
+
+// unlinkWheel removes a wheel-resident event from its slot.
+func (e *Engine) unlinkWheel(ev *event) {
+	s := &e.wheel[ev.level][ev.slotIdx]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		s.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		s.tail = ev.prev
+	}
+	if s.head == nil {
+		e.clearBit(int(ev.level), int(ev.slotIdx))
+	}
+	e.levelCount[ev.level]--
+}
+
+// popSlot0 removes and returns the seq-first event of level-0 slot idx and
+// advances the cursor to its instant.
+func (e *Engine) popSlot0(idx int) *event {
+	s := &e.wheel[0][idx]
+	ev := s.head
+	s.head = ev.next
+	if s.head == nil {
+		s.tail = nil
+		e.clearBit(0, idx)
+	} else {
+		s.head.prev = nil
+	}
+	e.levelCount[0]--
+	e.count--
+	e.cur = ev.at
+	return ev
+}
+
+// nextOccupied returns the first occupied slot at level l scanning
+// circularly from slot `from` (inclusive).
+func (e *Engine) nextOccupied(l, from int) (int, bool) {
+	bm := &e.occupied[l]
+	w := from >> 6
+	off := uint(from & 63)
+	if v := bm[w] >> off; v != 0 {
+		return from + bits.TrailingZeros64(v), true
+	}
+	for i := 1; i <= wordsPerLevel; i++ {
+		wi := (w + i) & (wordsPerLevel - 1)
+		v := bm[wi]
+		if i == wordsPerLevel {
+			v &= ^(^uint64(0) << off) // wrapped back: only bits below off
+		}
+		if v != 0 {
+			return wi<<6 + bits.TrailingZeros64(v), true
+		}
+	}
+	return 0, false
+}
+
+// drainable reports whether an event at `at` can be placed in the wheel
+// without colliding with the cursor's top-level slot.
+func (e *Engine) drainable(at Time) bool {
+	return at>>topLevelShift < e.cur>>topLevelShift+slotsPerLevel
+}
+
+// advance moves the cursor to t, cascading each higher-level slot the
+// cursor enters. Slots crossed on the way are provably empty: advance is
+// only called with t no later than the base of the first occupied slot of
+// every level.
+func (e *Engine) advance(t Time) {
+	old := e.cur
+	if t <= old {
+		return
+	}
+	e.cur = t
+	if old>>levelBits == t>>levelBits {
+		return // no slot boundary crossed at any level
+	}
+	for l := numLevels - 1; l >= 1; l-- {
+		if old>>(levelBits*l) != t>>(levelBits*l) {
+			e.cascade(l, int(t>>(levelBits*l))&slotMask)
+		}
+	}
+}
+
+// cascade re-buckets every event of slot (l, idx) relative to the new
+// cursor; all of them land on strictly lower levels.
+func (e *Engine) cascade(l, idx int) {
+	s := &e.wheel[l][idx]
+	ev := s.head
+	if ev == nil {
+		return
+	}
+	s.head, s.tail = nil, nil
+	e.clearBit(l, idx)
+	for ev != nil {
+		next := ev.next
+		ev.next, ev.prev = nil, nil
+		e.levelCount[l]--
+		e.enqueue(ev)
+		ev = next
+	}
+}
+
+// popNext removes and returns the earliest pending event if its time is at
+// most limit; otherwise it returns nil, leaving the cursor advanced to
+// limit (when finite) so later bucketing stays tight.
+func (e *Engine) popNext(limit Time) *event {
+	if e.count == 0 {
+		if limit != maxTime {
+			e.advance(limit)
+		}
+		return nil
+	}
+	// Fast path: every pending event lives in level 0 (within 256ns of the
+	// cursor), so no drain, cascade, or higher-level comparison can matter.
+	if e.count == e.levelCount[0] {
+		cursor := int(e.cur) & slotMask
+		idx, _ := e.nextOccupied(0, cursor)
+		if t0 := e.cur + Time((idx-cursor)&slotMask); t0 > limit {
+			e.advance(limit)
+			return nil
+		}
+		return e.popSlot0(idx)
+	}
+	for {
+		// Pull overflow events that now fit in the wheel.
+		for len(e.overflow) > 0 && e.drainable(e.overflow[0].at) {
+			e.enqueue(e.heapRemove(0))
+		}
+
+		// Exact earliest instant resident in level 0.
+		t0 := maxTime
+		idx0 := 0
+		if e.levelCount[0] > 0 {
+			cursor := int(e.cur) & slotMask
+			if idx, ok := e.nextOccupied(0, cursor); ok {
+				t0 = e.cur + Time((idx-cursor)&slotMask)
+				idx0 = idx & slotMask
+			}
+		}
+
+		// Conservative earliest slot base across levels 1..numLevels-1.
+		tHi := maxTime
+		for l := 1; l < numLevels; l++ {
+			if e.levelCount[l] == 0 {
+				continue
+			}
+			cursor := int(e.cur>>(levelBits*l)) & slotMask
+			idx, ok := e.nextOccupied(l, (cursor+1)&slotMask)
+			if !ok {
+				continue
+			}
+			d := (idx - cursor) & slotMask
+			base := (e.cur>>(levelBits*l) + Time(d)) << (levelBits * l)
+			if base < tHi {
+				tHi = base
+			}
+		}
+
+		if t0 == maxTime && tHi == maxTime {
+			// Wheel empty: everything pending is in the overflow heap, so
+			// its (time, seq) top is the global minimum — pop it directly
+			// rather than routing it through the wheel.
+			top := e.overflow[0]
+			if top.at > limit {
+				e.advance(limit)
+				return nil
+			}
+			e.advance(top.at)
+			e.count--
+			return e.heapRemove(0)
+		}
+
+		if t0 < tHi {
+			// Strictly earlier than any event still parked on a higher
+			// level, so FIFO order is safe. On a tie we must cascade
+			// first: the higher slot may hold an earlier-seq event of the
+			// same instant.
+			if t0 > limit {
+				e.advance(limit)
+				return nil
+			}
+			e.advance(t0)
+			return e.popSlot0(idx0)
+		}
+		if tHi > limit {
+			e.advance(limit)
+			return nil
+		}
+		e.advance(tHi)
+	}
+}
+
+// ------------------------------------------------------------ overflow heap
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.level = -1
+	ev.hidx = int32(len(e.overflow))
+	e.overflow = append(e.overflow, ev)
+	e.siftUp(len(e.overflow) - 1)
+}
+
+// heapRemove removes the event at heap index i.
+func (e *Engine) heapRemove(i int) *event {
+	h := e.overflow
+	ev := h[i]
+	last := len(h) - 1
+	h[i] = h[last]
+	h[i].hidx = int32(i)
+	h[last] = nil
+	e.overflow = h[:last]
+	ev.hidx = -1
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	return ev
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.overflow
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].hidx, h[parent].hidx = int32(i), int32(parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) bool {
+	h := e.overflow
+	moved := false
+	for {
+		child := 2*i + 1
+		if child >= len(h) {
+			break
+		}
+		if r := child + 1; r < len(h) && eventLess(h[r], h[child]) {
+			child = r
+		}
+		if !eventLess(h[child], h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		h[i].hidx, h[child].hidx = int32(i), int32(child)
+		i = child
+		moved = true
+	}
+	return moved
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-2 CI: everything tier-1 (build + test) checks, plus static vetting
+# and the race detector. The race pass exercises the parallel experiment
+# fan-out (-exp.parallel), which is what proves experiment cells really are
+# independent — a data race between cells fails this script, not just a
+# flaky benchmark.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+# internal/exp's TestParallelMatchesSerial toggles the parallel fan-out
+# itself, so this pass race-checks the experiment cells too.
+go test -race ./...
+
+echo "CI OK"
