@@ -1,5 +1,6 @@
-# Tier-1: the checks every change must keep green.
-.PHONY: all build test bench ci
+# Tier-1: the checks every change must keep green. See TESTING.md for the
+# full tier ladder.
+.PHONY: all build test bench ci ci-full fuzz-smoke
 
 all: build test
 
@@ -16,3 +17,13 @@ bench:
 # Tier-2: vet + race detector, including the parallel experiment fan-out.
 ci:
 	./scripts/ci.sh
+
+# Tier-3: tier-2 plus the fuzz smoke and a sanitizer-enabled suite run.
+ci-full:
+	./scripts/ci.sh tier3
+
+# 30-second scenario-fuzzer smoke: random scenarios through all seven
+# controllers with the invariant sanitizer on, until the budget expires.
+# Failures print the seed and an exact replay command (see TESTING.md).
+fuzz-smoke:
+	go test ./internal/simfuzz -run TestFuzzSmoke -count=1 -base=2000000 -smoke=30s

@@ -1,0 +1,118 @@
+// iocost-fuzz runs the deterministic scenario fuzzer (internal/simfuzz)
+// standalone: generate scenarios from consecutive seeds, run every controller
+// against each with the invariant sanitizer enabled, and report differential
+// failures. Failing scenarios can be shrunk to minimal reproductions and
+// dumped as JSON for offline replay.
+//
+// Usage:
+//
+//	iocost-fuzz -n 500                 # seeds 1..500
+//	iocost-fuzz -start 1000 -n 200     # seeds 1000..1199
+//	iocost-fuzz -seed 34               # one scenario, verbose
+//	iocost-fuzz -seed 34 -shrink -o min.json
+//	iocost-fuzz -replay min.json       # re-run a dumped scenario
+//
+// Every failure line carries the seed and the go test replay command, so any
+// finding reproduces without this binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/iocost-sim/iocost/internal/simfuzz"
+)
+
+func main() {
+	var (
+		start  = flag.Uint64("start", 1, "first seed")
+		n      = flag.Int("n", 100, "number of scenarios to run")
+		seed   = flag.Int64("seed", -1, "run exactly this seed instead of a range")
+		shrink = flag.Bool("shrink", false, "shrink failing scenarios to minimal reproductions")
+		replay = flag.String("replay", "", "replay a scenario JSON file instead of generating")
+		out    = flag.String("o", "", "write the (shrunk) failing scenario JSON to this file")
+		quiet  = flag.Bool("q", false, "only print failures and the final summary")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		scn, err := simfuzz.ParseScenario(data)
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(report(runOne(scn, *shrink, *out, *quiet)))
+	}
+
+	seeds := make([]uint64, 0, *n)
+	if *seed >= 0 {
+		seeds = append(seeds, uint64(*seed))
+	} else {
+		for i := 0; i < *n; i++ {
+			seeds = append(seeds, *start+uint64(i))
+		}
+	}
+
+	failed := 0
+	for _, s := range seeds {
+		scn := simfuzz.Generate(s)
+		if !*quiet {
+			fmt.Printf("seed=%d dev=%s/%s groups=%d submits=%d weights=%d nocontention=%v\n",
+				s, scn.Dev.Kind, scn.Dev.Profile, len(scn.Groups), len(scn.Submits),
+				len(scn.Weights), scn.NoContention)
+		}
+		failed += report(runOne(scn, *shrink, *out, *quiet))
+	}
+	if failed > 0 {
+		fmt.Printf("FAIL: %d of %d scenarios\n", failed, len(seeds))
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d scenarios, all controllers, zero violations\n", len(seeds))
+}
+
+// runOne checks one scenario, optionally shrinking and dumping a failure.
+// It returns the failure messages.
+func runOne(scn simfuzz.Scenario, shrink bool, out string, quiet bool) []string {
+	failures := simfuzz.Check(scn)
+	if len(failures) == 0 {
+		return nil
+	}
+	if shrink {
+		small := simfuzz.Shrink(scn, func(s simfuzz.Scenario) bool {
+			return len(simfuzz.Check(s)) > 0
+		})
+		fmt.Printf("shrunk: %d -> %d submits, %d -> %d weight events\n",
+			len(scn.Submits), len(small.Submits), len(scn.Weights), len(small.Weights))
+		scn = small
+		failures = simfuzz.Check(scn)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, scn.JSON(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote failing scenario to %s\n", out)
+	} else if !quiet && shrink {
+		os.Stdout.Write(scn.JSON())
+		fmt.Println()
+	}
+	return failures
+}
+
+func report(failures []string) int {
+	for _, f := range failures {
+		fmt.Println(f)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iocost-fuzz:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,26 @@ type Controller interface {
 	Completed(b *bio.Bio)
 }
 
+// Observer receives a callback at every bio life-cycle transition inside the
+// queue. It exists for the invariant sanitizer (internal/check) and for
+// test instrumentation such as golden dispatch-order traces; production
+// paths leave it nil and pay only a nil check.
+//
+// The three hooks bracket the stages the queue itself controls; the
+// submit stage is observable by wrapping the Controller, which is the
+// integration point sanitizers use.
+type Observer interface {
+	// OnIssue runs when a controller releases a bio toward the device
+	// (entry of Queue.Issue), before tag accounting.
+	OnIssue(b *bio.Bio)
+	// OnDispatch runs when the bio acquires a tag and is handed to the
+	// device.
+	OnDispatch(b *bio.Bio)
+	// OnComplete runs when the device finishes the bio, before the
+	// controller and the bio's OnDone are notified.
+	OnComplete(b *bio.Bio)
+}
+
 // DefaultTags is the tag-set size (device queue depth exposed to the block
 // layer) used unless configured otherwise, matching common NVMe settings.
 const DefaultTags = 256
@@ -71,6 +91,8 @@ type Queue struct {
 
 	// iostat is per-cgroup accounting (see iostat.go).
 	iostat map[*cgroup.Node]*CGIOStat
+
+	obs Observer
 }
 
 // New builds a queue over dev controlled by ctl. tags <= 0 selects
@@ -110,6 +132,13 @@ func (q *Queue) Tags() int { return q.tags }
 // InFlight returns the number of bios holding tags.
 func (q *Queue) InFlight() int { return q.inflight }
 
+// Waiting returns the number of issued bios parked waiting for a tag.
+func (q *Queue) Waiting() int { return q.tagWait.Len() }
+
+// SetObserver installs o as the queue's life-cycle observer (nil removes
+// it). At most one observer is supported.
+func (q *Queue) SetObserver(o Observer) { q.obs = o }
+
 // Completions returns the total number of completed bios.
 func (q *Queue) Completions() uint64 { return q.completions }
 
@@ -133,6 +162,9 @@ func (q *Queue) Submit(b *bio.Bio) {
 // queue depletion.
 func (q *Queue) Issue(b *bio.Bio) {
 	b.Issued = q.eng.Now()
+	if q.obs != nil {
+		q.obs.OnIssue(b)
+	}
 	if q.inflight >= q.tags {
 		q.tagWait.Push(b)
 		q.depletionHits++
@@ -151,12 +183,18 @@ func (q *Queue) dispatch(b *bio.Bio) {
 	}
 	q.inflight++
 	q.issuedBytes += uint64(b.Size)
+	if q.obs != nil {
+		q.obs.OnDispatch(b)
+	}
 	q.dev.Submit(b, q.complete)
 }
 
 func (q *Queue) complete(b *bio.Bio) {
 	q.inflight--
 	q.completions++
+	if q.obs != nil {
+		q.obs.OnComplete(b)
+	}
 	if q.inflight == 0 {
 		q.busyTime += q.eng.Now() - q.busyFrom
 	}

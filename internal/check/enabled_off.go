@@ -1,0 +1,7 @@
+//go:build !sanitizer
+
+package check
+
+// Enabled reports whether the sanitizer build tag is active. Build with
+// -tags sanitizer to turn suite-wide invariant checking on.
+const Enabled = false

@@ -1,0 +1,10 @@
+//go:build sanitizer
+
+package check
+
+// Enabled reports whether the sanitizer build tag is active. When true,
+// exp.NewMachine wraps every controller in a Sanitizer, so the whole test
+// suite and every experiment runs with invariant checking on:
+//
+//	go test -tags sanitizer ./...
+const Enabled = true

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/iocost-sim/iocost/internal/cgroup"
+)
+
+// hierTol bounds the drift tolerated between incrementally maintained weight
+// sums and their recomputed values. The incremental sums accumulate one
+// float64 add/sub per weight change, so the achievable error is far below
+// this; anything above it indicates real corruption, not rounding.
+const hierTol = 1e-6
+
+// CheckHierarchy validates the cgroup weight tree:
+//
+//   - every weight is positive and every inuse weight is in (0, Weight];
+//   - the active set is upward closed (an active node's parent is active or
+//     the root) and each node's cached active-children count and
+//     active-weight/active-inuse sums match a recomputation from scratch;
+//   - hweights are conserved level by level: the active children of any node
+//     split exactly their parent's hweight, for both the configured
+//     (HweightActive) and donation-adjusted (HweightInuse) trees, so no
+//     level's shares sum above 1.0;
+//   - globally, the hierarchical inuse shares of all active leaves sum to
+//     1.0 — the whole device is always spoken for, the invariant budget
+//     donation (§3.6) must preserve.
+//
+// fail is called once per violation.
+func CheckHierarchy(h *cgroup.Hierarchy, fail func(msg string)) {
+	failf := func(format string, args ...any) { fail(fmt.Sprintf(format, args...)) }
+
+	var leafInuseSum float64
+	activeLeaves := 0
+
+	h.Walk(func(n *cgroup.Node) {
+		if n.Weight() <= 0 {
+			failf("hier: %s has non-positive weight %v", n.Path(), n.Weight())
+		}
+		if n.Inuse() <= 0 || n.Inuse() > n.Weight()+hierTol {
+			failf("hier: %s inuse %v outside (0, weight=%v]", n.Path(), n.Inuse(), n.Weight())
+		}
+		if n.Active() && n.Parent() != nil && !n.Parent().Active() {
+			failf("hier: %s active but parent %s is not", n.Path(), n.Parent().Path())
+		}
+
+		// Recompute the cached active-children aggregates.
+		kids := 0
+		var wsum, isum float64
+		for _, c := range n.Children() {
+			if c.Active() {
+				kids++
+				wsum += c.Weight()
+				isum += c.Inuse()
+			}
+		}
+		if kids != n.ActiveChildren() {
+			failf("hier: %s caches %d active children, recount finds %d",
+				n.Path(), n.ActiveChildren(), kids)
+		}
+		if math.Abs(wsum-n.ActiveChildWeightSum()) > hierTol {
+			failf("hier: %s active-weight sum drifted: cached %v, recomputed %v",
+				n.Path(), n.ActiveChildWeightSum(), wsum)
+		}
+		if math.Abs(isum-n.ActiveChildInuseSum()) > hierTol {
+			failf("hier: %s active-inuse sum drifted: cached %v, recomputed %v",
+				n.Path(), n.ActiveChildInuseSum(), isum)
+		}
+
+		if !n.Active() {
+			return
+		}
+		hwA, hwI := n.HweightActive(), n.HweightInuse()
+		if hwA <= 0 || hwA > 1+hierTol {
+			failf("hier: %s HweightActive %v outside (0, 1]", n.Path(), hwA)
+		}
+		if hwI <= 0 || hwI > 1+hierTol {
+			failf("hier: %s HweightInuse %v outside (0, 1]", n.Path(), hwI)
+		}
+
+		// Level conservation: active children split the parent exactly.
+		if kids > 0 {
+			var sumA, sumI float64
+			for _, c := range n.Children() {
+				if c.Active() {
+					sumA += c.HweightActive()
+					sumI += c.HweightInuse()
+				}
+			}
+			if math.Abs(sumA-hwA) > hierTol {
+				failf("hier: %s active children HweightActive sum %v != parent %v",
+					n.Path(), sumA, hwA)
+			}
+			if math.Abs(sumI-hwI) > hierTol {
+				failf("hier: %s active children HweightInuse sum %v != parent %v",
+					n.Path(), sumI, hwI)
+			}
+		} else {
+			activeLeaves++
+			leafInuseSum += hwI
+		}
+	})
+
+	// The root counts as an active leaf only when nothing else is active;
+	// its share is trivially 1, so only check the non-trivial case.
+	if activeLeaves > 0 && math.Abs(leafInuseSum-1) > hierTol*float64(activeLeaves) {
+		failf("hier: active-leaf HweightInuse sum %v != 1 across %d leaves",
+			leafInuseSum, activeLeaves)
+	}
+}

@@ -64,6 +64,17 @@ func (c *Controller) donate() int {
 		if cg.IsRoot() || !cg.Active() {
 			continue
 		}
+		// Interior nodes of the active tree never donate on their own
+		// behalf: their usage counter only covers IO charged directly to
+		// them, so an inner node whose children are busy looks idle and
+		// would donate the entitlement its whole subtree depends on,
+		// starving the children (their hweight is the product of ratios
+		// along the path). Surplus inside the subtree is donated by the
+		// leaves; the transfer equations then adjust this node's inuse
+		// along the donor paths.
+		if cg.ActiveChildren() > 0 {
+			continue
+		}
 		// A cgroup that is currently throttled or indebted needs all
 		// of its entitlement.
 		if !st.waiters.Empty() || st.debt > 0 || st.hadWait {

@@ -118,6 +118,111 @@ func TestDonationPropertyInvariants(t *testing.T) {
 	}
 }
 
+// TestDonationChurnProperty drives random activation/deactivation churn
+// between donation passes — cgroups going idle and coming back is the normal
+// steady state of a machine — and checks after every pass that the weight
+// tree stayed conserved:
+//
+//  1. at every level, the active children's hweights sum to exactly the
+//     parent's hweight (in both the entitled and the inuse tree), so no
+//     level's share sum can exceed 1.0;
+//  2. the active leaves' inuse hweights sum to 1 (the device is always
+//     fully owned);
+//  3. hweight donated equals hweight received: summed over active leaves,
+//     losses below entitlement match gains above it.
+func TestDonationChurnProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		c, leaves := buildRandomTree(r)
+		periodV := c.periodVns()
+		root := leaves[0]
+		for !root.IsRoot() {
+			root = root.Parent()
+		}
+
+		for round := 0; round < 8; round++ {
+			for _, l := range leaves {
+				if !r.Bool(0.35) {
+					continue
+				}
+				if l.Active() {
+					l.ResetInuse()
+					l.Deactivate()
+				} else {
+					l.Activate()
+				}
+			}
+			var active []*cgroup.Node
+			for _, l := range leaves {
+				if !l.Active() {
+					continue
+				}
+				active = append(active, l)
+				c.stateFor(l).usage = l.HweightActive() * periodV * r.Float64()
+			}
+			c.donate()
+			if len(active) == 0 {
+				continue
+			}
+
+			ok := true
+			var walk func(n *cgroup.Node)
+			walk = func(n *cgroup.Node) {
+				if n.ActiveChildren() > 0 {
+					var sumA, sumI float64
+					for _, ch := range n.Children() {
+						if ch.Active() {
+							sumA += ch.HweightActive()
+							sumI += ch.HweightInuse()
+						}
+					}
+					if math.Abs(sumA-n.HweightActive()) > 1e-9 ||
+						math.Abs(sumI-n.HweightInuse()) > 1e-9 {
+						t.Logf("seed %d round %d: %s children sum A=%v I=%v, parent A=%v I=%v",
+							seed, round, n.Path(), sumA, sumI, n.HweightActive(), n.HweightInuse())
+						ok = false
+					}
+					if sumA > 1+1e-9 || sumI > 1+1e-9 {
+						t.Logf("seed %d round %d: %s level sum exceeds 1 (A=%v I=%v)",
+							seed, round, n.Path(), sumA, sumI)
+						ok = false
+					}
+				}
+				for _, ch := range n.Children() {
+					walk(ch)
+				}
+			}
+			walk(root)
+			if !ok {
+				return false
+			}
+
+			var sum, donated, received float64
+			for _, l := range active {
+				hwI, hwA := l.HweightInuse(), l.HweightActive()
+				sum += hwI
+				if diff := hwI - hwA; diff > 0 {
+					received += diff
+				} else {
+					donated -= diff
+				}
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Logf("seed %d round %d: active-leaf inuse hweights sum to %v", seed, round, sum)
+				return false
+			}
+			if math.Abs(donated-received) > 1e-6 {
+				t.Logf("seed %d round %d: donated %v != received %v", seed, round, donated, received)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestDonationProportionalSplit: with one donor and several saturated
 // receivers, the donated surplus is divided among receivers in proportion
 // to their entitlements (the paper's Figure 8 property), for random flat

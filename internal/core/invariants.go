@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// invTol absorbs floating-point drift in vtime/debt arithmetic. Costs are
+// occupancy-nanoseconds (1e6–1e9 scale), so 1e-3 is ~12 significant digits
+// below the working range while still catching any real accounting bug.
+const invTol = 1e-3
+
+// CheckInvariants implements the sanitizer's SelfChecker interface
+// (internal/check): it validates the controller's vtime, budget and debt
+// accounting at a quiescent point. It only reads state.
+//
+// The invariants, with the code paths that maintain them:
+//
+//   - vrate stays within the QoS band (clampVrate), and the global vtime it
+//     integrates into is finite.
+//   - Per-cgroup vtime never runs ahead of global vtime by more than the
+//     issue margin: Submit and kickWaiters test the margin *before*
+//     advancing vtime, so post-issue vtime <= gV + marginMin·period·vrate,
+//     and gV is monotone. The bound uses the largest rate vrate can reach.
+//   - An idle cgroup's banked budget (gV - vtime) is capped: clampBudget
+//     enforces the target margin every period, and between clamps gV can
+//     advance at most one period at the maximum rate.
+//   - Debt is non-negative and the sum of outstanding debts never exceeds
+//     the lifetime debt ever incurred (debt only enters via submitForced,
+//     which also bumps totalDebtAbs, and only shrinks via payDebt and
+//     forgiveness).
+//   - A cgroup with queued waiters always has a wake-up kick scheduled, and
+//     never in the past — otherwise its bios would hang forever.
+func (c *Controller) CheckInvariants(fail func(msg string)) {
+	failf := func(format string, args ...any) { fail(fmt.Sprintf(format, args...)) }
+	now := c.q.Now()
+	gV := c.gvtime(now)
+
+	maxRate := c.qos.VrateMax
+	if maxRate < 1 {
+		maxRate = 1 // vrate starts at 1.0 and is only clamped on adjustment
+	}
+	minRate := c.qos.VrateMin
+	if minRate > 1 {
+		minRate = 1
+	}
+	if math.IsNaN(c.vrate) || c.vrate < minRate-invTol || c.vrate > maxRate+invTol {
+		failf("iocost: vrate %v outside [%v, %v]", c.vrate, minRate, maxRate)
+	}
+	if math.IsNaN(gV) || math.IsInf(gV, 0) {
+		failf("iocost: global vtime is %v", gV)
+	}
+
+	periodMaxVns := float64(c.period) * maxRate
+	overdraftBound := marginMinPct*periodMaxVns + invTol
+	budgetBound := (marginTargetPct+1.0)*periodMaxVns + invTol
+
+	var debtSum float64
+	for _, st := range c.order {
+		p := st.cg.Path()
+		if math.IsNaN(st.vtime) || math.IsInf(st.vtime, 0) {
+			failf("iocost: %s vtime is %v", p, st.vtime)
+			continue
+		}
+		if math.IsNaN(st.debt) || math.IsInf(st.debt, 0) || st.debt < 0 {
+			failf("iocost: %s debt %v negative or non-finite", p, st.debt)
+		}
+		debtSum += st.debt
+		if st.usage < 0 || st.lifetimeUsage+invTol < st.usage {
+			failf("iocost: %s period usage %v inconsistent with lifetime usage %v",
+				p, st.usage, st.lifetimeUsage)
+		}
+		if over := st.vtime - gV; over > overdraftBound {
+			failf("iocost: %s overdrew budget: vtime leads global vtime by %v (margin allows %v)",
+				p, over, overdraftBound)
+		}
+		// The banked-budget clamp is skipped at tick time while a cgroup
+		// carries debt or queued waiters, so the bank legitimately grows
+		// during such an episode and is only pulled back by the first
+		// clean periodTick afterwards. (A wait episode inflates the bank
+		// when donation raises the cgroup's hweight mid-wait: the
+		// eventual charge is smaller than the budget accrued while
+		// throttled.) Enforce the bound only once the cgroup has been
+		// debt-free and waiter-free for two full periods, which
+		// guarantees an intervening clamp.
+		if st.waiters.Empty() && st.debt == 0 &&
+			now-st.debtEndAt >= 2*c.period && now-st.waitEndAt >= 2*c.period {
+			if budget := gV - st.vtime; budget > budgetBound {
+				failf("iocost: %s banked %v of budget, clamp allows %v", p, budget, budgetBound)
+			}
+		}
+		if !st.waiters.Empty() && st.kickAt == 0 {
+			failf("iocost: %s has %d waiters but no kick scheduled — bios would hang",
+				p, st.waiters.Len())
+		}
+		if st.kickAt != 0 && st.kickAt < now {
+			failf("iocost: %s kick scheduled in the past (%v < now %v)", p, st.kickAt, now)
+		}
+	}
+
+	if debtSum > c.totalDebtAbs+invTol {
+		failf("iocost: outstanding debt %v exceeds lifetime debt incurred %v",
+			debtSum, c.totalDebtAbs)
+	}
+	if len(c.state) != len(c.order) {
+		failf("iocost: state map has %d entries, order walk has %d", len(c.state), len(c.order))
+	}
+}

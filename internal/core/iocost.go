@@ -128,6 +128,8 @@ type iocg struct {
 	waitNS        sim.Time // total time bios spent queued for budget
 	indebtNS      sim.Time // total time spent with outstanding debt
 	debtSince     sim.Time // start of the current debt episode
+	debtEndAt     sim.Time // end of the last debt episode (0 = never indebted)
+	waitEndAt     sim.Time // last time the wait queue drained (0 = never waited)
 	inDebt        bool
 }
 
@@ -139,6 +141,7 @@ func (st *iocg) noteDebt(now sim.Time) {
 	} else if st.debt == 0 && st.inDebt {
 		st.inDebt = false
 		st.indebtNS += now - st.debtSince
+		st.debtEndAt = now
 	}
 }
 
@@ -367,6 +370,7 @@ func (c *Controller) kickWaiters(st *iocg) {
 	gV := c.gvtime(now)
 	c.payDebt(st, gV)
 
+	hadWaiters := !st.waiters.Empty()
 	for st.debt == 0 {
 		w, ok := st.waiters.Peek()
 		if !ok {
@@ -386,12 +390,17 @@ func (c *Controller) kickWaiters(st *iocg) {
 		c.q.Issue(w.b)
 	}
 
-	if st.waiters.Empty() && st.debt == 0 {
-		if st.kickAt != 0 {
-			c.q.Engine().Cancel(st.kick)
-			st.kickAt = 0
+	if st.waiters.Empty() {
+		if hadWaiters {
+			st.waitEndAt = now
 		}
-		return
+		if st.debt == 0 {
+			if st.kickAt != 0 {
+				c.q.Engine().Cancel(st.kick)
+				st.kickAt = 0
+			}
+			return
+		}
 	}
 
 	// Compute when budget will cover the next obligation.

@@ -10,10 +10,12 @@ import (
 
 	"github.com/iocost-sim/iocost/internal/blk"
 	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/check"
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
 
@@ -162,14 +164,15 @@ func NewMachine(cfg MachineConfig) *Machine {
 	m := &Machine{Eng: eng, Hier: cgroup.NewHierarchy()}
 
 	var ssdSpec *device.SSDSpec
+	devSeed := rng.DeriveSeed(cfg.Seed, 0xde5)
 	switch {
 	case cfg.Device.SSD != nil:
 		ssdSpec = cfg.Device.SSD
-		m.Dev = device.NewSSD(eng, *cfg.Device.SSD, cfg.Seed^0xde5)
+		m.Dev = device.NewSSD(eng, *cfg.Device.SSD, devSeed)
 	case cfg.Device.HDD != nil:
-		m.Dev = device.NewHDD(eng, *cfg.Device.HDD, cfg.Seed^0xde5)
+		m.Dev = device.NewHDD(eng, *cfg.Device.HDD, devSeed)
 	case cfg.Device.Remote != nil:
-		m.Dev = device.NewRemote(eng, *cfg.Device.Remote, cfg.Seed^0xde5)
+		m.Dev = device.NewRemote(eng, *cfg.Device.Remote, devSeed)
 	default:
 		panic("exp: MachineConfig.Device must select a device")
 	}
@@ -225,7 +228,19 @@ func NewMachine(cfg MachineConfig) *Machine {
 		panic(fmt.Sprintf("exp: unknown controller %q", cfg.Controller))
 	}
 
-	m.Q = blk.New(eng, m.Dev, m.Ctl, cfg.Tags)
+	// Under the sanitizer build tag every machine runs with invariant
+	// checking on: violations panic, turning the whole experiment suite
+	// into a sanitizer suite. The sanitizer is read-only, so results are
+	// identical to unsanitized runs. m.Ctl stays the concrete controller
+	// (experiments type-assert it); only the block layer sees the wrapper.
+	// Deep checks are sampled to keep the tagged suite's runtime
+	// reasonable; the per-bio state machine is always enforced.
+	qctl := m.Ctl
+	if check.Enabled {
+		qctl = check.Wrap(m.Ctl, check.Options{Hier: m.Hier, DeepEvery: 64})
+	}
+
+	m.Q = blk.New(eng, m.Dev, qctl, cfg.Tags)
 
 	// Figure 1 hierarchy.
 	m.System = m.Hier.Root().NewChild("system", 50)

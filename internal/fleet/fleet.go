@@ -119,7 +119,7 @@ func RunOp(factory HostFactory, kind OpKind, pressure float64, seed uint64) (sim
 	var finished sim.Time
 	done := false
 	issued, completed := 0, 0
-	rnd := rng.New(seed ^ 0x09)
+	rnd := rng.Derive(seed, 0x09)
 	var pump func()
 	pump = func() {
 		for issued-completed < spec.window && issued < spec.chunks {
@@ -243,7 +243,7 @@ func drawPressure(r *rng.Source) float64 {
 // has fraction w/(Weeks-1) of hosts migrated.
 func MigrationSweep(old, new_ Curve, cfg MigrationConfig) *stats.Series {
 	cfg = cfg.withDefaults()
-	r := rng.New(cfg.Seed ^ 0xf1e7)
+	r := rng.Derive(cfg.Seed, 0xf1e7)
 	s := &stats.Series{Name: old.Kind.String() + "-failures"}
 	for w := 0; w < cfg.Weeks; w++ {
 		migrated := float64(w) / float64(cfg.Weeks-1)

@@ -129,7 +129,7 @@ func NewPool(q *blk.Queue, cfg Config) *Pool {
 		eng:      q.Engine(),
 		q:        q,
 		cfg:      cfg,
-		rnd:      rng.New(cfg.Seed ^ 0x6d656d),
+		rnd:      rng.Derive(cfg.Seed, 0x6d656d),
 		cgs:      make(map[*cgroup.Node]*memCG),
 		wbStates: make(map[*cgroup.Node]*wbState),
 	}

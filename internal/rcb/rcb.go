@@ -94,7 +94,7 @@ func New(q *blk.Queue, pool *mem.Pool, cfg Config) *Bench {
 		q:        q,
 		pool:     pool,
 		cfg:      cfg,
-		rnd:      rng.New(cfg.Seed ^ 0x7cb),
+		rnd:      rng.Derive(cfg.Seed, 0x7cb),
 		rate:     cfg.Rate,
 		Lat:      stats.NewHistogram(),
 		WinLat:   stats.NewHistogram(),

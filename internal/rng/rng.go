@@ -39,6 +39,28 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ (r.Uint64() << 1))
 }
 
+// Derive returns the Source for one named component of a larger seeded
+// entity (a workload's offset stream, a device's noise stream, ...). It is
+// THE entry point for deriving component streams from a scenario seed:
+// every component must obtain its randomness through Derive (or DeriveSeed
+// when a raw seed has to cross an API boundary) with a tag that is unique
+// within the scenario, so that a replay from the same scenario seed is
+// bit-stable no matter what other components exist or in which order they
+// start consuming random numbers.
+//
+// Tags are arbitrary constants; components of one scenario must use
+// distinct tags or their streams collide.
+func Derive(seed, tag uint64) *Source {
+	return New(DeriveSeed(seed, tag))
+}
+
+// DeriveSeed returns the derived seed Derive would construct its Source
+// from, for call sites that must pass a plain uint64 seed down an API
+// (device constructors, nested scenario configs).
+func DeriveSeed(seed, tag uint64) uint64 {
+	return seed ^ tag
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value in the stream.

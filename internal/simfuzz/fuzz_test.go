@@ -1,0 +1,196 @@
+package simfuzz
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/exp"
+)
+
+var (
+	seedFlag  = flag.Int64("seed", -1, "replay the scenario with this seed (TestFuzzReplay)")
+	scenarios = flag.Int("scenarios", 200, "number of random scenarios TestFuzzScenarios runs")
+	baseFlag  = flag.Uint64("base", 1, "first seed for TestFuzzScenarios")
+	smokeDur  = flag.Duration("smoke", 0, "wall-clock budget for TestFuzzSmoke (0 skips)")
+)
+
+// TestFuzzScenarios is the main acceptance gate: a batch of random
+// scenarios, every controller, sanitizer on, differential checks on top.
+func TestFuzzScenarios(t *testing.T) {
+	n := *scenarios
+	if testing.Short() {
+		n = 25
+	}
+	for i := 0; i < n; i++ {
+		seed := *baseFlag + uint64(i)
+		if failures := Check(Generate(seed)); len(failures) > 0 {
+			for _, f := range failures {
+				t.Error(f)
+			}
+			if t.Failed() && i > 10 {
+				t.Fatalf("stopping after first failing scenario (seed=%d)", seed)
+			}
+		}
+	}
+}
+
+// TestFuzzReplay reruns one scenario by seed, as printed in failure
+// messages: go test ./internal/simfuzz -run TestFuzzReplay -seed=N
+func TestFuzzReplay(t *testing.T) {
+	if *seedFlag < 0 {
+		t.Skip("no -seed given; this test exists to replay fuzz failures")
+	}
+	seed := uint64(*seedFlag)
+	scn := Generate(seed)
+	t.Logf("scenario %d: dev=%s/%s groups=%d submits=%d weights=%d nocontention=%v",
+		seed, scn.Dev.Kind, scn.Dev.Profile, len(scn.Groups), len(scn.Submits),
+		len(scn.Weights), scn.NoContention)
+	for _, f := range Check(scn) {
+		t.Error(f)
+	}
+}
+
+// TestFuzzSmoke burns a wall-clock budget on consecutive seeds; CI tier 3
+// runs it via make fuzz-smoke.
+func TestFuzzSmoke(t *testing.T) {
+	if *smokeDur <= 0 {
+		t.Skip("no -smoke budget given")
+	}
+	deadline := time.Now().Add(*smokeDur)
+	seed := *baseFlag + 1_000_000 // disjoint from the fixed batch
+	ran := 0
+	for time.Now().Before(deadline) {
+		if failures := Check(Generate(seed)); len(failures) > 0 {
+			for _, f := range failures {
+				t.Error(f)
+			}
+			return
+		}
+		seed++
+		ran++
+	}
+	t.Logf("smoke: %d scenarios clean in %v", ran, *smokeDur)
+}
+
+func TestScenarioGenerationIsDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if string(a.JSON()) != string(b.JSON()) {
+			t.Fatalf("seed %d generated two different scenarios", seed)
+		}
+	}
+	if string(Generate(1).JSON()) == string(Generate(2).JSON()) {
+		t.Error("distinct seeds generated identical scenarios")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	scn := Generate(7)
+	back, err := ParseScenario(scn.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.JSON()) != string(scn.JSON()) {
+		t.Error("scenario changed across JSON round trip")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	scn := Generate(3)
+	for _, kind := range []string{exp.KindIOCost, exp.KindBFQ} {
+		a, b := Run(scn, kind), Run(scn, kind)
+		if a.Completions != b.Completions || a.Makespan != b.Makespan || a.MaxWait != b.MaxWait {
+			t.Errorf("%s: two runs diverged: %+v vs %+v", kind, a, b)
+		}
+	}
+}
+
+// dropEvery wraps a controller and silently discards every Nth bio — the
+// injected bug used to prove failures reproduce from their printed seed.
+type dropEvery struct {
+	inner blk.Controller
+	n     int
+	count int
+}
+
+func (d *dropEvery) Name() string        { return d.inner.Name() }
+func (d *dropEvery) Attach(q *blk.Queue) { d.inner.Attach(q) }
+func (d *dropEvery) Completed(b *bio.Bio) {
+	d.inner.Completed(b)
+}
+func (d *dropEvery) Submit(b *bio.Bio) {
+	d.count++
+	if d.count%d.n == 0 {
+		return // injected bug: the bio vanishes
+	}
+	d.inner.Submit(b)
+}
+
+// TestInjectedViolationReproducesFromSeed is the acceptance criterion for
+// replayability: inject a violation, capture the seed printed with the
+// failure, regenerate the scenario from that seed alone, and require the
+// identical failure again.
+func TestInjectedViolationReproducesFromSeed(t *testing.T) {
+	mutateCtl = func(c blk.Controller) blk.Controller {
+		return &dropEvery{inner: c, n: 7}
+	}
+	defer func() { mutateCtl = nil }()
+
+	const seed = 99
+	first := Check(Generate(seed))
+	if len(first) == 0 {
+		t.Fatal("injected bio-dropping bug produced no failures")
+	}
+	if !strings.Contains(first[0], "seed=99") ||
+		!strings.Contains(first[0], "-run TestFuzzReplay -seed=99") {
+		t.Fatalf("failure does not carry seed and replay command: %q", first[0])
+	}
+
+	// A replay knows nothing but the printed seed.
+	printed := first[0]
+	i := strings.Index(printed, "seed=") + len("seed=")
+	j := i
+	for j < len(printed) && printed[j] >= '0' && printed[j] <= '9' {
+		j++
+	}
+	parsed, err := strconv.ParseUint(printed[i:j], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := Check(Generate(parsed))
+	if len(second) != len(first) {
+		t.Fatalf("replay from printed seed: %d failures, original had %d",
+			len(second), len(first))
+	}
+	for k := range second {
+		if second[k] != first[k] {
+			t.Errorf("replay failure %d differs:\n  first:  %s\n  second: %s",
+				k, first[k], second[k])
+		}
+	}
+}
+
+func TestShrinkMinimizesFailingScenario(t *testing.T) {
+	mutateCtl = func(c blk.Controller) blk.Controller {
+		return &dropEvery{inner: c, n: 7}
+	}
+	defer func() { mutateCtl = nil }()
+
+	scn := Generate(99)
+	fails := func(s Scenario) bool { return len(Check(s)) > 0 }
+	small := Shrink(scn, fails)
+	if !fails(small) {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	if len(small.Submits) >= len(scn.Submits) {
+		t.Errorf("shrink made no progress: %d -> %d submits",
+			len(scn.Submits), len(small.Submits))
+	}
+	t.Logf("shrunk %d submits / %d weight events -> %d / %d",
+		len(scn.Submits), len(scn.Weights), len(small.Submits), len(small.Weights))
+}

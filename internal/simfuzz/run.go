@@ -1,0 +1,291 @@
+package simfuzz
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/check"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// drainHorizon bounds how long past the last arrival a controller may take
+// to finish the backlog. Generation floors (throttle IOPS limits, weight
+// ranges, tree depth) keep real worst-case drain far below this, so hitting
+// the horizon means bios are stuck, not slow.
+const drainHorizon = 120 * sim.Second
+
+// RunResult is one controller's execution of a scenario.
+type RunResult struct {
+	Kind        string
+	Completions int
+	PerGroup    []int
+	// Makespan is the completion time of the last bio.
+	Makespan sim.Time
+	// MaxWait is the longest any bio was held by the controller before
+	// being issued toward the device.
+	MaxWait sim.Time
+	// Violations are sanitizer findings plus harness-level failures
+	// (drain timeouts).
+	Violations []string
+	Drained    bool
+}
+
+// mutateCtl, when non-nil, wraps every controller under test. The
+// fault-injection tests use it to prove that a violation anywhere in the
+// stack surfaces through the harness and reproduces from its seed.
+var mutateCtl func(blk.Controller) blk.Controller
+
+func buildDevice(eng *sim.Engine, scn Scenario) device.Device {
+	switch scn.Dev.Kind {
+	case "ssd":
+		return device.NewSSD(eng, ssdSpec(scn.Dev.Profile), scn.DevSeed)
+	case "hdd":
+		return device.NewHDD(eng, device.EvalHDD(), scn.DevSeed)
+	case "remote":
+		return device.NewRemote(eng, device.EBSgp3(), scn.DevSeed)
+	default:
+		panic(fmt.Sprintf("simfuzz: unknown device kind %q", scn.Dev.Kind))
+	}
+}
+
+func ssdSpec(profile string) device.SSDSpec {
+	switch profile {
+	case "NewerGenSSD":
+		return device.NewerGenSSD()
+	case "EnterpriseSSD":
+		return device.EnterpriseSSD()
+	default:
+		return device.OlderGenSSD()
+	}
+}
+
+func buildController(kind string, scn Scenario, nodes []*cgroup.Node) blk.Controller {
+	switch kind {
+	case exp.KindNone:
+		return ctl.NewNone()
+	case exp.KindMQDL:
+		return ctl.NewMQDeadline()
+	case exp.KindKyber:
+		return ctl.NewKyber()
+	case exp.KindThrottle:
+		c := ctl.NewThrottle()
+		for i, g := range scn.Groups {
+			if g.ReadIOPS > 0 || g.WriteIOPS > 0 {
+				c.SetLimits(nodes[i], ctl.ThrottleLimits{
+					ReadIOPS:  g.ReadIOPS,
+					WriteIOPS: g.WriteIOPS,
+				})
+			}
+		}
+		return c
+	case exp.KindBFQ:
+		return ctl.NewBFQ()
+	case exp.KindIOLatency:
+		c := ctl.NewIOLatency()
+		for i, g := range scn.Groups {
+			if g.LatTargetMS > 0 {
+				c.SetTarget(nodes[i], sim.Time(g.LatTargetMS*float64(sim.Millisecond)))
+			}
+		}
+		return c
+	case exp.KindIOCost:
+		var cfg core.Config
+		switch scn.Dev.Kind {
+		case "ssd":
+			spec := ssdSpec(scn.Dev.Profile)
+			cfg.Model = core.MustLinearModel(exp.IdealParams(spec))
+			cfg.QoS = exp.TunedQoS(spec)
+		case "hdd":
+			cfg.Model = core.MustLinearModel(exp.IdealHDDParams(device.EvalHDD()))
+			cfg.QoS = core.QoS{
+				RPct: 90, RLat: 15 * sim.Millisecond,
+				WPct: 90, WLat: 40 * sim.Millisecond,
+				VrateMin: 0.1, VrateMax: 1.2,
+			}
+		default:
+			spec := device.EBSgp3()
+			cfg.Model = core.MustLinearModel(exp.IdealRemoteParams(spec))
+			rtt := sim.Time(spec.RTTNS)
+			cfg.QoS = core.QoS{
+				RPct: 90, RLat: 6 * rtt,
+				WPct: 90, WLat: 10 * rtt,
+				VrateMin: 0.25, VrateMax: 1.5,
+			}
+		}
+		return core.New(cfg)
+	default:
+		panic(fmt.Sprintf("simfuzz: unknown controller %q", kind))
+	}
+}
+
+// Run executes the scenario under one controller with the sanitizer enabled
+// and returns what happened. It is fully deterministic in the scenario.
+func Run(scn Scenario, kind string) RunResult {
+	res := RunResult{Kind: kind, PerGroup: make([]int, len(scn.Groups))}
+	eng := sim.New()
+	dev := buildDevice(eng, scn)
+	hier := cgroup.NewHierarchy()
+
+	nodes := make([]*cgroup.Node, len(scn.Groups))
+	for i, g := range scn.Groups {
+		parent := hier.Root()
+		if g.Parent >= 0 {
+			parent = nodes[g.Parent]
+		}
+		nodes[i] = parent.NewChild(g.Name, g.Weight)
+	}
+
+	inner := buildController(kind, scn, nodes)
+	if mutateCtl != nil {
+		inner = mutateCtl(inner)
+	}
+	san := check.Wrap(inner, check.Options{
+		Hier:      hier,
+		Fail:      func(msg string) { res.Violations = append(res.Violations, msg) },
+		DeepEvery: 4,
+	})
+	q := blk.New(eng, dev, san, scn.Tags)
+
+	for _, ev := range scn.Weights {
+		ev := ev
+		eng.At(ev.At, func() { nodes[ev.Group].SetWeight(ev.Weight) })
+	}
+
+	outstanding := 0
+	for _, ev := range scn.Submits {
+		ev := ev
+		outstanding++
+		eng.At(ev.At, func() {
+			q.Submit(&bio.Bio{
+				Op:    bio.Op(ev.Op),
+				Flags: bio.Flags(ev.Flags),
+				Off:   ev.Off,
+				Size:  ev.Size,
+				CG:    nodes[ev.Group],
+				OnDone: func(b *bio.Bio) {
+					outstanding--
+					res.Completions++
+					res.PerGroup[ev.Group]++
+					if b.Completed > res.Makespan {
+						res.Makespan = b.Completed
+					}
+					if w := b.WaitLatency(); w > res.MaxWait {
+						res.MaxWait = w
+					}
+				},
+			})
+		})
+	}
+
+	// Run through the arrival schedule, then drain in bounded steps so a
+	// stuck bio turns into a drain-timeout failure rather than a hang.
+	horizon := scn.Horizon()
+	eng.RunUntil(horizon)
+	for step := sim.Time(0); outstanding > 0 && step < drainHorizon; step += 500 * sim.Millisecond {
+		eng.RunUntil(horizon + step + 500*sim.Millisecond)
+	}
+	res.Drained = outstanding == 0
+
+	san.CheckNow()
+	san.CheckDrained()
+	if !res.Drained {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: %d of %d bios still outstanding %v after last arrival",
+				kind, outstanding, len(scn.Submits), drainHorizon))
+	}
+	return res
+}
+
+// RunAll executes the scenario under every controller kind.
+func RunAll(scn Scenario) []RunResult {
+	results := make([]RunResult, 0, len(exp.AllKinds()))
+	for _, kind := range exp.AllKinds() {
+		results = append(results, Run(scn, kind))
+	}
+	return results
+}
+
+// workConserving lists the kinds the differential makespan check applies
+// to. blk-throttle and iolatency may legitimately idle the device
+// (Table 1), so they are only checked for completion, not timeliness.
+func workConserving(kind string) bool {
+	switch kind {
+	case exp.KindNone, exp.KindMQDL, exp.KindKyber, exp.KindBFQ, exp.KindIOCost:
+		return true
+	}
+	return false
+}
+
+// noContentionWaitBound is the longest IOCost may hold any bio in a
+// no-contention scenario: a couple of planning periods of slack on top of
+// an uncontended issue path that should not wait at all.
+const noContentionWaitBound = 250 * sim.Millisecond
+
+// Check runs the full differential harness for one scenario and returns
+// failure descriptions, empty when the scenario passes. Each failure line
+// carries the seed and replay command.
+func Check(scn Scenario) []string {
+	results := RunAll(scn)
+	var failures []string
+	blame := func(kind, format string, args ...any) {
+		failures = append(failures,
+			fmt.Sprintf("seed=%d ctl=%s: %s\n  replay: go test ./internal/simfuzz -run TestFuzzReplay -seed=%d",
+				scn.Seed, kind, fmt.Sprintf(format, args...), scn.Seed))
+	}
+
+	var noneMakespan sim.Time
+	for _, r := range results {
+		if r.Kind == exp.KindNone {
+			noneMakespan = r.Makespan
+		}
+	}
+
+	for _, r := range results {
+		for _, v := range r.Violations {
+			blame(r.Kind, "invariant violation: %s", v)
+		}
+		if !r.Drained {
+			continue // already reported via Violations
+		}
+		if r.Completions != len(scn.Submits) {
+			blame(r.Kind, "completed %d of %d bios", r.Completions, len(scn.Submits))
+		}
+		for g := range r.PerGroup {
+			want := 0
+			for _, ev := range scn.Submits {
+				if ev.Group == g {
+					want++
+				}
+			}
+			if r.PerGroup[g] != want {
+				blame(r.Kind, "group %s completed %d of %d bios",
+					scn.Groups[g].Name, r.PerGroup[g], want)
+			}
+		}
+		// Work conservation: a work-conserving controller must not take
+		// wildly longer than no controller at all. BFQ's sync idling can
+		// legitimately add up to SliceIdle per service slot, so it gets a
+		// per-bio allowance on top of the generous shared bound.
+		if workConserving(r.Kind) && noneMakespan > 0 {
+			bound := 10*noneMakespan + sim.Second
+			if r.Kind == exp.KindBFQ {
+				bound += sim.Time(len(scn.Submits)) * 2 * sim.Millisecond
+			}
+			if r.Makespan > bound {
+				blame(r.Kind, "not work-conserving: makespan %v vs %v uncontrolled (bound %v)",
+					r.Makespan, noneMakespan, bound)
+			}
+		}
+		if scn.NoContention && r.Kind == exp.KindIOCost && r.MaxWait > noContentionWaitBound {
+			blame(r.Kind, "held a bio %v under no contention (bound %v)",
+				r.MaxWait, noContentionWaitBound)
+		}
+	}
+	return failures
+}

@@ -1,0 +1,299 @@
+// Package simfuzz is a deterministic scenario fuzzer for the simulated IO
+// stack: from a single seed it generates a random cgroup tree, workload mix,
+// weight-change schedule and device profile, then runs every IO controller
+// against the identical bio sequence with the invariant sanitizer
+// (internal/check) enabled and cross-controller differential checks on top.
+//
+// Everything derives from the scenario seed through internal/rng, so any
+// failure reproduces bit-for-bit from the seed printed with it:
+//
+//	go test ./internal/simfuzz -run TestFuzzReplay -seed=N
+//
+// The cmd/iocost-fuzz binary runs the same harness standalone and can shrink
+// failing scenarios to smaller ones.
+package simfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// DeviceSpec names the device model by profile so scenarios stay small and
+// JSON-stable.
+type DeviceSpec struct {
+	Kind    string `json:"kind"`    // "ssd", "hdd", "remote"
+	Profile string `json:"profile"` // profile constructor name
+}
+
+// GroupSpec is one cgroup in the scenario tree.
+type GroupSpec struct {
+	Name   string  `json:"name"`
+	Parent int     `json:"parent"` // index into Groups; -1 = hierarchy root
+	Weight float64 `json:"weight"`
+
+	// ReadIOPS/WriteIOPS configure blk-throttle limits when the controller
+	// under test is blk-throttle (zero = unlimited). Floors in the
+	// generator keep worst-case drain time bounded.
+	ReadIOPS  float64 `json:"read_iops,omitempty"`
+	WriteIOPS float64 `json:"write_iops,omitempty"`
+	// LatTargetMS configures an io.latency target when the controller
+	// under test is iolatency (zero = no target).
+	LatTargetMS float64 `json:"lat_target_ms,omitempty"`
+}
+
+// SubmitEvent is one bio arrival. Arrivals are open-loop (absolute times),
+// so every controller sees the identical sequence regardless of how it
+// throttles — which is what makes cross-controller differential checks
+// valid.
+type SubmitEvent struct {
+	At    sim.Time `json:"at"`
+	Group int      `json:"group"`
+	Op    uint8    `json:"op"` // bio.Op
+	Off   int64    `json:"off"`
+	Size  int64    `json:"size"`
+	Flags uint16   `json:"flags,omitempty"` // bio.Flags
+}
+
+// WeightEvent changes a group's configured weight mid-run.
+type WeightEvent struct {
+	At     sim.Time `json:"at"`
+	Group  int      `json:"group"`
+	Weight float64  `json:"weight"`
+}
+
+// Scenario is a fully explicit, JSON round-trippable test case. Generate
+// fills every field from the seed; Run and Shrink consume only the struct,
+// never the seed, so a shrunk or hand-edited scenario replays exactly.
+type Scenario struct {
+	Seed    uint64        `json:"seed"`
+	Dev     DeviceSpec    `json:"dev"`
+	DevSeed uint64        `json:"dev_seed"`
+	Tags    int           `json:"tags"`
+	Groups  []GroupSpec   `json:"groups"`
+	Weights []WeightEvent `json:"weights,omitempty"`
+	Submits []SubmitEvent `json:"submits"`
+	// NoContention marks scenarios whose offered load is far below device
+	// capability; IOCost must then meet its latency targets (§3.4), which
+	// the differential checks assert.
+	NoContention bool `json:"no_contention,omitempty"`
+}
+
+// Horizon returns the time of the last scheduled event.
+func (s Scenario) Horizon() sim.Time {
+	var last sim.Time
+	for _, ev := range s.Submits {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	for _, ev := range s.Weights {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	return last
+}
+
+// JSON renders the scenario for storage and replay.
+func (s Scenario) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // plain data, cannot fail
+	}
+	return b
+}
+
+// ParseScenario loads a scenario written by JSON.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, err
+	}
+	if err := s.validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+func (s Scenario) validate() error {
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("simfuzz: scenario has no groups")
+	}
+	for i, g := range s.Groups {
+		if g.Parent >= i || g.Parent < -1 {
+			return fmt.Errorf("simfuzz: group %d parent %d out of range", i, g.Parent)
+		}
+		if g.Weight <= 0 {
+			return fmt.Errorf("simfuzz: group %d weight %v not positive", i, g.Weight)
+		}
+	}
+	for i, ev := range s.Submits {
+		if ev.Group < 0 || ev.Group >= len(s.Groups) {
+			return fmt.Errorf("simfuzz: submit %d group %d out of range", i, ev.Group)
+		}
+	}
+	for i, ev := range s.Weights {
+		if ev.Group < 0 || ev.Group >= len(s.Groups) {
+			return fmt.Errorf("simfuzz: weight event %d group %d out of range", i, ev.Group)
+		}
+		if ev.Weight <= 0 {
+			return fmt.Errorf("simfuzz: weight event %d weight %v not positive", i, ev.Weight)
+		}
+	}
+	return nil
+}
+
+// RNG stream tags for Generate; distinct per concern so adding draws to one
+// stream never perturbs the others.
+const (
+	tagShape  = 0x5af0
+	tagTree   = 0x5af1
+	tagLoad   = 0x5af2
+	tagDevice = 0x5af3
+)
+
+// Generation bounds. Weights stay well inside (0, 1000) and trees shallow so
+// the minimum hierarchical weight — which sets worst-case drain time under
+// IOCost — is bounded; throttle IOPS floors bound drain under blk-throttle.
+const (
+	minWeight      = 50
+	maxWeight      = 950
+	minIOPSLimit   = 800
+	maxIOPSLimit   = 4000
+	maxSubmits     = 1000
+	sectorAlign    = 4096
+	maxOffsetRange = 1 << 34
+)
+
+// Generate builds the scenario for seed. Same seed, same scenario, always.
+func Generate(seed uint64) Scenario {
+	shape := rng.Derive(seed, tagShape)
+	s := Scenario{
+		Seed:    seed,
+		DevSeed: rng.DeriveSeed(seed, tagDevice),
+		Tags:    64 << shape.Intn(3), // 64, 128, 256
+	}
+	s.NoContention = shape.Bool(0.15)
+
+	// Device: mostly SSDs; spinning and remote devices only under
+	// contention scenarios (the no-contention latency check assumes SSD
+	// class response times).
+	ssdProfiles := []string{"OlderGenSSD", "NewerGenSSD", "EnterpriseSSD"}
+	switch {
+	case s.NoContention || shape.Bool(0.8):
+		s.Dev = DeviceSpec{Kind: "ssd", Profile: ssdProfiles[shape.Intn(len(ssdProfiles))]}
+	case shape.Bool(0.5):
+		s.Dev = DeviceSpec{Kind: "hdd", Profile: "EvalHDD"}
+	default:
+		s.Dev = DeviceSpec{Kind: "remote", Profile: "EBSgp3"}
+	}
+
+	if s.NoContention {
+		s.genQuiet(rng.Derive(seed, tagLoad))
+		return s
+	}
+	s.genTree(rng.Derive(seed, tagTree))
+	s.genLoad(rng.Derive(seed, tagLoad))
+	return s
+}
+
+// genTree builds 2–6 groups, depth at most two below the root, with weight
+// churn events sprinkled over the run.
+func (s *Scenario) genTree(r *rng.Source) {
+	n := 2 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		g := GroupSpec{
+			Name:   fmt.Sprintf("g%d", i),
+			Parent: -1,
+			Weight: minWeight + r.Float64()*(maxWeight-minWeight),
+		}
+		// A third of later groups nest under an earlier top-level group.
+		if i > 0 && r.Bool(0.33) {
+			p := r.Intn(i)
+			if s.Groups[p].Parent == -1 {
+				g.Parent = p
+			}
+		}
+		if r.Bool(0.4) {
+			g.ReadIOPS = minIOPSLimit + r.Float64()*(maxIOPSLimit-minIOPSLimit)
+			g.WriteIOPS = minIOPSLimit + r.Float64()*(maxIOPSLimit-minIOPSLimit)
+		}
+		if r.Bool(0.3) {
+			g.LatTargetMS = 5 + r.Float64()*45
+		}
+		s.Groups = append(s.Groups, g)
+	}
+
+	for k := r.Intn(9); k > 0; k-- {
+		s.Weights = append(s.Weights, WeightEvent{
+			At:     1 + sim.Time(r.Int63n(int64(1500*sim.Millisecond))),
+			Group:  r.Intn(len(s.Groups)),
+			Weight: minWeight + r.Float64()*(maxWeight-minWeight),
+		})
+	}
+}
+
+// genLoad builds the open-loop arrival schedule: a few hundred to a
+// thousand bios over 0.5–1.5s, mixed directions and sizes, occasional sync
+// and swap/meta flags to exercise the debt path.
+func (s *Scenario) genLoad(r *rng.Source) {
+	count := 200 + r.Intn(maxSubmits-200)
+	span := int64(500*sim.Millisecond) + r.Int63n(int64(sim.Second))
+	for i := 0; i < count; i++ {
+		ev := SubmitEvent{
+			At:    1 + sim.Time(r.Int63n(span)),
+			Group: r.Intn(len(s.Groups)),
+			Off:   r.Int63n(maxOffsetRange/sectorAlign) * sectorAlign,
+			Size:  int64(1+r.Intn(64)) * sectorAlign,
+		}
+		if !r.Bool(0.6) {
+			ev.Op = 1 // write
+		}
+		switch {
+		case r.Bool(0.10):
+			ev.Flags = 1 // sync
+		case r.Bool(0.05):
+			ev.Flags = 2 // swap: forced issue, becomes debt under iocost
+		case r.Bool(0.03):
+			ev.Flags = 4 // meta
+		}
+		s.Submits = append(s.Submits, ev)
+	}
+	s.sortSubmits()
+}
+
+// genQuiet builds a no-contention scenario: one group, paced small IOs far
+// below device capability, nothing else competing.
+func (s *Scenario) genQuiet(r *rng.Source) {
+	s.Groups = []GroupSpec{{Name: "quiet", Parent: -1, Weight: 100}}
+	count := 100 + r.Intn(200)
+	at := sim.Time(1)
+	for i := 0; i < count; i++ {
+		// Mean inter-arrival 4ms => ~250 IOPS of <=32KiB: a few MB/s.
+		at += sim.Time(1*sim.Millisecond) + sim.Time(r.Exp(3e6))
+		ev := SubmitEvent{
+			At:    at,
+			Group: 0,
+			Off:   r.Int63n(maxOffsetRange/sectorAlign) * sectorAlign,
+			Size:  int64(1+r.Intn(8)) * sectorAlign,
+		}
+		if !r.Bool(0.7) {
+			ev.Op = 1
+		}
+		s.Submits = append(s.Submits, ev)
+	}
+}
+
+func (s *Scenario) sortSubmits() {
+	// Insertion sort keeps generation dependency-free and deterministic;
+	// scenario sizes are small.
+	subs := s.Submits
+	for i := 1; i < len(subs); i++ {
+		for j := i; j > 0 && subs[j].At < subs[j-1].At; j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+}

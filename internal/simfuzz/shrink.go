@@ -1,0 +1,92 @@
+package simfuzz
+
+// Shrinking: given a failing scenario, greedily try smaller variants that
+// still fail, so the reproduction a human debugs is as small as possible.
+// Transformations operate on the explicit Scenario struct — never the seed —
+// so every candidate replays deterministically.
+
+// Shrink minimizes scn while fails keeps reporting failures for it. fails
+// is typically Check (wrapped to a bool); tests inject narrower predicates.
+// The result is guaranteed to still fail.
+func Shrink(scn Scenario, fails func(Scenario) bool) Scenario {
+	if !fails(scn) {
+		return scn
+	}
+	for {
+		smaller, ok := shrinkStep(scn, fails)
+		if !ok {
+			return scn
+		}
+		scn = smaller
+	}
+}
+
+// shrinkStep tries each transformation in order and returns the first
+// strictly smaller scenario that still fails.
+func shrinkStep(scn Scenario, fails func(Scenario) bool) (Scenario, bool) {
+	for _, cand := range candidates(scn) {
+		if fails(cand) {
+			return cand, true
+		}
+	}
+	return scn, false
+}
+
+func size(s Scenario) int {
+	return len(s.Submits) + len(s.Weights) + 8*activeGroups(s)
+}
+
+// activeGroups counts groups that still receive submits.
+func activeGroups(s Scenario) int {
+	used := make(map[int]bool)
+	for _, ev := range s.Submits {
+		used[ev.Group] = true
+	}
+	return len(used)
+}
+
+func candidates(s Scenario) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) {
+		if size(c) < size(s) && len(c.Submits) > 0 {
+			out = append(out, c)
+		}
+	}
+
+	// Halve the submit schedule, either end.
+	if n := len(s.Submits); n > 1 {
+		add(withSubmits(s, append([]SubmitEvent(nil), s.Submits[:n/2]...)))
+		add(withSubmits(s, append([]SubmitEvent(nil), s.Submits[n/2:]...)))
+	}
+	// Drop all submits of one group (groups stay, so indexes remain valid).
+	for g := range s.Groups {
+		var kept []SubmitEvent
+		for _, ev := range s.Submits {
+			if ev.Group != g {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) < len(s.Submits) {
+			add(withSubmits(s, kept))
+		}
+	}
+	// Drop weight churn, wholesale then halves.
+	if n := len(s.Weights); n > 0 {
+		add(withWeights(s, nil))
+		if n > 1 {
+			add(withWeights(s, append([]WeightEvent(nil), s.Weights[:n/2]...)))
+			add(withWeights(s, append([]WeightEvent(nil), s.Weights[n/2:]...)))
+		}
+	}
+	return out
+}
+
+func withSubmits(s Scenario, subs []SubmitEvent) Scenario {
+	s.Submits = subs
+	return s
+}
+
+func withWeights(s Scenario, ws []WeightEvent) Scenario {
+	s.Weights = ws
+	return s
+}

@@ -81,7 +81,7 @@ func NewLoadShedder(q *blk.Queue, cfg LoadShedderConfig) *LoadShedder {
 	}
 	return &LoadShedder{
 		q: q, cg: cfg.CG, op: cfg.Op, pat: cfg.Pattern, sz: cfg.Size,
-		reg:     region{base: cfg.Region, size: cfg.Span, rnd: rng.New(cfg.Seed ^ 0x10ad)},
+		reg:     region{base: cfg.Region, size: cfg.Span, rnd: rng.Derive(cfg.Seed, 0x10ad)},
 		target:  cfg.Target,
 		window:  cfg.Window,
 		rate:    cfg.InitialRate,

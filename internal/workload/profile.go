@@ -60,7 +60,7 @@ func NewReplayer(q *blk.Queue, cg *cgroup.Node, p DemandProfile, base int64, see
 	if p.IOSize <= 0 {
 		p.IOSize = 16 << 10
 	}
-	r := rng.New(seed ^ 0x4e4f)
+	r := rng.Derive(seed, 0x4e4f)
 	return &Replayer{
 		q: q, cg: cg, profile: p, rnd: r,
 		randReg:    region{base: base, size: 8 << 30, rnd: r.Split()},

@@ -111,7 +111,7 @@ func NewSaturator(q *blk.Queue, cfg SaturatorConfig) *Saturator {
 	}
 	return &Saturator{
 		q: q, cg: cfg.CG, op: cfg.Op, pat: cfg.Pattern, sz: cfg.Size, dep: cfg.Depth,
-		reg:   region{base: cfg.Region, size: cfg.Span, rnd: rng.New(cfg.Seed ^ 0x5a7)},
+		reg:   region{base: cfg.Region, size: cfg.Span, rnd: rng.Derive(cfg.Seed, 0x5a7)},
 		Stats: newStats(),
 	}
 }
@@ -180,7 +180,7 @@ func NewThinkTime(q *blk.Queue, cfg ThinkTimeConfig) *ThinkTime {
 	}
 	return &ThinkTime{
 		q: q, cg: cfg.CG, op: cfg.Op, pat: cfg.Pattern, sz: cfg.Size, think: cfg.Think,
-		reg:   region{base: cfg.Region, size: cfg.Span, rnd: rng.New(cfg.Seed ^ 0x71417)},
+		reg:   region{base: cfg.Region, size: cfg.Span, rnd: rng.Derive(cfg.Seed, 0x71417)},
 		Stats: newStats(),
 	}
 }

@@ -143,7 +143,7 @@ func NewCluster(queues []*blk.Queue, cgFor CGFor, cfg Config) *Cluster {
 	if len(queues) != cfg.Machines {
 		panic("zk: queue count must match cfg.Machines")
 	}
-	c := &Cluster{cfg: cfg, queues: queues, rnd: rng.New(cfg.Seed ^ 0x7a6b)}
+	c := &Cluster{cfg: cfg, queues: queues, rnd: rng.Derive(cfg.Seed, 0x7a6b)}
 	for e := 0; e < cfg.Ensembles; e++ {
 		ens := &ensemble{
 			id:      e,

@@ -4,9 +4,18 @@
 # fan-out (-exp.parallel), which is what proves experiment cells really are
 # independent — a data race between cells fails this script, not just a
 # flaky benchmark.
+#
+# Tier-3 (./scripts/ci.sh tier3): tier-2 plus a wall-clock-budgeted scenario
+# fuzz smoke and the whole suite re-run with the invariant sanitizer
+# compiled in. See TESTING.md.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+tier3=false
+if [ "${1:-}" = "tier3" ]; then
+	tier3=true
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -21,5 +30,18 @@ echo "== go test -race ./..."
 # internal/exp's TestParallelMatchesSerial toggles the parallel fan-out
 # itself, so this pass race-checks the experiment cells too.
 go test -race ./...
+
+if $tier3; then
+	echo "== fuzz smoke (30s)"
+	# Seeds start past the deterministic TestFuzzScenarios range so the
+	# smoke explores scenarios the fixed suite has not already covered.
+	make fuzz-smoke
+
+	echo "== go test -tags sanitizer ./..."
+	# The sanitizer wraps every controller with the invariant checker, so
+	# this pass runs the entire suite and every experiment with life-cycle,
+	# hweight and vtime/debt conservation checks live.
+	go test -tags sanitizer ./...
+fi
 
 echo "CI OK"
