@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench ci ci-full fuzz-smoke
+.PHONY: all build test bench ci ci-full fuzz-smoke trace-smoke
 
 all: build test
 
@@ -27,3 +27,17 @@ ci-full:
 # Failures print the seed and an exact replay command (see TESTING.md).
 fuzz-smoke:
 	go test ./internal/simfuzz -run TestFuzzSmoke -count=1 -base=2000000 -smoke=30s
+
+# Telemetry round-trip smoke: capture the same scenario seed twice and
+# require byte-identical binary traces (capture determinism), then run the
+# dump, analyze, diff and export passes over them. Part of tier-2 CI.
+trace-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	go run ./cmd/iocost-trace capture -seed 7 -o "$$dir/a.trace" >/dev/null; \
+	go run ./cmd/iocost-trace capture -seed 7 -o "$$dir/b.trace" >/dev/null; \
+	cmp "$$dir/a.trace" "$$dir/b.trace"; \
+	go run ./cmd/iocost-trace dump -n 10 "$$dir/a.trace" >/dev/null; \
+	go run ./cmd/iocost-trace analyze "$$dir/a.trace" >/dev/null; \
+	go run ./cmd/iocost-trace diff "$$dir/a.trace" "$$dir/b.trace" >/dev/null; \
+	go run ./cmd/iocost-trace export -o "$$dir/a.txt" "$$dir/a.trace" >/dev/null; \
+	echo "trace-smoke OK: capture deterministic, toolchain round-trips"

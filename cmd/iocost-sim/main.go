@@ -7,6 +7,7 @@
 //
 //	iocost-sim [-controller iocost] [-device older-gen] [-seconds 10]
 //	           [-hi-weight 200] [-lo-weight 100] [-depth 32] [-size 4096]
+//	           [-replay trace.txt] [-trace run.trace] [-pressure]
 package main
 
 import (
@@ -29,7 +30,9 @@ func main() {
 	seq := flag.Bool("seq", false, "sequential instead of random access")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	monitor := flag.Bool("monitor", false, "print per-cgroup iocost state each second (iocost only)")
-	traceFile := flag.String("trace", "", "replay this IO trace in the high-priority cgroup instead of a saturator (format: time-us r|w offset size)")
+	replayFile := flag.String("replay", "", "replay this IO trace in the high-priority cgroup instead of a saturator (format: time-us r|w offset size [cgroup])")
+	traceOut := flag.String("trace", "", "record a binary telemetry trace of the run to this file (inspect with iocost-trace)")
+	pressure := flag.Bool("pressure", false, "print per-cgroup io.pressure at the end of the run")
 	flag.Parse()
 
 	var dev iocost.DeviceChoice
@@ -51,6 +54,8 @@ func main() {
 		Device:     dev,
 		Controller: *controller,
 		Seed:       *seed,
+		Trace:      *traceOut != "",
+		Pressure:   *pressure,
 	})
 	hi := m.Workload.NewChild("hi", *hiWeight)
 	lo := m.Workload.NewChild("lo", *loWeight)
@@ -70,8 +75,8 @@ func main() {
 
 	var hiStats *iocost.Saturator
 	var hiTrace *iocost.TraceReplayer
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iocost-sim: %v\n", err)
 			os.Exit(1)
@@ -119,5 +124,17 @@ func main() {
 		if *monitor && m.IOCost != nil {
 			fmt.Print(m.IOCost.FormatSnapshot())
 		}
+	}
+	if *pressure {
+		fmt.Print(m.Pressure.Format())
+	}
+	if *traceOut != "" {
+		tr := m.Trace.Trace()
+		if err := iocost.WriteTrace(*traceOut, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "iocost-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events (%d dropped) -> %s\n",
+			len(tr.Events), tr.Dropped, *traceOut)
 	}
 }

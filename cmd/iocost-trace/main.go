@@ -1,0 +1,155 @@
+// iocost-trace is the telemetry toolchain for the simulator's blktrace
+// equivalent: capture binary traces from deterministic scenarios, dump and
+// analyze them (per-cgroup latency percentiles, throttle attribution,
+// io.pressure reconstruction, queue-depth timelines), diff two traces
+// event-by-event, and export a captured trace as a replayable workload
+// trace.
+//
+// Usage:
+//
+//	iocost-trace capture -seed 7 -o run.trace        # fuzz scenario, all from one seed
+//	iocost-trace capture -seed 7 -controller bfq -o bfq.trace
+//	iocost-trace dump [-n 50] run.trace              # one line per event
+//	iocost-trace analyze run.trace                   # latency/pressure report
+//	iocost-trace diff a.trace b.trace                # first divergence + summary
+//	iocost-trace export -o run.txt run.trace         # workload text format
+//
+// Captures are deterministic: the same seed and controller always produce a
+// byte-identical trace, so diff doubles as a regression check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/iocost-sim/iocost/internal/simfuzz"
+	"github.com/iocost-sim/iocost/internal/trace"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "capture":
+		capture(args)
+	case "dump":
+		dump(args)
+	case "analyze":
+		analyze(args)
+	case "diff":
+		diff(args)
+	case "export":
+		export(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: iocost-trace capture|dump|analyze|diff|export [args]\n"+
+		"  capture -seed N [-controller iocost] [-o file.trace]\n"+
+		"  dump    [-n events] file.trace\n"+
+		"  analyze file.trace\n"+
+		"  diff    a.trace b.trace\n"+
+		"  export  [-o file.txt] file.trace")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "iocost-trace: %v\n", err)
+	os.Exit(1)
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simfuzz scenario seed")
+	kind := fs.String("controller", "iocost", "controller to run the scenario under")
+	out := fs.String("o", "", "output file (default seed<N>-<controller>.trace)")
+	fs.Parse(args)
+
+	scn := simfuzz.Generate(*seed)
+	res, tr := simfuzz.Capture(scn, *kind)
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("seed%d-%s.trace", *seed, *kind)
+	}
+	if err := trace.WriteFile(path, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("captured %d events (%d cgroups, %d dropped) from seed %d under %s -> %s\n",
+		len(tr.Events), len(tr.CGroups), tr.Dropped, *seed, *kind, path)
+	fmt.Printf("scenario: %d bios, %d groups, completions=%d makespan=%v\n",
+		len(scn.Submits), len(scn.Groups), res.Completions, res.Makespan)
+	for _, v := range res.Violations {
+		fmt.Printf("violation during capture: %s\n", v)
+	}
+}
+
+func load(path string) *trace.Trace {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	n := fs.Int("n", 0, "dump at most this many events (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	fmt.Print(trace.FormatEvents(load(fs.Arg(0)), *n))
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	fmt.Print(trace.Analyze(load(fs.Arg(0))).Format())
+}
+
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	d := trace.Diff(load(fs.Arg(0)), load(fs.Arg(1)))
+	fmt.Print(d.Report)
+	if !d.Identical {
+		os.Exit(1)
+	}
+}
+
+func export(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	ops := trace.WorkloadOps(load(fs.Arg(0)))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.FormatTrace(w, ops); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("exported %d ops -> %s\n", len(ops), *out)
+	}
+}

@@ -36,14 +36,19 @@ type Controller interface {
 }
 
 // Observer receives a callback at every bio life-cycle transition inside the
-// queue. It exists for the invariant sanitizer (internal/check) and for
-// test instrumentation such as golden dispatch-order traces; production
-// paths leave it nil and pay only a nil check.
+// queue. It exists for the invariant sanitizer (internal/check), the
+// telemetry recorder (internal/trace, internal/metrics) and for test
+// instrumentation such as golden dispatch-order traces; production paths
+// register none and pay only a length check.
 //
-// The three hooks bracket the stages the queue itself controls; the
-// submit stage is observable by wrapping the Controller, which is the
-// integration point sanitizers use.
+// A queue supports multiple observers (AddObserver); they are invoked in
+// registration order at every hook, which keeps instrumented runs
+// deterministic regardless of how many observers are stacked.
 type Observer interface {
+	// OnSubmit runs when a bio enters the block layer (Queue.Submit),
+	// after its Submitted timestamp and sequence number are assigned and
+	// its cgroup activated, before the controller sees it.
+	OnSubmit(b *bio.Bio)
 	// OnIssue runs when a controller releases a bio toward the device
 	// (entry of Queue.Issue), before tag accounting.
 	OnIssue(b *bio.Bio)
@@ -92,7 +97,9 @@ type Queue struct {
 	// iostat is per-cgroup accounting (see iostat.go).
 	iostat map[*cgroup.Node]*CGIOStat
 
-	obs Observer
+	// obs are the registered life-cycle observers, invoked in
+	// registration order at every hook.
+	obs []Observer
 }
 
 // New builds a queue over dev controlled by ctl. tags <= 0 selects
@@ -135,9 +142,28 @@ func (q *Queue) InFlight() int { return q.inflight }
 // Waiting returns the number of issued bios parked waiting for a tag.
 func (q *Queue) Waiting() int { return q.tagWait.Len() }
 
-// SetObserver installs o as the queue's life-cycle observer (nil removes
-// it). At most one observer is supported.
-func (q *Queue) SetObserver(o Observer) { q.obs = o }
+// SetObserver replaces the queue's observer set with exactly o (nil clears
+// every observer). Prefer AddObserver; this exists for tests that want a
+// clean slate.
+func (q *Queue) SetObserver(o Observer) {
+	q.obs = q.obs[:0]
+	if o != nil {
+		q.obs = append(q.obs, o)
+	}
+}
+
+// AddObserver registers o as a life-cycle observer. Observers run in
+// registration order at every hook, so stacking the sanitizer and the
+// telemetry recorder on one queue is deterministic.
+func (q *Queue) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	q.obs = append(q.obs, o)
+}
+
+// Observers returns the registered observers in invocation order.
+func (q *Queue) Observers() []Observer { return q.obs }
 
 // Completions returns the total number of completed bios.
 func (q *Queue) Completions() uint64 { return q.completions }
@@ -154,6 +180,9 @@ func (q *Queue) Submit(b *bio.Bio) {
 	if b.CG != nil {
 		b.CG.Activate()
 	}
+	for _, o := range q.obs {
+		o.OnSubmit(b)
+	}
 	q.ctl.Submit(b)
 }
 
@@ -162,8 +191,8 @@ func (q *Queue) Submit(b *bio.Bio) {
 // queue depletion.
 func (q *Queue) Issue(b *bio.Bio) {
 	b.Issued = q.eng.Now()
-	if q.obs != nil {
-		q.obs.OnIssue(b)
+	for _, o := range q.obs {
+		o.OnIssue(b)
 	}
 	if q.inflight >= q.tags {
 		q.tagWait.Push(b)
@@ -183,8 +212,8 @@ func (q *Queue) dispatch(b *bio.Bio) {
 	}
 	q.inflight++
 	q.issuedBytes += uint64(b.Size)
-	if q.obs != nil {
-		q.obs.OnDispatch(b)
+	for _, o := range q.obs {
+		o.OnDispatch(b)
 	}
 	q.dev.Submit(b, q.complete)
 }
@@ -192,8 +221,8 @@ func (q *Queue) dispatch(b *bio.Bio) {
 func (q *Queue) complete(b *bio.Bio) {
 	q.inflight--
 	q.completions++
-	if q.obs != nil {
-		q.obs.OnComplete(b)
+	for _, o := range q.obs {
+		o.OnComplete(b)
 	}
 	if q.inflight == 0 {
 		q.busyTime += q.eng.Now() - q.busyFrom

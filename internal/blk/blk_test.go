@@ -130,3 +130,60 @@ func TestIOStatAccounting(t *testing.T) {
 		t.Errorf("idle cgroup stat = %+v", got)
 	}
 }
+
+// orderObs records which observer saw which hook in which order, to pin the
+// multi-observer fan-out contract: registration order, every hook.
+type orderObs struct {
+	name string
+	log  *[]string
+}
+
+func (o *orderObs) OnSubmit(*bio.Bio)   { *o.log = append(*o.log, o.name+":submit") }
+func (o *orderObs) OnIssue(*bio.Bio)    { *o.log = append(*o.log, o.name+":issue") }
+func (o *orderObs) OnDispatch(*bio.Bio) { *o.log = append(*o.log, o.name+":dispatch") }
+func (o *orderObs) OnComplete(*bio.Bio) { *o.log = append(*o.log, o.name+":complete") }
+
+func TestMultipleObserversFanOutInRegistrationOrder(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	var log []string
+	q.AddObserver(&orderObs{"a", &log})
+	q.AddObserver(&orderObs{"b", &log})
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg})
+	eng.Run()
+	want := []string{
+		"a:submit", "b:submit",
+		"a:issue", "b:issue",
+		"a:dispatch", "b:dispatch",
+		"a:complete", "b:complete",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("observer log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("observer log[%d] = %q, want %q (full log %v)", i, log[i], want[i], log)
+		}
+	}
+}
+
+func TestSetObserverReplacesAll(t *testing.T) {
+	eng, q, cg := newQueue(t, 0)
+	var log []string
+	q.AddObserver(&orderObs{"a", &log})
+	q.AddObserver(&orderObs{"b", &log})
+	q.SetObserver(&orderObs{"c", &log})
+	if n := len(q.Observers()); n != 1 {
+		t.Fatalf("Observers() has %d entries after SetObserver, want 1", n)
+	}
+	q.Submit(&bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg})
+	eng.Run()
+	for _, e := range log {
+		if e[0] != 'c' {
+			t.Fatalf("replaced observer still invoked: %v", log)
+		}
+	}
+	q.SetObserver(nil)
+	if n := len(q.Observers()); n != 0 {
+		t.Fatalf("Observers() has %d entries after SetObserver(nil), want 0", n)
+	}
+}

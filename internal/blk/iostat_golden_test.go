@@ -1,0 +1,63 @@
+package blk_test
+
+// Golden pin of the FormatIOStat rendering: rows must come out sorted by
+// cgroup path — never in map-iteration order — and the row format is part
+// of the tool-facing surface (scripts/ci.sh and cmd output parse nothing,
+// but humans diff it). Regenerate after an intentional change with:
+//
+//	UPDATE_IOSTAT_GOLDEN=1 go test ./internal/blk -run TestFormatIOStatGolden
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func TestFormatIOStatGolden(t *testing.T) {
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.OlderGenSSD(), 42)
+	q := blk.New(eng, dev, ctl.NewNone(), 0)
+	h := cgroup.NewHierarchy()
+	// Create and submit in deliberately non-alphabetical order; the output
+	// must still sort /apps before /mem before /zfs.
+	zfs := h.Root().NewChild("zfs", 100)
+	apps := h.Root().NewChild("apps", 100)
+	mem := h.Root().NewChild("mem", 100)
+	for i, cg := range []*cgroup.Node{zfs, apps, mem, zfs, apps} {
+		q.Submit(&bio.Bio{Op: bio.Op(uint8(i % 2)), Off: int64(i) << 20, Size: 4096, CG: cg})
+	}
+	eng.Run()
+	got := q.FormatIOStat()
+
+	// Structural invariant first: sorted row order.
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		paths = append(paths, strings.Fields(line)[0])
+	}
+	if want := []string{"/apps", "/mem", "/zfs"}; len(paths) != 3 ||
+		paths[0] != want[0] || paths[1] != want[1] || paths[2] != want[2] {
+		t.Fatalf("row order = %v, want %v", paths, []string{"/apps", "/mem", "/zfs"})
+	}
+
+	path := filepath.Join("testdata", "iostat_golden.txt")
+	if os.Getenv("UPDATE_IOSTAT_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with UPDATE_IOSTAT_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("FormatIOStat drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

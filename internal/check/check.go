@@ -150,11 +150,12 @@ func (s *Sanitizer) now() sim.Time {
 // Name implements blk.Controller, transparently.
 func (s *Sanitizer) Name() string { return s.inner.Name() }
 
-// Attach implements blk.Controller: it installs the sanitizer as the
-// queue's observer and attaches the wrapped controller.
+// Attach implements blk.Controller: it registers the sanitizer as a queue
+// observer and attaches the wrapped controller. Other observers (telemetry
+// recorders, golden-trace instrumentation) can coexist on the same queue.
 func (s *Sanitizer) Attach(q *blk.Queue) {
 	s.q = q
-	q.SetObserver(s)
+	q.AddObserver(s)
 	s.inner.Attach(q)
 }
 
@@ -186,6 +187,11 @@ func (s *Sanitizer) Completed(b *bio.Bio) {
 	s.depth--
 	s.quiescent()
 }
+
+// OnSubmit implements blk.Observer. Submission checks live in the
+// Controller wrapper's Submit, which also brackets the controller's own
+// work; the observer hook has nothing left to verify.
+func (s *Sanitizer) OnSubmit(*bio.Bio) {}
 
 // OnIssue implements blk.Observer.
 func (s *Sanitizer) OnIssue(b *bio.Bio) {

@@ -72,6 +72,33 @@ const debtStallThreshold = 8 * float64(sim.Millisecond)
 // cgroup whose oldest waiter has been queued longer than the threshold.
 var DebugSlowWaiter func(cg *cgroup.Node, age sim.Time, waiters int, budget, rel, hw, vrate, debt float64)
 
+// CtlEventKind identifies a controller-level telemetry event delivered to
+// an EventSink.
+type CtlEventKind uint8
+
+const (
+	// CtlVrateChange fires whenever vrate is re-based to a new value;
+	// value is the new vrate.
+	CtlVrateChange CtlEventKind = iota + 1
+	// CtlDonation fires after a donation pass that found donors; value is
+	// the donor count.
+	CtlDonation
+	// CtlDebtIncur fires when forced (swap/meta) IO puts a cgroup into
+	// debt; cg is the charged cgroup and value its outstanding debt in
+	// occupancy-ns.
+	CtlDebtIncur
+	// CtlPeriodTick fires at the end of every planning period; value is
+	// the vrate in force for the next period.
+	CtlPeriodTick
+)
+
+// EventSink receives controller-level telemetry events. The telemetry
+// recorder (internal/trace) implements it; production paths leave the sink
+// nil and pay one nil check per event site.
+type EventSink interface {
+	ControllerEvent(at sim.Time, kind CtlEventKind, cg *cgroup.Node, value float64)
+}
+
 // Controller is the IOCost IO controller. It implements blk.Controller.
 type Controller struct {
 	cfg    Config
@@ -107,6 +134,9 @@ type Controller struct {
 	totalIssued  uint64
 	totalWaited  uint64
 	totalDebtAbs float64
+
+	// sink, when non-nil, receives controller-level telemetry events.
+	sink EventSink
 }
 
 // iocg is the per-cgroup controller state.
@@ -217,11 +247,21 @@ func (c *Controller) gvtime(now sim.Time) float64 {
 	return c.vbase + float64(now-c.tbase)*c.vrate
 }
 
+// SetEventSink installs s as the controller's telemetry sink (nil removes
+// it). The sink sees vrate changes, donation passes, debt incursion and
+// period ticks — the controller-side events a trace needs to explain why
+// bios waited.
+func (c *Controller) SetEventSink(s EventSink) { c.sink = s }
+
 // setVrate re-bases the global vtime and applies a new rate.
 func (c *Controller) setVrate(now sim.Time, vrate float64) {
+	changed := vrate != c.vrate
 	c.vbase = c.gvtime(now)
 	c.tbase = now
 	c.vrate = vrate
+	if changed && c.sink != nil {
+		c.sink.ControllerEvent(now, CtlVrateChange, nil, vrate)
+	}
 }
 
 func (c *Controller) clampVrate() {
@@ -345,6 +385,9 @@ func (c *Controller) submitForced(b *bio.Bio, st *iocg, abs float64, gV float64)
 		target.debt += abs
 		c.totalDebtAbs += abs
 		target.noteDebt(c.q.Now())
+		if c.sink != nil {
+			c.sink.ControllerEvent(c.q.Now(), CtlDebtIncur, target.cg, target.debt)
+		}
 	}
 	c.totalIssued++
 	c.q.Issue(b)
@@ -485,6 +528,9 @@ func (c *Controller) periodTick() {
 	donors := 0
 	if !c.cfg.DisableDonation {
 		donors = c.donate()
+		if donors > 0 && c.sink != nil {
+			c.sink.ControllerEvent(now, CtlDonation, nil, float64(donors))
+		}
 	}
 
 	// --- Per-cgroup upkeep: clamp banked budget, kick waiters, deactivate
@@ -546,6 +592,10 @@ func (c *Controller) periodTick() {
 	c.latMet = [2]uint64{}
 	c.latMissed = [2]uint64{}
 	c.shortage = false
+
+	if c.sink != nil {
+		c.sink.ControllerEvent(now, CtlPeriodTick, nil, c.vrate)
+	}
 }
 
 // Debt returns cg's outstanding absolute debt in occupancy-nanoseconds.

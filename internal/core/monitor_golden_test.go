@@ -1,0 +1,61 @@
+package core_test
+
+// Golden pin of the FormatSnapshot rendering (the iocost_monitor
+// equivalent): the header plus one row per cgroup, sorted by path
+// regardless of controller-internal map order. Regenerate after an
+// intentional format or behavior change with:
+//
+//	UPDATE_SNAPSHOT_GOLDEN=1 go test ./internal/core -run TestFormatSnapshotGolden
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func TestFormatSnapshotGolden(t *testing.T) {
+	r := newRig(t, device.OlderGenSSD(), core.Config{})
+	// Non-alphabetical creation order; rows must render sorted.
+	web := r.hier.Root().NewChild("web", 200)
+	batch := r.hier.Root().NewChild("batch", 100)
+	adhoc := r.hier.Root().NewChild("adhoc", 50)
+	for i, cg := range []*cgroup.Node{web, batch, adhoc, web} {
+		for j := 0; j < 8; j++ {
+			r.q.Submit(&bio.Bio{
+				Op: bio.Read, Off: int64(i*64+j) << 20, Size: 4096, CG: cg,
+			})
+		}
+	}
+	r.eng.RunUntil(20 * sim.Millisecond)
+	got := r.ctl.FormatSnapshot()
+
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n")[2:] {
+		paths = append(paths, strings.Fields(line)[0])
+	}
+	if want := []string{"/adhoc", "/batch", "/web"}; len(paths) != 3 ||
+		paths[0] != want[0] || paths[1] != want[1] || paths[2] != want[2] {
+		t.Fatalf("row order = %v, want %v", paths, want)
+	}
+
+	path := filepath.Join("testdata", "snapshot_golden.txt")
+	if os.Getenv("UPDATE_SNAPSHOT_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with UPDATE_SNAPSHOT_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("FormatSnapshot drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

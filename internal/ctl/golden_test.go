@@ -52,6 +52,8 @@ func (o *traceObs) fold(v uint64) {
 	}
 }
 
+func (o *traceObs) OnSubmit(*bio.Bio) {}
+
 func (o *traceObs) OnIssue(*bio.Bio) {}
 
 func (o *traceObs) OnDispatch(b *bio.Bio) {

@@ -23,6 +23,12 @@ type Fig10Row struct {
 	Ratio     float64
 	HiP50     sim.Time
 	LoP50     sim.Time
+	// HiStall/LoStall are PSI some-pressure over the measure window: the
+	// percentage of time each cgroup had IO submitted but not yet at the
+	// device. Proportional mechanisms show pressure concentrated on the
+	// low-weight cgroup.
+	HiStall float64
+	LoStall float64
 }
 
 // Fig10Options tunes the run.
@@ -75,6 +81,7 @@ func Fig10(opts Fig10Options) []Fig10Row {
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
 			Seed:       0x10,
+			Pressure:   true,
 		})
 		hi := m.Workload.NewChild("hi", 200)
 		lo := m.Workload.NewChild("lo", 100)
@@ -97,7 +104,18 @@ func Fig10(opts Fig10Options) []Fig10Row {
 		hiP50Base, loP50Base := wHi.Stats.Latency, wLo.Stats.Latency
 		hiP50Base.Reset()
 		loP50Base.Reset()
+		// Snapshot stall integrals at the window edges; the delta over the
+		// measure interval is each cgroup's some-pressure percentage.
+		stallAt := func(cg *cgroup.Node, now sim.Time) sim.Time {
+			if p := m.Pressure.CGroup(cg); p != nil {
+				return p.Some(now).Total
+			}
+			return 0
+		}
+		hiStall0 := stallAt(hi, opts.Warmup)
+		loStall0 := stallAt(lo, opts.Warmup)
 		m.Run(opts.Warmup + opts.Measure)
+		end := opts.Warmup + opts.Measure
 
 		nHi := float64(wHi.Stats.TakeWindow()) / opts.Measure.Seconds()
 		nLo := float64(wLo.Stats.TakeWindow()) / opts.Measure.Seconds()
@@ -112,6 +130,8 @@ func Fig10(opts Fig10Options) []Fig10Row {
 			Ratio:     ratio,
 			HiP50:     sim.Time(wHi.Stats.Latency.Quantile(0.5)),
 			LoP50:     sim.Time(wLo.Stats.Latency.Quantile(0.5)),
+			HiStall:   100 * float64(stallAt(hi, end)-hiStall0) / float64(opts.Measure),
+			LoStall:   100 * float64(stallAt(lo, end)-loStall0) / float64(opts.Measure),
 		}
 	})
 }
@@ -119,10 +139,11 @@ func Fig10(opts Fig10Options) []Fig10Row {
 // FormatFig10 renders the proportional-control table.
 func FormatFig10(rows []Fig10Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %10s %10s %8s %10s %10s\n", "mechanism", "hi IOPS", "lo IOPS", "ratio", "hi p50", "lo p50")
+	fmt.Fprintf(&b, "%-14s %10s %10s %8s %10s %10s %9s %9s\n",
+		"mechanism", "hi IOPS", "lo IOPS", "ratio", "hi p50", "lo p50", "hi stall", "lo stall")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s %10.0f %10.0f %8.2f %10v %10v\n",
-			r.Mechanism, r.HiIOPS, r.LoIOPS, r.Ratio, r.HiP50, r.LoP50)
+		fmt.Fprintf(&b, "%-14s %10.0f %10.0f %8.2f %10v %10v %8.1f%% %8.1f%%\n",
+			r.Mechanism, r.HiIOPS, r.LoIOPS, r.Ratio, r.HiP50, r.LoP50, r.HiStall, r.LoStall)
 	}
 	return b.String()
 }

@@ -15,8 +15,10 @@ import (
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/trace"
 )
 
 // Controller kinds under comparison.
@@ -66,6 +68,14 @@ type MachineConfig struct {
 	// Tags overrides the block-layer tag count.
 	Tags int
 	Seed uint64
+
+	// Trace attaches a telemetry recorder (Machine.Trace) capturing the
+	// full bio life-cycle and, under iocost, controller events. TraceCap
+	// bounds the event ring (0 selects trace.DefaultCap).
+	Trace    bool
+	TraceCap int
+	// Pressure attaches a live PSI collector (Machine.Pressure).
+	Pressure bool
 }
 
 // Machine is a fully assembled host.
@@ -77,6 +87,11 @@ type Machine struct {
 	IOCost *core.Controller // non-nil iff the controller is iocost
 	Hier   *cgroup.Hierarchy
 	Mem    *mem.Pool
+
+	// Trace is the telemetry recorder when MachineConfig.Trace is set.
+	Trace *trace.Recorder
+	// Pressure is the PSI collector when MachineConfig.Pressure is set.
+	Pressure *metrics.IOPressure
 
 	// The production hierarchy of Figure 1.
 	System       *cgroup.Node
@@ -241,6 +256,21 @@ func NewMachine(cfg MachineConfig) *Machine {
 	}
 
 	m.Q = blk.New(eng, m.Dev, qctl, cfg.Tags)
+
+	// Telemetry observers stack after the sanitizer (if any) in
+	// deterministic registration order; both are read-only, so enabling
+	// them never changes an experiment's schedule.
+	if cfg.Pressure {
+		m.Pressure = metrics.NewIOPressure(eng)
+		m.Pressure.Attach(m.Q)
+	}
+	if cfg.Trace {
+		m.Trace = trace.NewRecorder(eng, cfg.TraceCap)
+		m.Trace.Attach(m.Q)
+		if m.IOCost != nil {
+			m.IOCost.SetEventSink(m.Trace)
+		}
+	}
 
 	// Figure 1 hierarchy.
 	m.System = m.Hier.Root().NewChild("system", 50)

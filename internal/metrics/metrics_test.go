@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/ctl"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func TestPressureTotalsAreExactIntegrals(t *testing.T) {
+	var p Pressure
+	// Stall "some" (one waiter, one in flight) for 300ms, then idle to 1s.
+	p.Set(0, 1, 1)
+	p.Set(300*sim.Millisecond, 0, 0)
+	some := p.Some(sim.Second)
+	full := p.Full(sim.Second)
+	if some.Total != 300*sim.Millisecond {
+		t.Errorf("some total = %v, want 300ms", some.Total)
+	}
+	if full.Total != 0 {
+		t.Errorf("full total = %v, want 0 (a bio was in flight)", full.Total)
+	}
+
+	// Now a full stall: waiters but nothing in service.
+	p.Set(sim.Second, 2, 0)
+	p.Set(sim.Second+100*sim.Millisecond, 0, 0)
+	if got := p.Full(2 * sim.Second).Total; got != 100*sim.Millisecond {
+		t.Errorf("full total = %v, want 100ms", got)
+	}
+	if got := p.Some(2 * sim.Second).Total; got != 400*sim.Millisecond {
+		t.Errorf("some total = %v, want 400ms", got)
+	}
+}
+
+func TestPressureAveragesConvergeToDutyCycle(t *testing.T) {
+	var p Pressure
+	// 50% duty cycle: stalled the first second of every 2s window, for 30
+	// minutes — six 300s horizons, so even avg300 has converged.
+	const runFor = 1800 * sim.Second
+	for w := sim.Time(0); w < runFor; w += 2 * sim.Second {
+		p.Set(w, 1, 0)
+		p.Set(w+sim.Second, 0, 0)
+	}
+	some := p.Some(runFor)
+	for name, got := range map[string]float64{
+		"avg10": some.Avg10, "avg60": some.Avg60, "avg300": some.Avg300,
+	} {
+		if math.Abs(got-50) > 2 {
+			t.Errorf("%s = %.2f, want ~50", name, got)
+		}
+	}
+	if some.Total != runFor/2 {
+		t.Errorf("some total = %v, want %v", some.Total, runFor/2)
+	}
+}
+
+func TestPressureAveragesDecayWhenIdle(t *testing.T) {
+	var p Pressure
+	for w := sim.Time(0); w < 60*sim.Second; w += 2 * sim.Second {
+		p.Set(w, 1, 0) // permanently stalled for a minute
+	}
+	hot := p.Some(60 * sim.Second).Avg10
+	if hot < 90 {
+		t.Fatalf("avg10 = %.2f after a minute of full stall, want >90", hot)
+	}
+	p.Set(60*sim.Second, 0, 0)
+	cold := p.Some(120 * sim.Second).Avg10
+	if cold > 1 {
+		t.Errorf("avg10 = %.2f a minute after the stall ended, want ~0", cold)
+	}
+	if got := p.Some(120 * sim.Second).Total; got != 60*sim.Second {
+		t.Errorf("total = %v, want 60s (totals never decay)", got)
+	}
+}
+
+func TestIOPressureObserverSeesTagWaits(t *testing.T) {
+	eng := sim.New()
+	dev := device.NewSSD(eng, device.OlderGenSSD(), 1)
+	q := blk.New(eng, dev, ctl.NewNone(), 2) // 2 tags: backlog must wait
+	h := cgroup.NewHierarchy()
+	cg := h.Root().NewChild("w", 100)
+
+	m := NewIOPressure(eng)
+	m.Attach(q)
+
+	for i := 0; i < 64; i++ {
+		q.Submit(&bio.Bio{Op: bio.Read, Off: int64(i) << 20, Size: 64 << 10, CG: cg})
+	}
+	eng.Run()
+	now := eng.Now()
+
+	sys := m.System().Some(now)
+	if sys.Total <= 0 {
+		t.Errorf("system some total = %v, want > 0 (tag waits)", sys.Total)
+	}
+	// 2 tags were always occupied while bios waited: never a full stall.
+	if full := m.System().Full(now).Total; full != 0 {
+		t.Errorf("system full total = %v, want 0", full)
+	}
+	cp := m.CGroup(cg)
+	if cp == nil {
+		t.Fatal("no per-cgroup pressure recorded")
+	}
+	if cp.Some(now).Total != sys.Total {
+		t.Errorf("single-cgroup some (%v) != system some (%v)", cp.Some(now).Total, sys.Total)
+	}
+	out := m.Format()
+	if !strings.Contains(out, "<system>") || !strings.Contains(out, "/w") {
+		t.Errorf("Format missing scopes:\n%s", out)
+	}
+}
+
+func TestTimelineDownsamplesPreservingMass(t *testing.T) {
+	tl := NewTimeline(sim.Millisecond, 16)
+	for i := 0; i < 1000; i++ {
+		tl.Record(sim.Time(i)*sim.Millisecond, 1)
+	}
+	if tl.Buckets() > 16 {
+		t.Errorf("buckets = %d, want <= 16", tl.Buckets())
+	}
+	if tl.Resolution() < 64*sim.Millisecond {
+		t.Errorf("resolution = %v, want >= 64ms after downsampling", tl.Resolution())
+	}
+	var n uint64
+	for _, c := range tl.cnt {
+		n += c
+	}
+	if n != 1000 {
+		t.Errorf("samples after downsampling = %d, want 1000", n)
+	}
+	s := tl.Series()
+	for i := range s.Y {
+		if s.Y[i] != 1 {
+			t.Errorf("bucket mean = %v, want 1", s.Y[i])
+		}
+	}
+}
+
+func TestSeriesSetTracksNamesInOrder(t *testing.T) {
+	s := NewSeriesSet(sim.Millisecond, 64)
+	s.Record("b", 0, 1)
+	s.Record("a", 0, 2)
+	s.Record("b", sim.Millisecond, 3)
+	if got := s.Names(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("Names = %v, want [b a]", got)
+	}
+	if s.Timeline("a") == nil || s.Timeline("c") != nil {
+		t.Error("Timeline lookup wrong")
+	}
+}

@@ -1,0 +1,222 @@
+// Package metrics provides the telemetry subsystem's numeric side:
+// PSI-style IO pressure accounting (io.pressure equivalents, §4 of the
+// paper scores fleet runs by exactly these signals) and bounded-memory
+// time-series recording with automatic downsampling.
+//
+// The pressure model follows the kernel's PSI semantics, specialized to the
+// simulated block layer:
+//
+//   - a scope (one cgroup, or the whole system) is stalled "some" while at
+//     least one of its bios is held back — by the IO controller or by tag
+//     exhaustion — i.e. submitted but not yet dispatched to the device;
+//   - it is stalled "full" while additionally nothing of its is making
+//     progress: at least one bio waiting and none in service at the device.
+//
+// Totals are exact integrals over simulated time; avg10/avg60/avg300 are
+// exponentially decayed averages over fixed 2s windows, like the kernel's.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// PSIWindow is the averaging update interval, matching the kernel's PSI.
+const PSIWindow = 2 * sim.Second
+
+// Per-window decay factors: exp(-window/horizon).
+var (
+	decay10  = math.Exp(-PSIWindow.Seconds() / 10)
+	decay60  = math.Exp(-PSIWindow.Seconds() / 60)
+	decay300 = math.Exp(-PSIWindow.Seconds() / 300)
+)
+
+// PSIAverages is one pressure line (some or full) as io.pressure shows it.
+type PSIAverages struct {
+	// Avg10/Avg60/Avg300 are percentages of wall time stalled, averaged
+	// with 10s/60s/300s horizons.
+	Avg10, Avg60, Avg300 float64
+	// Total is the cumulative stall time.
+	Total sim.Time
+}
+
+func (a PSIAverages) String() string {
+	return fmt.Sprintf("avg10=%.2f avg60=%.2f avg300=%.2f total=%d",
+		a.Avg10, a.Avg60, a.Avg300, int64(a.Total/sim.Microsecond))
+}
+
+// Pressure tracks one scope's IO stall state online. The zero value is
+// ready to use from simulated time zero. Feed it every waiting/in-flight
+// transition via Set; totals and averages are then exact functions of the
+// input schedule, so identical runs produce identical pressure.
+type Pressure struct {
+	someNS sim.Time
+	fullNS sim.Time
+
+	lastUpdate sim.Time
+	waiting    int
+	inflight   int
+
+	winStart  sim.Time
+	someAtWin sim.Time
+	fullAtWin sim.Time
+
+	some10, some60, some300 float64
+	full10, full60, full300 float64
+}
+
+// Set records that the scope has the given number of bios waiting
+// (submitted but not yet dispatched) and in flight at the device, as of
+// now. Time since the previous call is accounted against the previous
+// counts.
+func (p *Pressure) Set(now sim.Time, waiting, inflight int) {
+	p.advance(now)
+	p.waiting = waiting
+	p.inflight = inflight
+}
+
+// accrue integrates the current stall state up to `to`, which must not
+// precede lastUpdate.
+func (p *Pressure) accrue(to sim.Time) {
+	if to <= p.lastUpdate {
+		return
+	}
+	d := to - p.lastUpdate
+	if p.waiting > 0 {
+		p.someNS += d
+		if p.inflight == 0 {
+			p.fullNS += d
+		}
+	}
+	p.lastUpdate = to
+}
+
+// advance integrates up to now and folds every completed 2s window into the
+// decayed averages.
+func (p *Pressure) advance(now sim.Time) {
+	for p.winStart+PSIWindow <= now {
+		end := p.winStart + PSIWindow
+		p.accrue(end)
+		somePct := 100 * float64(p.someNS-p.someAtWin) / float64(PSIWindow)
+		fullPct := 100 * float64(p.fullNS-p.fullAtWin) / float64(PSIWindow)
+		p.some10 = p.some10*decay10 + somePct*(1-decay10)
+		p.some60 = p.some60*decay60 + somePct*(1-decay60)
+		p.some300 = p.some300*decay300 + somePct*(1-decay300)
+		p.full10 = p.full10*decay10 + fullPct*(1-decay10)
+		p.full60 = p.full60*decay60 + fullPct*(1-decay60)
+		p.full300 = p.full300*decay300 + fullPct*(1-decay300)
+		p.someAtWin, p.fullAtWin = p.someNS, p.fullNS
+		p.winStart = end
+	}
+	p.accrue(now)
+}
+
+// Some returns the "some" pressure line as of now.
+func (p *Pressure) Some(now sim.Time) PSIAverages {
+	p.advance(now)
+	return PSIAverages{Avg10: p.some10, Avg60: p.some60, Avg300: p.some300, Total: p.someNS}
+}
+
+// Full returns the "full" pressure line as of now.
+func (p *Pressure) Full(now sim.Time) PSIAverages {
+	p.advance(now)
+	return PSIAverages{Avg10: p.full10, Avg60: p.full60, Avg300: p.full300, Total: p.fullNS}
+}
+
+// Adjust shifts the waiting/in-flight counts by deltas as of now, a
+// convenience over Set for transition-driven feeding.
+func (p *Pressure) Adjust(now sim.Time, dWait, dInflight int) {
+	p.Set(now, p.waiting+dWait, p.inflight+dInflight)
+}
+
+// IOPressure is a live per-cgroup and system-wide IO pressure collector.
+// It implements blk.Observer: register it on a queue with AddObserver and
+// every cgroup that does IO gets an io.pressure equivalent, plus one
+// aggregate for the whole device.
+type IOPressure struct {
+	eng *sim.Engine
+	sys Pressure
+	cgs map[*cgroup.Node]*Pressure
+	// order holds cgroups in first-IO order so iteration and rendering
+	// never depend on map order.
+	order []*cgroup.Node
+}
+
+// NewIOPressure returns a collector on eng's clock.
+func NewIOPressure(eng *sim.Engine) *IOPressure {
+	return &IOPressure{eng: eng, cgs: make(map[*cgroup.Node]*Pressure)}
+}
+
+// Attach registers the collector on q.
+func (m *IOPressure) Attach(q *blk.Queue) { q.AddObserver(m) }
+
+func (m *IOPressure) stateFor(cg *cgroup.Node) *Pressure {
+	st := m.cgs[cg]
+	if st == nil {
+		st = &Pressure{}
+		st.lastUpdate = m.eng.Now()
+		st.winStart = m.eng.Now() / PSIWindow * PSIWindow
+		m.cgs[cg] = st
+		m.order = append(m.order, cg)
+	}
+	return st
+}
+
+func (m *IOPressure) transition(cg *cgroup.Node, dWait, dInflight int) {
+	now := m.eng.Now()
+	m.sys.Adjust(now, dWait, dInflight)
+	if cg != nil {
+		m.stateFor(cg).Adjust(now, dWait, dInflight)
+	}
+}
+
+// OnSubmit implements blk.Observer: the bio starts waiting.
+func (m *IOPressure) OnSubmit(b *bio.Bio) { m.transition(b.CG, +1, 0) }
+
+// OnIssue implements blk.Observer. Issue does not end the wait — the bio
+// may still park for a device tag — so nothing changes here.
+func (m *IOPressure) OnIssue(*bio.Bio) {}
+
+// OnDispatch implements blk.Observer: waiting ends, service begins.
+func (m *IOPressure) OnDispatch(b *bio.Bio) { m.transition(b.CG, -1, +1) }
+
+// OnComplete implements blk.Observer: service ends.
+func (m *IOPressure) OnComplete(b *bio.Bio) { m.transition(b.CG, 0, -1) }
+
+// System returns the device-wide pressure tracker.
+func (m *IOPressure) System() *Pressure { return &m.sys }
+
+// CGroup returns cg's pressure tracker, or nil if it never did IO.
+func (m *IOPressure) CGroup(cg *cgroup.Node) *Pressure { return m.cgs[cg] }
+
+// CGroups returns the tracked cgroups in first-IO order.
+func (m *IOPressure) CGroups() []*cgroup.Node { return m.order }
+
+// Format renders every tracked scope like `cat io.pressure`, system first,
+// then cgroups sorted by path.
+func (m *IOPressure) Format() string {
+	now := m.eng.Now()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s some %s\n", "<system>", m.sys.Some(now))
+	fmt.Fprintf(&b, "%-24s full %s\n", "<system>", m.sys.Full(now))
+	paths := make([]string, 0, len(m.order))
+	byPath := make(map[string]*Pressure, len(m.order))
+	for _, cg := range m.order {
+		paths = append(paths, cg.Path())
+		byPath[cg.Path()] = m.cgs[cg]
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		st := byPath[path]
+		fmt.Fprintf(&b, "%-24s some %s\n", path, st.Some(now))
+		fmt.Fprintf(&b, "%-24s full %s\n", path, st.Full(now))
+	}
+	return b.String()
+}

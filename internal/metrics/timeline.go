@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/stats"
+)
+
+// Timeline records a value over simulated time in fixed-width buckets with
+// bounded memory: when a sample lands past the last bucket, adjacent
+// buckets are merged and the resolution doubles. Arbitrarily long runs
+// therefore cost O(maxBuckets) memory and still render a faithful
+// (coarser) timeline — the downsampling recorder experiments and the trace
+// analysis passes use for queue depth, IOPS and pressure curves.
+type Timeline struct {
+	res        sim.Time
+	maxBuckets int
+	sum        []float64
+	cnt        []uint64
+}
+
+// NewTimeline returns a timeline starting at resolution res (per bucket),
+// holding at most maxBuckets buckets. res <= 0 selects 10ms; maxBuckets
+// < 16 selects 512.
+func NewTimeline(res sim.Time, maxBuckets int) *Timeline {
+	if res <= 0 {
+		res = 10 * sim.Millisecond
+	}
+	if maxBuckets < 16 {
+		maxBuckets = 512
+	}
+	return &Timeline{res: res, maxBuckets: maxBuckets}
+}
+
+// Resolution returns the current bucket width (it grows as the run does).
+func (t *Timeline) Resolution() sim.Time { return t.res }
+
+// Buckets returns the number of populated buckets.
+func (t *Timeline) Buckets() int { return len(t.sum) }
+
+// Record adds sample v at time at.
+func (t *Timeline) Record(at sim.Time, v float64) {
+	if at < 0 {
+		at = 0
+	}
+	i := int(at / t.res)
+	for i >= t.maxBuckets {
+		t.downsample()
+		i = int(at / t.res)
+	}
+	for len(t.sum) <= i {
+		t.sum = append(t.sum, 0)
+		t.cnt = append(t.cnt, 0)
+	}
+	t.sum[i] += v
+	t.cnt[i]++
+}
+
+// downsample merges adjacent bucket pairs and doubles the resolution.
+func (t *Timeline) downsample() {
+	half := (len(t.sum) + 1) / 2
+	for i := 0; i < half; i++ {
+		s, c := t.sum[2*i], t.cnt[2*i]
+		if 2*i+1 < len(t.sum) {
+			s += t.sum[2*i+1]
+			c += t.cnt[2*i+1]
+		}
+		t.sum[i], t.cnt[i] = s, c
+	}
+	t.sum = t.sum[:half]
+	t.cnt = t.cnt[:half]
+	t.res *= 2
+}
+
+// Series renders the timeline as (bucket start seconds, bucket mean)
+// points, skipping empty buckets.
+func (t *Timeline) Series() *stats.Series {
+	s := &stats.Series{}
+	for i := range t.sum {
+		if t.cnt[i] == 0 {
+			continue
+		}
+		s.Add((sim.Time(i) * t.res).Seconds(), t.sum[i]/float64(t.cnt[i]))
+	}
+	return s
+}
+
+// Sparkline renders the timeline as a compact unicode strip, for tool
+// output. Empty buckets render as spaces.
+func (t *Timeline) Sparkline(width int) string {
+	if width <= 0 || len(t.sum) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	// Re-bucket to width columns.
+	colSum := make([]float64, width)
+	colCnt := make([]uint64, width)
+	for i := range t.sum {
+		c := i * width / len(t.sum)
+		colSum[c] += t.sum[i]
+		colCnt[c] += t.cnt[i]
+	}
+	max := 0.0
+	for c := range colSum {
+		if colCnt[c] > 0 && colSum[c]/float64(colCnt[c]) > max {
+			max = colSum[c] / float64(colCnt[c])
+		}
+	}
+	out := make([]rune, width)
+	for c := range out {
+		if colCnt[c] == 0 || max == 0 {
+			out[c] = ' '
+			continue
+		}
+		v := colSum[c] / float64(colCnt[c])
+		idx := int(v / max * float64(len(ramp)-1))
+		out[c] = ramp[idx]
+	}
+	return string(out)
+}
+
+// SeriesSet is a named collection of timelines sharing one configuration —
+// the per-cgroup time-series recorder. Names are typically cgroup paths.
+type SeriesSet struct {
+	res   sim.Time
+	max   int
+	m     map[string]*Timeline
+	names []string // registration order
+}
+
+// NewSeriesSet returns a set whose timelines start at resolution res with
+// at most maxBuckets buckets each (zero values select the Timeline
+// defaults).
+func NewSeriesSet(res sim.Time, maxBuckets int) *SeriesSet {
+	return &SeriesSet{res: res, max: maxBuckets, m: make(map[string]*Timeline)}
+}
+
+// Record adds sample v at time at to the named timeline, creating it on
+// first use.
+func (s *SeriesSet) Record(name string, at sim.Time, v float64) {
+	tl := s.m[name]
+	if tl == nil {
+		tl = NewTimeline(s.res, s.max)
+		s.m[name] = tl
+		s.names = append(s.names, name)
+	}
+	tl.Record(at, v)
+}
+
+// Timeline returns the named timeline, or nil.
+func (s *SeriesSet) Timeline(name string) *Timeline { return s.m[name] }
+
+// Names returns the recorded names in first-use order.
+func (s *SeriesSet) Names() []string { return s.names }
+
+// Format renders every timeline as a sparkline strip.
+func (s *SeriesSet) Format(width int) string {
+	out := ""
+	for _, name := range s.names {
+		out += fmt.Sprintf("%-24s |%s|\n", name, s.m[name].Sparkline(width))
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package simfuzz
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"github.com/iocost-sim/iocost/internal/bio"
 	"github.com/iocost-sim/iocost/internal/blk"
@@ -12,6 +14,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/trace"
 )
 
 // drainHorizon bounds how long past the last arrival a controller may take
@@ -127,6 +130,19 @@ func buildController(kind string, scn Scenario, nodes []*cgroup.Node) blk.Contro
 // Run executes the scenario under one controller with the sanitizer enabled
 // and returns what happened. It is fully deterministic in the scenario.
 func Run(scn Scenario, kind string) RunResult {
+	res, _ := run(scn, kind, false)
+	return res
+}
+
+// Capture is Run with a telemetry recorder attached: it returns the full
+// bio life-cycle (and, under iocost, controller-event) trace alongside the
+// result. Recording is read-only, so the schedule — and therefore the
+// result — is identical to Run's.
+func Capture(scn Scenario, kind string) (RunResult, *trace.Trace) {
+	return run(scn, kind, true)
+}
+
+func run(scn Scenario, kind string, capture bool) (RunResult, *trace.Trace) {
 	res := RunResult{Kind: kind, PerGroup: make([]int, len(scn.Groups))}
 	eng := sim.New()
 	dev := buildDevice(eng, scn)
@@ -151,6 +167,17 @@ func Run(scn Scenario, kind string) RunResult {
 		DeepEvery: 4,
 	})
 	q := blk.New(eng, dev, san, scn.Tags)
+
+	// The recorder stacks behind the sanitizer's observer; both are
+	// read-only, so captured runs execute the exact same schedule.
+	var rec *trace.Recorder
+	if capture {
+		rec = trace.NewRecorder(eng, 0)
+		rec.Attach(q)
+		if ioc, ok := inner.(*core.Controller); ok {
+			ioc.SetEventSink(rec)
+		}
+	}
 
 	for _, ev := range scn.Weights {
 		ev := ev
@@ -199,7 +226,10 @@ func Run(scn Scenario, kind string) RunResult {
 			fmt.Sprintf("%s: %d of %d bios still outstanding %v after last arrival",
 				kind, outstanding, len(scn.Submits), drainHorizon))
 	}
-	return res
+	if rec != nil {
+		return res, rec.Trace()
+	}
+	return res, nil
 }
 
 // RunAll executes the scenario under every controller kind.
@@ -227,13 +257,22 @@ func workConserving(kind string) bool {
 // an uncontended issue path that should not wait at all.
 const noContentionWaitBound = 250 * sim.Millisecond
 
+// TraceDumpDir is where Check writes a telemetry trace for each failing
+// controller, next to the replay command in the failure text. Empty
+// disables auto-dump. Defaults to the OS temp directory.
+var TraceDumpDir = os.TempDir()
+
 // Check runs the full differential harness for one scenario and returns
 // failure descriptions, empty when the scenario passes. Each failure line
-// carries the seed and replay command.
+// carries the seed and replay command, plus (when TraceDumpDir is set) the
+// path of an auto-captured telemetry trace of the failing run for
+// inspection with cmd/iocost-trace.
 func Check(scn Scenario) []string {
 	results := RunAll(scn)
 	var failures []string
+	var failedKinds []string
 	blame := func(kind, format string, args ...any) {
+		failedKinds = append(failedKinds, kind)
 		failures = append(failures,
 			fmt.Sprintf("seed=%d ctl=%s: %s\n  replay: go test ./internal/simfuzz -run TestFuzzReplay -seed=%d",
 				scn.Seed, kind, fmt.Sprintf(format, args...), scn.Seed))
@@ -285,6 +324,28 @@ func Check(scn Scenario) []string {
 		if scn.NoContention && r.Kind == exp.KindIOCost && r.MaxWait > noContentionWaitBound {
 			blame(r.Kind, "held a bio %v under no contention (bound %v)",
 				r.MaxWait, noContentionWaitBound)
+		}
+	}
+
+	// Auto-dump one telemetry trace per failing controller: re-run it with
+	// the recorder attached (deterministic, so the trace shows exactly the
+	// failing schedule) and point every matching failure at the file.
+	if len(failures) > 0 && TraceDumpDir != "" {
+		dumped := make(map[string]string)
+		for i, kind := range failedKinds {
+			path, ok := dumped[kind]
+			if !ok {
+				_, tr := Capture(scn, kind)
+				path = filepath.Join(TraceDumpDir,
+					fmt.Sprintf("simfuzz-seed%d-%s.trace", scn.Seed, kind))
+				if err := trace.WriteFile(path, tr); err != nil {
+					path = ""
+				}
+				dumped[kind] = path
+			}
+			if path != "" {
+				failures[i] += "\n  trace: " + path
+			}
 		}
 	}
 	return failures

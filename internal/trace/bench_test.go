@@ -1,0 +1,77 @@
+package trace_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/trace"
+)
+
+// benchRecorder returns a recorder whose ring has already grown to
+// capacity, plus a bio from an interned cgroup — the steady state every
+// long capture runs in.
+func benchRecorder(capEvents int) (*trace.Recorder, *bio.Bio) {
+	eng := sim.New()
+	rec := trace.NewRecorder(eng, capEvents)
+	cg := cgroup.NewHierarchy().Root().NewChild("bench", 100)
+	b := &bio.Bio{Op: bio.Read, Off: 4096, Size: 4096, CG: cg, Seq: 1}
+	for i := 0; i < capEvents+1; i++ {
+		rec.OnDispatch(b)
+	}
+	return rec, b
+}
+
+// BenchmarkTraceRecord measures the enabled steady-state hot path (ring
+// full, cgroup interned): it must report 0 allocs/op.
+func BenchmarkTraceRecord(b *testing.B) {
+	rec, bb := benchRecorder(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.OnDispatch(bb)
+	}
+}
+
+// BenchmarkTraceRecordLifecycle drives all four hooks per iteration, the
+// per-bio cost of a fully traced request (6 events: submit, throttle
+// begin/end folded into issue, dispatch, device-start, complete).
+func BenchmarkTraceRecordLifecycle(b *testing.B) {
+	rec, bb := benchRecorder(1 << 12)
+	bb.Submitted, bb.Issued, bb.Dispatched, bb.Completed = 0, 10, 20, 30
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.OnSubmit(bb)
+		rec.OnIssue(bb)
+		rec.OnDispatch(bb)
+		rec.OnComplete(bb)
+	}
+}
+
+// BenchmarkTraceRecordDisabled measures the disabled cost every untraced
+// run pays per hook: one flag check.
+func BenchmarkTraceRecordDisabled(b *testing.B) {
+	rec, bb := benchRecorder(1 << 12)
+	rec.SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.OnDispatch(bb)
+	}
+}
+
+func TestRecorderSteadyStateZeroAllocs(t *testing.T) {
+	rec, bb := benchRecorder(1 << 10)
+	bb.Submitted, bb.Issued, bb.Dispatched, bb.Completed = 0, 10, 20, 30
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.OnSubmit(bb)
+		rec.OnIssue(bb)
+		rec.OnDispatch(bb)
+		rec.OnComplete(bb)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state record path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+// Binary trace format, version 1. Layout:
+//
+//	magic   "IOCT" (4 bytes)
+//	version 0x01   (1 byte)
+//	uvarint dropped-event count
+//	uvarint cgroup count, then per cgroup: uvarint length + path bytes
+//	uvarint event count, then per event:
+//	    kind    (1 byte)
+//	    svarint At delta from the previous event's At (first event: from 0)
+//	    svarint CG (-1 for unattributed)
+//	    op      (1 byte)
+//	    uvarint Flags
+//	    svarint Off
+//	    svarint Size
+//	    svarint Aux
+//	    uvarint Seq
+//
+// Timestamps are delta-coded in emission order, where they are
+// near-monotonic, so most events cost a handful of bytes. The format has
+// no floats and no map-order dependence: identical runs encode to
+// byte-identical files.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Magic prefixes every trace file.
+const Magic = "IOCT"
+
+// Version is the current format version byte.
+const Version = 1
+
+// maxStringLen bounds decoded string-table entries, guarding against
+// corrupt or hostile files.
+const maxStringLen = 1 << 16
+
+// Encode serializes t into the version-1 binary format.
+func Encode(t *Trace) []byte {
+	// Size guess: header + paths + ~12 bytes per event.
+	out := make([]byte, 0, 64+16*len(t.CGroups)+12*len(t.Events))
+	out = append(out, Magic...)
+	out = append(out, Version)
+	out = binary.AppendUvarint(out, t.Dropped)
+	out = binary.AppendUvarint(out, uint64(len(t.CGroups)))
+	for _, p := range t.CGroups {
+		out = binary.AppendUvarint(out, uint64(len(p)))
+		out = append(out, p...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(t.Events)))
+	var prev sim.Time
+	for i := range t.Events {
+		ev := &t.Events[i]
+		out = append(out, byte(ev.Kind))
+		out = binary.AppendVarint(out, int64(ev.At-prev))
+		prev = ev.At
+		out = binary.AppendVarint(out, int64(ev.CG))
+		out = append(out, ev.Op)
+		out = binary.AppendUvarint(out, uint64(ev.Flags))
+		out = binary.AppendVarint(out, ev.Off)
+		out = binary.AppendVarint(out, ev.Size)
+		out = binary.AppendVarint(out, ev.Aux)
+		out = binary.AppendUvarint(out, ev.Seq)
+	}
+	return out
+}
+
+// decoder walks an encoded buffer, accumulating the first error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("trace: offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) svarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad svarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen || d.off+int(n) > len(d.buf) {
+		d.fail("string length %d out of range", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Decode parses a version-1 binary trace.
+func Decode(data []byte) (*Trace, error) {
+	d := &decoder{buf: data}
+	if len(data) < len(Magic)+1 || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("trace: bad magic (not a trace file)")
+	}
+	d.off = len(Magic)
+	if v := d.byte(); v != Version {
+		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", v, Version)
+	}
+	t := &Trace{Dropped: d.uvarint()}
+	ncg := d.uvarint()
+	if d.err == nil && ncg > uint64(len(data)) {
+		d.fail("cgroup count %d out of range", ncg)
+	}
+	for i := uint64(0); i < ncg && d.err == nil; i++ {
+		t.CGroups = append(t.CGroups, d.str())
+	}
+	nev := d.uvarint()
+	// Each event is at least 9 bytes; reject counts the buffer can't hold
+	// before allocating.
+	if d.err == nil && nev > uint64(len(data))/9+1 {
+		d.fail("event count %d out of range", nev)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	t.Events = make([]Event, 0, nev)
+	var prev sim.Time
+	for i := uint64(0); i < nev && d.err == nil; i++ {
+		var ev Event
+		ev.Kind = Kind(d.byte())
+		if ev.Kind == 0 || ev.Kind > kindMax {
+			d.fail("unknown event kind %d", ev.Kind)
+			break
+		}
+		ev.At = prev + sim.Time(d.svarint())
+		prev = ev.At
+		ev.CG = int32(d.svarint())
+		if ev.CG != NoCG && (ev.CG < 0 || int(ev.CG) >= len(t.CGroups)) {
+			d.fail("cgroup id %d out of range", ev.CG)
+			break
+		}
+		ev.Op = d.byte()
+		ev.Flags = uint16(d.uvarint())
+		ev.Off = d.svarint()
+		ev.Size = d.svarint()
+		ev.Aux = d.svarint()
+		ev.Seq = d.uvarint()
+		if d.err == nil {
+			t.Events = append(t.Events, ev)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after %d events", len(data)-d.off, nev)
+	}
+	return t, nil
+}
+
+// WriteFile encodes t to path.
+func WriteFile(path string, t *Trace) error {
+	return os.WriteFile(path, Encode(t), 0o644)
+}
+
+// ReadFile loads and decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

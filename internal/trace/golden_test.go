@@ -1,0 +1,72 @@
+package trace_test
+
+// Golden-file pin of the version-1 binary trace format: the fixture under
+// testdata was produced by Encode and must decode — and re-encode
+// byte-identically — forever. A change to the wire format must bump
+// trace.Version and add a new fixture, never mutate this one.
+// Regenerate (after a deliberate version bump) with:
+//
+//	UPDATE_TRACE_GOLDEN=1 go test ./internal/trace -run TestGoldenBinaryFormat
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/trace"
+)
+
+// goldenTrace is a small hand-built trace exercising every event kind,
+// delta-negative timestamps (retroactive events), NoCG and large values.
+func goldenTrace() *trace.Trace {
+	return &trace.Trace{
+		CGroups: []string{"/rt", "/be/batch"},
+		Dropped: 7,
+		Events: []trace.Event{
+			{At: 0, Kind: trace.KindPeriod, CG: trace.NoCG, Aux: 1_000_000},
+			{At: 1000, Kind: trace.KindSubmit, CG: 0, Op: 0, Flags: 1, Off: 4096, Size: 8192, Seq: 1},
+			{At: 1500, Kind: trace.KindSubmit, CG: 1, Op: 1, Flags: 6, Off: 1 << 40, Size: 1 << 20, Seq: 2},
+			{At: 1000, Kind: trace.KindThrottleBegin, CG: 0, Flags: 1, Off: 4096, Size: 8192, Seq: 1},
+			{At: 2500, Kind: trace.KindThrottleEnd, CG: 0, Flags: 1, Off: 4096, Size: 8192, Aux: 1500, Seq: 1},
+			{At: 2500, Kind: trace.KindIssue, CG: 0, Flags: 1, Off: 4096, Size: 8192, Aux: 1500, Seq: 1},
+			{At: 2600, Kind: trace.KindDispatch, CG: 0, Flags: 1, Off: 4096, Size: 8192, Seq: 1},
+			{At: 3000, Kind: trace.KindVrate, CG: trace.NoCG, Aux: 750_000},
+			{At: 3100, Kind: trace.KindDonation, CG: trace.NoCG, Aux: 2},
+			{At: 3200, Kind: trace.KindDebt, CG: 1, Aux: 5_000_000},
+			{At: 2600, Kind: trace.KindDeviceStart, CG: 0, Flags: 1, Off: 4096, Size: 8192, Seq: 1},
+			{At: 4000, Kind: trace.KindComplete, CG: 0, Flags: 1, Off: 4096, Size: 8192, Aux: 3000, Seq: 1},
+		},
+	}
+}
+
+func TestGoldenBinaryFormat(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.trace")
+	want := goldenTrace()
+	enc := trace.Encode(want)
+
+	if os.Getenv("UPDATE_TRACE_GOLDEN") != "" {
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fixture, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with UPDATE_TRACE_GOLDEN=1 after a version bump): %v", err)
+	}
+	if fixture[4] != trace.Version {
+		t.Fatalf("fixture version byte = %d, want %d", fixture[4], trace.Version)
+	}
+	if !bytes.Equal(enc, fixture) {
+		t.Errorf("Encode no longer matches the pinned v%d format (%d vs %d bytes); bump trace.Version for wire changes", trace.Version, len(enc), len(fixture))
+	}
+	got, err := trace.Decode(fixture)
+	if err != nil {
+		t.Fatalf("Decode(fixture): %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("fixture no longer decodes to the pinned events")
+	}
+}

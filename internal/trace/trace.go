@@ -1,0 +1,344 @@
+// Package trace is the simulator's blktrace equivalent: a low-overhead,
+// allocation-conscious recorder of typed bio life-cycle events (submit,
+// throttle begin/end, issue, dispatch, device start, complete) and
+// controller events (vrate changes, donation passes, debt incursion, period
+// ticks), with a compact binary on-disk format, a reader, and analysis
+// passes (per-cgroup latency percentiles, queue-depth timelines,
+// throttle-wait attribution, trace diffing).
+//
+// The Recorder hooks the block layer through blk.Observer (it can stack
+// with the invariant sanitizer — observers fan out in registration order)
+// and the IOCost controller through core.EventSink. Recording is
+// append-only into a bounded ring of fixed-size Event values: the hot path
+// allocates nothing once the ring has grown to its working size, so an
+// enabled recorder perturbs neither the schedule (the simulation is
+// deterministic in virtual time regardless) nor, measurably, the wall
+// clock. Identical runs produce byte-identical traces.
+package trace
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Kind is the event type.
+type Kind uint8
+
+const (
+	// KindSubmit: a bio entered the block layer. Off/Size/Op/Flags/Seq
+	// describe the request.
+	KindSubmit Kind = iota + 1
+	// KindThrottleBegin marks the start of a controller-hold episode. It
+	// is emitted retroactively (when the hold ends) with At set to the
+	// submit time, so it appears after later-stamped events in emission
+	// order; At is the authoritative timestamp.
+	KindThrottleBegin
+	// KindThrottleEnd: the controller released a previously held bio; Aux
+	// is the hold duration in ns.
+	KindThrottleEnd
+	// KindIssue: the controller passed the bio toward the device; Aux is
+	// the total controller hold in ns (0 for pass-through).
+	KindIssue
+	// KindDispatch: the bio acquired a device tag and was handed to the
+	// device.
+	KindDispatch
+	// KindDeviceStart: the device began servicing the bio. Emitted
+	// retroactively just before its completion event (the device stamps
+	// the time when it dequeues internally); At is authoritative.
+	KindDeviceStart
+	// KindComplete: the device finished the bio; Aux is the total
+	// submit-to-complete latency in ns.
+	KindComplete
+
+	// KindVrate: the controller re-based vrate; Aux is the new vrate in
+	// parts-per-million.
+	KindVrate
+	// KindDonation: a donation pass transferred budget; Aux is the donor
+	// count.
+	KindDonation
+	// KindDebt: forced IO drove a cgroup into debt; Aux is its
+	// outstanding debt in occupancy-ns.
+	KindDebt
+	// KindPeriod: an IOCost planning period ended; Aux is the vrate in
+	// force for the next period, in parts-per-million.
+	KindPeriod
+
+	kindMax = KindPeriod
+)
+
+var kindNames = [...]string{
+	KindSubmit:        "submit",
+	KindThrottleBegin: "throttle-begin",
+	KindThrottleEnd:   "throttle-end",
+	KindIssue:         "issue",
+	KindDispatch:      "dispatch",
+	KindDeviceStart:   "device-start",
+	KindComplete:      "complete",
+	KindVrate:         "vrate",
+	KindDonation:      "donation",
+	KindDebt:          "debt",
+	KindPeriod:        "period",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// BioEvent reports whether k describes a bio life-cycle stage (as opposed
+// to a controller event).
+func (k Kind) BioEvent() bool { return k >= KindSubmit && k <= KindComplete }
+
+// NoCG marks an event not attributable to any cgroup.
+const NoCG int32 = -1
+
+// Event is one fixed-size telemetry record. Bio events carry the request
+// geometry and the block-layer sequence number for correlation; controller
+// events use Aux for their payload (see the Kind constants).
+type Event struct {
+	// At is the event timestamp on the virtual clock. Events are stored
+	// in emission order; for the two retroactive kinds (ThrottleBegin,
+	// DeviceStart) At precedes the neighbouring events' stamps.
+	At sim.Time
+	// Off and Size are the request geometry in bytes (bio events only).
+	Off  int64
+	Size int64
+	// Aux is kind-specific (durations in ns, vrate in ppm, debt in ns,
+	// donor counts).
+	Aux int64
+	// Seq is the block-layer sequence number of the bio (bio events
+	// only), correlating all stages of one request.
+	Seq uint64
+	// CG indexes the trace's cgroup table; NoCG when unattributed.
+	CG    int32
+	Flags uint16
+	Kind  Kind
+	Op    uint8
+}
+
+// Trace is a decoded or snapshotted trace: an ordered event stream plus the
+// cgroup path table CG indexes resolve against.
+type Trace struct {
+	// CGroups maps cgroup IDs (Event.CG) to hierarchy paths, in
+	// first-seen order.
+	CGroups []string
+	// Events is the stream in emission order.
+	Events []Event
+	// Dropped counts events lost to ring-buffer wraparound before the
+	// snapshot (oldest first).
+	Dropped uint64
+}
+
+// Span returns the time range covered by the events (max At - min At over
+// an empty trace is 0).
+func (t *Trace) Span() sim.Time {
+	var lo, hi sim.Time
+	for i := range t.Events {
+		at := t.Events[i].At
+		if i == 0 || at < lo {
+			lo = at
+		}
+		if at > hi {
+			hi = at
+		}
+	}
+	return hi - lo
+}
+
+// CGPath resolves a cgroup ID, tolerating NoCG.
+func (t *Trace) CGPath(id int32) string {
+	if id < 0 || int(id) >= len(t.CGroups) {
+		return "<none>"
+	}
+	return t.CGroups[id]
+}
+
+// DefaultCap is the default recorder capacity in events (the ring keeps
+// the most recent DefaultCap when a run overflows it).
+const DefaultCap = 1 << 20
+
+// Recorder captures telemetry events into a bounded ring buffer. It
+// implements blk.Observer and core.EventSink. The ring grows lazily toward
+// its capacity and is then reused in place, so steady-state recording does
+// not allocate.
+type Recorder struct {
+	eng *sim.Engine
+
+	// buf is the ring storage; until it reaches cap it grows by append.
+	// Once full, head is the slot the next event overwrites (the oldest
+	// event) and the logical order is buf[head:] then buf[:head].
+	buf   []Event
+	cap   int
+	head  int
+	total uint64
+
+	cgIDs   map[*cgroup.Node]int32
+	cgPaths []string
+
+	enabled bool
+}
+
+// NewRecorder returns a recorder on eng's clock holding at most capacity
+// events (<= 0 selects DefaultCap). Recording starts enabled.
+func NewRecorder(eng *sim.Engine, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{
+		eng:     eng,
+		cap:     capacity,
+		cgIDs:   make(map[*cgroup.Node]int32),
+		enabled: true,
+	}
+}
+
+// Attach registers the recorder as an observer on q. Call SetEventSink on
+// the IOCost controller separately to capture controller events.
+func (r *Recorder) Attach(q *blk.Queue) { q.AddObserver(r) }
+
+// SetEnabled turns recording on or off; a disabled recorder's hooks return
+// after one branch.
+func (r *Recorder) SetEnabled(on bool) { r.enabled = on }
+
+// Enabled reports whether the recorder is recording.
+func (r *Recorder) Enabled() bool { return r.enabled }
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int { return len(r.buf) }
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 { return r.total - uint64(len(r.buf)) }
+
+// cgid interns cg into the trace's cgroup table. IDs are assigned in
+// first-seen order, which is deterministic because the simulation is.
+func (r *Recorder) cgid(cg *cgroup.Node) int32 {
+	if cg == nil {
+		return NoCG
+	}
+	if id, ok := r.cgIDs[cg]; ok {
+		return id
+	}
+	id := int32(len(r.cgPaths))
+	r.cgIDs[cg] = id
+	r.cgPaths = append(r.cgPaths, cg.Path())
+	return id
+}
+
+// record appends ev, overwriting the oldest event when the ring is full.
+func (r *Recorder) record(ev Event) {
+	r.total++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.head] = ev
+	r.head++
+	if r.head == r.cap {
+		r.head = 0
+	}
+}
+
+// bioEvent assembles and records one life-cycle event for b.
+func (r *Recorder) bioEvent(kind Kind, at sim.Time, b *bio.Bio, aux int64) {
+	r.record(Event{
+		At:    at,
+		Off:   b.Off,
+		Size:  b.Size,
+		Aux:   aux,
+		Seq:   b.Seq,
+		CG:    r.cgid(b.CG),
+		Flags: uint16(b.Flags),
+		Kind:  kind,
+		Op:    uint8(b.Op),
+	})
+}
+
+// OnSubmit implements blk.Observer.
+func (r *Recorder) OnSubmit(b *bio.Bio) {
+	if !r.enabled {
+		return
+	}
+	r.bioEvent(KindSubmit, r.eng.Now(), b, 0)
+}
+
+// OnIssue implements blk.Observer. A bio the controller held emits the
+// throttle episode (begin retroactively, then end) before its issue event.
+func (r *Recorder) OnIssue(b *bio.Bio) {
+	if !r.enabled {
+		return
+	}
+	now := r.eng.Now()
+	wait := int64(b.Issued - b.Submitted)
+	if wait > 0 {
+		r.bioEvent(KindThrottleBegin, b.Submitted, b, 0)
+		r.bioEvent(KindThrottleEnd, now, b, wait)
+	}
+	r.bioEvent(KindIssue, now, b, wait)
+}
+
+// OnDispatch implements blk.Observer.
+func (r *Recorder) OnDispatch(b *bio.Bio) {
+	if !r.enabled {
+		return
+	}
+	r.bioEvent(KindDispatch, r.eng.Now(), b, 0)
+}
+
+// OnComplete implements blk.Observer: the device's internal start time
+// becomes known here, so the device-start event precedes the completion.
+func (r *Recorder) OnComplete(b *bio.Bio) {
+	if !r.enabled {
+		return
+	}
+	r.bioEvent(KindDeviceStart, b.Dispatched, b, 0)
+	r.bioEvent(KindComplete, r.eng.Now(), b, int64(b.Completed-b.Submitted))
+}
+
+// ppm converts a rate to integer parts-per-million for Aux.
+func ppm(v float64) int64 { return int64(v*1e6 + 0.5) }
+
+// ControllerEvent implements core.EventSink.
+func (r *Recorder) ControllerEvent(at sim.Time, kind core.CtlEventKind, cg *cgroup.Node, value float64) {
+	if !r.enabled {
+		return
+	}
+	ev := Event{At: at, CG: r.cgid(cg)}
+	switch kind {
+	case core.CtlVrateChange:
+		ev.Kind, ev.Aux = KindVrate, ppm(value)
+	case core.CtlDonation:
+		ev.Kind, ev.Aux = KindDonation, int64(value)
+	case core.CtlDebtIncur:
+		ev.Kind, ev.Aux = KindDebt, int64(value)
+	case core.CtlPeriodTick:
+		ev.Kind, ev.Aux = KindPeriod, ppm(value)
+	default:
+		return
+	}
+	r.record(ev)
+}
+
+// Trace snapshots the recorder into an immutable Trace, oldest event
+// first.
+func (r *Recorder) Trace() *Trace {
+	t := &Trace{
+		CGroups: append([]string(nil), r.cgPaths...),
+		Events:  make([]Event, 0, len(r.buf)),
+		Dropped: r.Dropped(),
+	}
+	if len(r.buf) == r.cap {
+		t.Events = append(t.Events, r.buf[r.head:]...)
+		t.Events = append(t.Events, r.buf[:r.head]...)
+	} else {
+		t.Events = append(t.Events, r.buf...)
+	}
+	return t
+}

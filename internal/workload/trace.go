@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -21,15 +22,20 @@ type TraceOp struct {
 	// Off and Size are in bytes.
 	Off  int64
 	Size int64
+	// CG, when non-empty, is the cgroup path the op is charged to.
+	// Captured traces carry it so multi-cgroup runs replay faithfully;
+	// plain traces leave it empty and the replayer's cgroup applies.
+	CG string
 }
 
 // ParseTrace reads a whitespace-separated trace with one operation per
 // line:
 //
-//	<time-us> <r|w> <offset-bytes> <size-bytes>
+//	<time-us> <r|w> <offset-bytes> <size-bytes> [cgroup-path]
 //
-// Empty lines and lines starting with '#' are skipped. Records must be in
-// non-decreasing time order.
+// The cgroup column is optional (it appears in traces captured from
+// multi-cgroup simulations). Empty lines and lines starting with '#' are
+// skipped. Records must be in non-decreasing time order.
 func ParseTrace(r io.Reader) ([]TraceOp, error) {
 	var ops []TraceOp
 	sc := bufio.NewScanner(r)
@@ -41,8 +47,8 @@ func ParseTrace(r io.Reader) ([]TraceOp, error) {
 			continue
 		}
 		f := strings.Fields(line)
-		if len(f) != 4 {
-			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", lineNo, len(f))
+		if len(f) != 4 && len(f) != 5 {
+			return nil, fmt.Errorf("workload: trace line %d: want 4 or 5 fields, got %d", lineNo, len(f))
 		}
 		tUS, err := strconv.ParseFloat(f[0], 64)
 		if err != nil {
@@ -65,16 +71,42 @@ func ParseTrace(r io.Reader) ([]TraceOp, error) {
 		if err != nil || size <= 0 {
 			return nil, fmt.Errorf("workload: trace line %d: bad size %q", lineNo, f[3])
 		}
-		at := sim.Time(tUS * float64(sim.Microsecond))
+		at := sim.Time(math.Round(tUS * float64(sim.Microsecond)))
 		if len(ops) > 0 && at < ops[len(ops)-1].At {
 			return nil, fmt.Errorf("workload: trace line %d: time goes backwards", lineNo)
 		}
-		ops = append(ops, TraceOp{At: at, Op: op, Off: off, Size: size})
+		top := TraceOp{At: at, Op: op, Off: off, Size: size}
+		if len(f) == 5 {
+			top.CG = f[4]
+		}
+		ops = append(ops, top)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return ops, nil
+}
+
+// FormatTrace writes ops in the ParseTrace text format. Ops carrying a
+// cgroup path get the optional fifth column; ops without one stay
+// four-field, so FormatTrace and ParseTrace round-trip exactly.
+func FormatTrace(w io.Writer, ops []TraceOp) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# time-us op offset-bytes size-bytes [cgroup]")
+	for i := range ops {
+		op := &ops[i]
+		dir := "r"
+		if op.Op == bio.Write {
+			dir = "w"
+		}
+		us := strconv.FormatFloat(float64(op.At)/float64(sim.Microsecond), 'f', -1, 64)
+		if op.CG != "" {
+			fmt.Fprintf(bw, "%s %s %d %d %s\n", us, dir, op.Off, op.Size, op.CG)
+		} else {
+			fmt.Fprintf(bw, "%s %s %d %d\n", us, dir, op.Off, op.Size)
+		}
+	}
+	return bw.Flush()
 }
 
 // TraceReplayer issues a recorded trace against a queue, open-loop at the

@@ -32,9 +32,11 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/profiler"
 	"github.com/iocost-sim/iocost/internal/rcb"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/trace"
 	"github.com/iocost-sim/iocost/internal/workload"
 	"github.com/iocost-sim/iocost/internal/zk"
 )
@@ -242,6 +244,49 @@ var (
 	ParseTrace = workload.ParseTrace
 	// NewTraceReplayer replays a parsed trace against a queue.
 	NewTraceReplayer = workload.NewTraceReplayer
+)
+
+// Telemetry: the blktrace-equivalent event recorder (enable with
+// MachineConfig.Trace; the recorder is Machine.Trace) and PSI-style IO
+// pressure accounting (MachineConfig.Pressure / Machine.Pressure).
+type (
+	// TraceRecorder captures bio life-cycle and controller events into a
+	// bounded ring with zero steady-state allocations.
+	TraceRecorder = trace.Recorder
+	// Trace is a captured or loaded event stream.
+	Trace = trace.Trace
+	// TraceEvent is one telemetry record.
+	TraceEvent = trace.Event
+	// TraceAnalysis is the result of replaying a trace through the
+	// analysis passes (latency percentiles, throttle attribution,
+	// pressure reconstruction).
+	TraceAnalysis = trace.Analysis
+	// IOPressure is the live per-cgroup io.pressure collector.
+	IOPressure = metrics.IOPressure
+	// PSIAverages is one io.pressure line (some or full).
+	PSIAverages = metrics.PSIAverages
+)
+
+// Telemetry constructors and passes.
+var (
+	// NewTraceRecorder builds a standalone recorder; attach it to a queue
+	// with Attach and to an IOCost controller with SetEventSink.
+	NewTraceRecorder = trace.NewRecorder
+	// WriteTrace and ReadTrace handle the compact binary trace format.
+	WriteTrace = trace.WriteFile
+	ReadTrace  = trace.ReadFile
+	// AnalyzeTrace runs the analysis passes over a trace.
+	AnalyzeTrace = trace.Analyze
+	// DiffTraces compares two traces event-by-event.
+	DiffTraces = trace.Diff
+	// WorkloadOpsFromTrace converts a trace's submits into a replayable
+	// workload trace.
+	WorkloadOpsFromTrace = trace.WorkloadOps
+	// FormatWorkloadTrace writes workload trace ops in the text format
+	// ParseTrace reads.
+	FormatWorkloadTrace = workload.FormatTrace
+	// NewIOPressure builds a standalone pressure collector.
+	NewIOPressure = metrics.NewIOPressure
 )
 
 // Profiling (the offline device-modeling step of §3.2).

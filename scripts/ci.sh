@@ -31,6 +31,11 @@ echo "== go test -race ./..."
 # itself, so this pass race-checks the experiment cells too.
 go test -race ./...
 
+echo "== trace smoke (capture -> dump -> analyze -> diff)"
+# Captures the same fuzz seed twice and requires byte-identical binary
+# traces — the end-to-end determinism check for the telemetry pipeline.
+make trace-smoke
+
 if $tier3; then
 	echo "== fuzz smoke (30s)"
 	# Seeds start past the deterministic TestFuzzScenarios range so the
