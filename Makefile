@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench ci ci-full fuzz-smoke trace-smoke
+.PHONY: all build test bench bench-json ci ci-full fuzz-smoke trace-smoke monitor-smoke
 
 all: build test
 
@@ -13,6 +13,12 @@ test:
 # Engine microbenchmarks (scheduler hot path) + the per-figure harness.
 bench:
 	go test -bench=BenchmarkEngine -benchmem ./internal/sim/
+
+# Hot-path benchmarks (event engine + trace recorder) as structured JSON.
+# Writes BENCH_4.json, the committed reference for the zero-overhead
+# acceptance check; BENCHTIME=10x for a quick CI pass to another path.
+bench-json:
+	./scripts/bench-json.sh
 
 # Tier-2: vet + race detector, including the parallel experiment fan-out.
 ci:
@@ -41,3 +47,18 @@ trace-smoke:
 	go run ./cmd/iocost-trace diff "$$dir/a.trace" "$$dir/b.trace" >/dev/null; \
 	go run ./cmd/iocost-trace export -o "$$dir/a.txt" "$$dir/a.trace" >/dev/null; \
 	echo "trace-smoke OK: capture deterministic, toolchain round-trips"
+
+# Observability smoke: run the same short scenario twice with metrics on and
+# require byte-identical OpenMetrics exports (scrape determinism), then
+# validate the JSON export against its schema and exercise iocost-sim
+# -metrics. Part of tier-2 CI.
+monitor-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	go run ./cmd/iocost-monitor -seconds 2 -seed 7 -mode openmetrics -o "$$dir/a.om"; \
+	go run ./cmd/iocost-monitor -seconds 2 -seed 7 -mode openmetrics -o "$$dir/b.om"; \
+	cmp "$$dir/a.om" "$$dir/b.om"; \
+	go run ./cmd/iocost-monitor -seconds 2 -seed 7 -mode json -o "$$dir/a.json"; \
+	go run ./cmd/iocost-monitor -check "$$dir/a.json" >/dev/null; \
+	go run ./cmd/iocost-sim -seconds 2 -seed 7 -metrics "$$dir/sim.om" >/dev/null; \
+	grep -q '^# EOF' "$$dir/sim.om"; \
+	echo "monitor-smoke OK: exports deterministic, JSON schema valid"

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
@@ -178,12 +179,13 @@ func ablationDur(short bool) sim.Time {
 }
 
 func main() {
+	cli.Setup("iocost-bench", "[-run ids] [-short] [-json] [-parallel]")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	short := flag.Bool("short", false, "shorter runs (quick smoke pass)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON instead of text")
 	parallel := flag.Bool("parallel", false,
 		"fan independent experiment cells across GOMAXPROCS goroutines (identical output, less wall clock)")
-	flag.Parse()
+	cli.Parse("iocost-bench")
 	exp.SetParallel(*parallel)
 
 	want := map[string]bool{}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/mem"
@@ -27,9 +28,11 @@ import (
 )
 
 func main() {
+	cli.Setup("iocost-demo", "[-controller iocost] [-seed N]")
 	controller := flag.String("controller", exp.KindIOCost,
 		"IO controller: iocost, bfq, mq-deadline, kyber, blk-throttle, iolatency")
-	flag.Parse()
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	cli.Parse("iocost-demo")
 
 	var bench *rcb.Bench
 	var leaker *workload.Leaker
@@ -49,9 +52,9 @@ func main() {
 			Mem: &mem.Config{
 				Capacity:     2 << 30,
 				SwapCapacity: 4 << 30,
-				Seed:         42,
+				Seed:         *seed,
 			},
-			Seed: 42,
+			Seed: *seed,
 		},
 		Phases: []scenario.Phase{
 			{

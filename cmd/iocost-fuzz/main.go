@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/simfuzz"
 )
 
 func main() {
+	cli.Setup("iocost-fuzz", "[-start N] [-n count] [-seed N] [-shrink] [-replay file.json]")
 	var (
 		start  = flag.Uint64("start", 1, "first seed")
 		n      = flag.Int("n", 100, "number of scenarios to run")
@@ -34,7 +36,7 @@ func main() {
 		out    = flag.String("o", "", "write the (shrunk) failing scenario JSON to this file")
 		quiet  = flag.Bool("q", false, "only print failures and the final summary")
 	)
-	flag.Parse()
+	cli.Parse("iocost-fuzz")
 
 	if *replay != "" {
 		data, err := os.ReadFile(*replay)

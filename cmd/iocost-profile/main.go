@@ -17,10 +17,13 @@ import (
 	"os"
 	"sort"
 
+	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/profiler"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
+
+const tool = "iocost-profile"
 
 func factories() map[string]profiler.DeviceFactory {
 	m := map[string]profiler.DeviceFactory{}
@@ -50,10 +53,11 @@ func factories() map[string]profiler.DeviceFactory {
 }
 
 func main() {
+	cli.Setup(tool, "[-device <name>] [-seed N] [-list]")
 	dev := flag.String("device", "older-gen", "device model to profile")
 	seed := flag.Uint64("seed", 1, "noise seed")
 	list := flag.Bool("list", false, "list device models and exit")
-	flag.Parse()
+	cli.Parse(tool)
 
 	fs := factories()
 	if *list {
@@ -70,18 +74,10 @@ func main() {
 
 	f, ok := fs[*dev]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "iocost-profile: unknown device %q (use -list)\n", *dev)
-		os.Exit(1)
+		cli.Fatalf(tool, "unknown device %q (use -list)", *dev)
 	}
 
 	fmt.Fprintf(os.Stderr, "profiling %s (saturating sweeps, simulated)...\n", *dev)
 	res := profiler.Profile(f, profiler.Options{Seed: *seed})
-	fmt.Printf("# measured peaks\n")
-	fmt.Printf("rand read  %10.0f IOPS (p50 %v)\n", res.RandReadIOPS, res.ReadLatP50)
-	fmt.Printf("seq  read  %10.0f IOPS\n", res.SeqReadIOPS)
-	fmt.Printf("rand write %10.0f IOPS (p50 %v)\n", res.RandWriteIOPS, res.WriteLatP50)
-	fmt.Printf("seq  write %10.0f IOPS\n", res.SeqWriteIOPS)
-	fmt.Printf("read  bw   %10.0f MB/s\n", res.ReadBps/1e6)
-	fmt.Printf("write bw   %10.0f MB/s (sustained)\n", res.WriteBps/1e6)
-	fmt.Printf("\n# io.cost.model\n%s\n", res.Params)
+	fmt.Print(res.Format())
 }

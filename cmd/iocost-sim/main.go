@@ -14,11 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/iocost-sim/iocost"
+	"github.com/iocost-sim/iocost/internal/cli"
 )
 
+const tool = "iocost-sim"
+
 func main() {
+	cli.Setup(tool, "[options]")
 	controller := flag.String("controller", iocost.ControllerIOCost,
 		"IO controller: iocost, bfq, mq-deadline, kyber, blk-throttle, iolatency, none")
 	devName := flag.String("device", "older-gen", "device: older-gen, newer-gen, enterprise, hdd")
@@ -33,7 +38,8 @@ func main() {
 	replayFile := flag.String("replay", "", "replay this IO trace in the high-priority cgroup instead of a saturator (format: time-us r|w offset size [cgroup])")
 	traceOut := flag.String("trace", "", "record a binary telemetry trace of the run to this file (inspect with iocost-trace)")
 	pressure := flag.Bool("pressure", false, "print per-cgroup io.pressure at the end of the run")
-	flag.Parse()
+	metricsOut := flag.String("metrics", "", "export sampled metrics of the run to this file (OpenMetrics text, or JSON with a .json suffix)")
+	cli.Parse(tool)
 
 	var dev iocost.DeviceChoice
 	switch *devName {
@@ -46,8 +52,7 @@ func main() {
 	case "hdd":
 		dev = iocost.HDD(iocost.EvalHDD())
 	default:
-		fmt.Fprintf(os.Stderr, "iocost-sim: unknown device %q\n", *devName)
-		os.Exit(1)
+		cli.Fatalf(tool, "unknown device %q", *devName)
 	}
 
 	m := iocost.NewMachine(iocost.MachineConfig{
@@ -56,6 +61,7 @@ func main() {
 		Seed:       *seed,
 		Trace:      *traceOut != "",
 		Pressure:   *pressure,
+		Metrics:    *metricsOut != "",
 	})
 	hi := m.Workload.NewChild("hi", *hiWeight)
 	lo := m.Workload.NewChild("lo", *loWeight)
@@ -78,14 +84,12 @@ func main() {
 	if *replayFile != "" {
 		f, err := os.Open(*replayFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iocost-sim: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf(tool, "%v", err)
 		}
 		ops, err := iocost.ParseTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iocost-sim: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf(tool, "%v", err)
 		}
 		hiTrace = iocost.NewTraceReplayer(m.Q, hi, ops)
 		hiTrace.Start()
@@ -131,10 +135,28 @@ func main() {
 	if *traceOut != "" {
 		tr := m.Trace.Trace()
 		if err := iocost.WriteTrace(*traceOut, tr); err != nil {
-			fmt.Fprintf(os.Stderr, "iocost-sim: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf(tool, "%v", err)
 		}
 		fmt.Printf("trace: %d events (%d dropped) -> %s\n",
 			len(tr.Events), tr.Dropped, *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+		if strings.HasSuffix(*metricsOut, ".json") {
+			err = m.Sampler.WriteJSON(f)
+		} else {
+			err = m.Sampler.WriteOpenMetrics(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+		fmt.Printf("metrics: %d families, %d scrapes -> %s\n",
+			m.Registry.Len(), m.Sampler.Samples(), *metricsOut)
 	}
 }

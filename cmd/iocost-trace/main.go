@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/simfuzz"
 	"github.com/iocost-sim/iocost/internal/trace"
 	"github.com/iocost-sim/iocost/internal/workload"
@@ -44,7 +45,12 @@ func main() {
 		diff(args)
 	case "export":
 		export(args)
+	case "version", "-version", "--version":
+		cli.PrintVersion("iocost-trace")
+	case "help", "-h", "-help", "--help":
+		usage()
 	default:
+		fmt.Fprintf(os.Stderr, "iocost-trace: unknown subcommand %q\n", cmd)
 		usage()
 	}
 }

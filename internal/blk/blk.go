@@ -76,11 +76,15 @@ type Queue struct {
 	seq      uint64
 
 	// Depletion accounting: time spent with issued bios waiting for tags,
-	// the signal iocost uses for device saturation (§3.3).
-	depleted      bool
-	depletedFrom  sim.Time
-	depletionTime sim.Time
-	depletionHits uint64
+	// the signal iocost uses for device saturation (§3.3). The windowed
+	// pair resets on TakeDepletion (the planning path consumes it); the
+	// lifetime pair only grows, for monitoring.
+	depleted          bool
+	depletedFrom      sim.Time
+	depletionTime     sim.Time
+	depletionHits     uint64
+	depletionTimeLife sim.Time
+	depletionHitsLife uint64
 
 	// Busy accounting for utilization/work-conservation metrics.
 	busyFrom sim.Time
@@ -197,6 +201,7 @@ func (q *Queue) Issue(b *bio.Bio) {
 	if q.inflight >= q.tags {
 		q.tagWait.Push(b)
 		q.depletionHits++
+		q.depletionHitsLife++
 		if !q.depleted {
 			q.depleted = true
 			q.depletedFrom = q.eng.Now()
@@ -231,7 +236,9 @@ func (q *Queue) complete(b *bio.Bio) {
 	if next, ok := q.tagWait.Pop(); ok {
 		if q.tagWait.Empty() && q.depleted {
 			q.depleted = false
-			q.depletionTime += q.eng.Now() - q.depletedFrom
+			d := q.eng.Now() - q.depletedFrom
+			q.depletionTime += d
+			q.depletionTimeLife += d
 		}
 		q.dispatch(next)
 	}
@@ -262,12 +269,25 @@ func (q *Queue) complete(b *bio.Bio) {
 func (q *Queue) TakeDepletion() (sim.Time, uint64) {
 	if q.depleted {
 		now := q.eng.Now()
-		q.depletionTime += now - q.depletedFrom
+		d := now - q.depletedFrom
+		q.depletionTime += d
+		q.depletionTimeLife += d
 		q.depletedFrom = now
 	}
 	t, h := q.depletionTime, q.depletionHits
 	q.depletionTime, q.depletionHits = 0, 0
 	return t, h
+}
+
+// DepletionTotals returns the lifetime tag-depletion time and hit count,
+// including any open depletion interval, without consuming the windowed
+// accounting TakeDepletion serves.
+func (q *Queue) DepletionTotals() (sim.Time, uint64) {
+	t := q.depletionTimeLife
+	if q.depleted {
+		t += q.eng.Now() - q.depletedFrom
+	}
+	return t, q.depletionHitsLife
 }
 
 // BusyTime returns the cumulative time the device had at least one request

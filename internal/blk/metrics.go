@@ -1,0 +1,66 @@
+package blk
+
+import (
+	"sort"
+
+	"github.com/iocost-sim/iocost/internal/registry"
+)
+
+// RegisterMetrics contributes the block layer's state to a metrics
+// registry: occupancy gauges, lifetime throughput counters, tag-depletion
+// accounting, the completion-latency histograms, and a per-cgroup io.stat
+// collector. Everything reads state the queue already maintains, so
+// registration adds nothing to the per-bio path.
+func (q *Queue) RegisterMetrics(r *registry.Registry) {
+	r.GaugeFunc("blk_inflight", "bios holding device tags", nil,
+		func() float64 { return float64(q.inflight) })
+	r.GaugeFunc("blk_tag_waiting", "issued bios parked waiting for a tag", nil,
+		func() float64 { return float64(q.tagWait.Len()) })
+	r.GaugeFunc("blk_ctl_queued", "bios held by the IO controller (submitted, not yet issued)", nil,
+		func() float64 {
+			return float64(q.seq - q.completions - uint64(q.inflight) - uint64(q.tagWait.Len()))
+		})
+	r.CounterFunc("blk_completions_total", "completed bios", nil,
+		func() float64 { return float64(q.completions) })
+	r.CounterFunc("blk_issued_bytes_total", "bytes issued to the device", nil,
+		func() float64 { return float64(q.issuedBytes) })
+	r.CounterFunc("blk_busy_seconds_total", "time with at least one request in flight", nil,
+		func() float64 { return q.BusyTime().Seconds() })
+	r.CounterFunc("blk_depletion_seconds_total", "time spent with bios waiting for tags", nil,
+		func() float64 { t, _ := q.DepletionTotals(); return t.Seconds() })
+	r.CounterFunc("blk_depletion_hits_total", "bios that had to wait for a tag", nil,
+		func() float64 { _, h := q.DepletionTotals(); return float64(h) })
+	r.Histogram("blk_read_latency_ns", "read issue-to-completion latency", nil, q.ReadLat)
+	r.Histogram("blk_write_latency_ns", "write issue-to-completion latency", nil, q.WriteLat)
+
+	// io.stat equivalents, one series per cgroup sorted by path so the
+	// emission order never depends on map iteration.
+	iostat := func(name, help string, kind registry.Kind, field func(*CGIOStat) float64) {
+		r.Collector(name, kind, help, func(emit func([]registry.Label, float64)) {
+			type row struct {
+				path string
+				st   *CGIOStat
+			}
+			rows := make([]row, 0, len(q.iostat))
+			for cg, st := range q.iostat {
+				rows = append(rows, row{cg.Path(), st})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+			for _, rw := range rows {
+				emit(registry.L("cgroup", rw.path), field(rw.st))
+			}
+		})
+	}
+	iostat("blk_cg_rbytes_total", "bytes read, per cgroup", registry.Counter,
+		func(s *CGIOStat) float64 { return float64(s.RBytes) })
+	iostat("blk_cg_wbytes_total", "bytes written, per cgroup", registry.Counter,
+		func(s *CGIOStat) float64 { return float64(s.WBytes) })
+	iostat("blk_cg_rios_total", "read IOs, per cgroup", registry.Counter,
+		func(s *CGIOStat) float64 { return float64(s.RIOs) })
+	iostat("blk_cg_wios_total", "write IOs, per cgroup", registry.Counter,
+		func(s *CGIOStat) float64 { return float64(s.WIOs) })
+	iostat("blk_cg_wait_seconds_total", "time bios spent held by the controller, per cgroup", registry.Counter,
+		func(s *CGIOStat) float64 { return s.WaitTime.Seconds() })
+	iostat("blk_cg_device_seconds_total", "issue-to-completion time, per cgroup", registry.Counter,
+		func(s *CGIOStat) float64 { return s.DeviceTime.Seconds() })
+}

@@ -1,0 +1,29 @@
+package cgroup
+
+import "github.com/iocost-sim/iocost/internal/registry"
+
+// RegisterMetrics contributes the weight tree's state to a metrics
+// registry: configured and donation-adjusted weights, both hierarchical
+// weights, and activity, one series per cgroup (label cgroup=path) emitted
+// in pre-order walk order so output never depends on map iteration.
+// Hweight reads hit the generation-checked cache, so a scrape recomputes
+// only when the tree actually changed.
+func (h *Hierarchy) RegisterMetrics(r *registry.Registry) {
+	perNode := func(name, help string, fn func(*Node) float64) {
+		r.Collector(name, registry.Gauge, help, func(emit func([]registry.Label, float64)) {
+			h.Walk(func(n *Node) {
+				emit(registry.L("cgroup", n.Path()), fn(n))
+			})
+		})
+	}
+	perNode("cgroup_weight", "configured weight", func(n *Node) float64 { return n.Weight() })
+	perNode("cgroup_inuse", "donation-adjusted weight in effect", func(n *Node) float64 { return n.Inuse() })
+	perNode("cgroup_hweight_active", "hierarchical share from configured weights", (*Node).HweightActive)
+	perNode("cgroup_hweight_inuse", "hierarchical share from inuse weights", (*Node).HweightInuse)
+	perNode("cgroup_active", "1 while the cgroup participates in weight sums", func(n *Node) float64 {
+		if n.Active() {
+			return 1
+		}
+		return 0
+	})
+}

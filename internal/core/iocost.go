@@ -137,6 +137,11 @@ type Controller struct {
 
 	// sink, when non-nil, receives controller-level telemetry events.
 	sink EventSink
+
+	// lastPeriod is the most recent planning-path summary, kept for the
+	// monitoring surface (LastPeriod, RegisterMetrics) independently of
+	// the Config.OnPeriod callback.
+	lastPeriod PeriodStats
 }
 
 // iocg is the per-cgroup controller state.
@@ -575,18 +580,19 @@ func (c *Controller) periodTick() {
 		st.hadWait = false
 	}
 
+	c.lastPeriod = PeriodStats{
+		Now:         now,
+		Vrate:       c.vrate,
+		Saturated:   saturated,
+		Shortage:    c.shortage,
+		MissedRPct:  missR,
+		MissedWPct:  missW,
+		DepletionNS: depTime,
+		ActiveCGs:   active,
+		Donors:      donors,
+	}
 	if c.cfg.OnPeriod != nil {
-		c.cfg.OnPeriod(PeriodStats{
-			Now:         now,
-			Vrate:       c.vrate,
-			Saturated:   saturated,
-			Shortage:    c.shortage,
-			MissedRPct:  missR,
-			MissedWPct:  missW,
-			DepletionNS: depTime,
-			ActiveCGs:   active,
-			Donors:      donors,
-		})
+		c.cfg.OnPeriod(c.lastPeriod)
 	}
 
 	c.latMet = [2]uint64{}

@@ -40,6 +40,7 @@ type IOLatency struct {
 }
 
 type iolatState struct {
+	cg       *cgroup.Node
 	target   sim.Time
 	lat      *stats.Histogram
 	depth    int // current allowed in-flight; maxInt when unthrottled
@@ -70,6 +71,7 @@ func (c *IOLatency) stateFor(cg *cgroup.Node) *iolatState {
 	st := c.state[cg]
 	if st == nil {
 		st = &iolatState{
+			cg:     cg,
 			target: math.MaxInt64,
 			lat:    stats.NewHistogram(),
 			depth:  unthrottled,

@@ -24,9 +24,10 @@ type ThrottleLimits struct {
 // is never redistributed — and limits must be configured per workload and
 // per device, which is what makes it brittle at fleet scale (§2.2).
 type Throttle struct {
-	q      *blk.Queue
-	limits map[*cgroup.Node]ThrottleLimits
-	state  map[*cgroup.Node]*throttleState
+	q       *blk.Queue
+	limits  map[*cgroup.Node]ThrottleLimits
+	state   map[*cgroup.Node]*throttleState
+	pending int // bios delayed by a bucket, not yet issued
 }
 
 type throttleState struct {
@@ -78,7 +79,11 @@ func (c *Throttle) Submit(b *bio.Bio) {
 		c.q.Issue(b)
 		return
 	}
-	c.q.Engine().At(at, func() { c.q.Issue(b) })
+	c.pending++
+	c.q.Engine().At(at, func() {
+		c.pending--
+		c.q.Issue(b)
+	})
 }
 
 // charge advances cg's token buckets for b and returns the admission time

@@ -67,6 +67,10 @@ type engine struct {
 	// Merges counts bios absorbed into earlier requests.
 	Merges uint64
 
+	// Lifetime per-direction completion counters, indexed by bio.Op.
+	doneIOs   [2]uint64
+	doneBytes [2]uint64
+
 	// Token bucket: a request may not begin service before nextToken;
 	// each request advances nextToken by tokNsPerIO + size*tokNsPerByte.
 	// Zero values disable the bucket.
@@ -81,6 +85,18 @@ type engine struct {
 func (d *engine) Name() string     { return d.name }
 func (d *engine) Parallelism() int { return d.slots }
 func (d *engine) InFlight() int    { return d.busy + d.queues[0].Len() + d.queues[1].Len() }
+
+// DoneIOs returns the lifetime completed-request count for op.
+func (d *engine) DoneIOs(op bio.Op) uint64 { return d.doneIOs[int(op)] }
+
+// DoneBytes returns the lifetime completed bytes for op.
+func (d *engine) DoneBytes(op bio.Op) uint64 { return d.doneBytes[int(op)] }
+
+// QueueDepth returns the number of requests queued but not yet in service.
+func (d *engine) QueueDepth() int { return d.queues[0].Len() + d.queues[1].Len() }
+
+// Busy returns the number of requests currently in service.
+func (d *engine) Busy() int { return d.busy }
 
 // mergeScan bounds how far back the elevator looks for a merge candidate.
 const mergeScan = 64
@@ -170,6 +186,9 @@ func (d *engine) begin(p pending) {
 		end := d.eng.Now()
 		p.b.Completed = end
 		d.busy--
+		op := int(p.b.Op)
+		d.doneIOs[op] += uint64(1 + len(p.extra))
+		d.doneBytes[op] += uint64(p.size)
 		// Dispatch before delivering the completion so the device stays
 		// busy even if the completion handler submits more work.
 		d.dispatch()

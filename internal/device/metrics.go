@@ -1,0 +1,52 @@
+package device
+
+import (
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/registry"
+)
+
+// RegisterMetrics contributes the shared device-engine state to a metrics
+// registry, labeled by device name: occupancy, internal queue depth,
+// per-direction lifetime IOPS/bandwidth counters and elevator merges. The
+// concrete models layer their own metrics on top (SSD write-buffer and GC
+// state). All values are reads of state the engine already maintains.
+func (d *engine) RegisterMetrics(r *registry.Registry) {
+	lbl := registry.L("device", d.name)
+	r.GaugeFunc("device_inflight", "requests submitted to the device, queued or in service", lbl,
+		func() float64 { return float64(d.InFlight()) })
+	r.GaugeFunc("device_busy", "requests in service across internal channels", lbl,
+		func() float64 { return float64(d.busy) })
+	r.GaugeFunc("device_queued", "requests queued inside the device, not yet in service", lbl,
+		func() float64 { return float64(d.QueueDepth()) })
+	r.CounterFunc("device_merges_total", "bios absorbed into earlier requests by back-merging", lbl,
+		func() float64 { return float64(d.Merges) })
+	dir := func(name, help string, fn func(op bio.Op) uint64) {
+		r.Collector(name, registry.Counter, help, func(emit func([]registry.Label, float64)) {
+			emit(registry.L("device", d.name, "dir", "read"), float64(fn(bio.Read)))
+			emit(registry.L("device", d.name, "dir", "write"), float64(fn(bio.Write)))
+		})
+	}
+	dir("device_ios_total", "completed requests per direction", d.DoneIOs)
+	dir("device_bytes_total", "completed bytes per direction", d.DoneBytes)
+}
+
+// RegisterMetrics adds the flash-specific state on top of the engine's:
+// write-buffer credit, GC stalls, and whether a degradation episode is in
+// effect.
+func (d *SSD) RegisterMetrics(r *registry.Registry) {
+	d.engine.RegisterMetrics(r)
+	lbl := registry.L("device", d.name)
+	if d.spec.BufBytes > 0 {
+		r.GaugeFunc("device_write_buffer_bytes", "remaining write-buffer burst credit", lbl,
+			func() float64 { return float64(d.BufferCredit()) })
+	}
+	r.CounterFunc("device_gc_stalls_total", "garbage-collection stalls incurred", lbl,
+		func() float64 { return float64(d.gcStalls) })
+	r.GaugeFunc("device_degraded", "1 while a degradation episode is in effect", lbl,
+		func() float64 {
+			if d.Degraded() {
+				return 1
+			}
+			return 0
+		})
+}

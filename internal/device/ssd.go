@@ -58,6 +58,7 @@ type SSD struct {
 
 	bufCredit  int64    // bytes of write-buffer credit remaining
 	bufLastRef sim.Time // last time credit was refilled
+	gcStalls   uint64   // lifetime GC-stall count
 
 	// Fault injection: service times are multiplied by degrade until
 	// degradeUntil (thermal throttling, background media scans, firmware
@@ -145,6 +146,7 @@ func (d *SSD) serviceTime(b *bio.Bio) sim.Time {
 				bps = d.spec.SustainedWBp
 				if d.spec.GCStallProb > 0 && d.rnd.Bool(d.spec.GCStallProb) {
 					base += d.rnd.Pareto(d.spec.GCStallNS, 1.5)
+					d.gcStalls++
 				}
 			}
 		}
@@ -172,3 +174,6 @@ func (d *SSD) BufferCredit() int64 {
 	d.refillBuffer()
 	return d.bufCredit
 }
+
+// GCStalls returns the lifetime count of garbage-collection stalls.
+func (d *SSD) GCStalls() uint64 { return d.gcStalls }

@@ -16,6 +16,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/mem"
 	"github.com/iocost-sim/iocost/internal/metrics"
+	"github.com/iocost-sim/iocost/internal/registry"
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
@@ -76,6 +77,13 @@ type MachineConfig struct {
 	TraceCap int
 	// Pressure attaches a live PSI collector (Machine.Pressure).
 	Pressure bool
+
+	// Metrics attaches a metrics registry spanning every layer
+	// (Machine.Registry) and a virtual-time sampler scraping it into
+	// bounded time-series (Machine.Sampler). MetricsInterval overrides
+	// the sample interval (0 selects metrics.DefaultSampleInterval).
+	Metrics         bool
+	MetricsInterval sim.Time
 }
 
 // Machine is a fully assembled host.
@@ -92,6 +100,10 @@ type Machine struct {
 	Trace *trace.Recorder
 	// Pressure is the PSI collector when MachineConfig.Pressure is set.
 	Pressure *metrics.IOPressure
+	// Registry and Sampler are the metrics surface when
+	// MachineConfig.Metrics is set.
+	Registry *registry.Registry
+	Sampler  *metrics.Sampler
 
 	// The production hierarchy of Figure 1.
 	System       *cgroup.Node
@@ -283,6 +295,32 @@ func NewMachine(cfg MachineConfig) *Machine {
 			mc.DebtDelay = m.IOCost.Delay
 		}
 		m.Mem = mem.NewPool(m.Q, mc)
+	}
+
+	// The metrics registry registers last so it can see every component.
+	// Registration order fixes export order; collectors are pull-based,
+	// so an enabled registry adds no per-bio work — cost is paid only
+	// when the sampler scrapes.
+	if cfg.Metrics {
+		m.Registry = registry.New()
+		m.Q.RegisterMetrics(m.Registry)
+		if reg, ok := m.Dev.(registry.Registrar); ok {
+			reg.RegisterMetrics(m.Registry)
+		}
+		m.Hier.RegisterMetrics(m.Registry)
+		if reg, ok := m.Ctl.(registry.Registrar); ok {
+			reg.RegisterMetrics(m.Registry)
+		}
+		if m.Mem != nil {
+			m.Mem.RegisterMetrics(m.Registry)
+		}
+		if m.Pressure != nil {
+			m.Pressure.RegisterMetrics(m.Registry)
+		}
+		m.Sampler = metrics.NewSampler(eng, m.Registry, metrics.SamplerConfig{
+			Interval: cfg.MetricsInterval,
+		})
+		m.Sampler.Start()
 	}
 	return m
 }

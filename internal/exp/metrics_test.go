@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/metrics"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+// metricsMachine runs the standard two-saturator contention scenario for 2s
+// with the full observability stack on.
+func metricsMachine(t *testing.T) *Machine {
+	t.Helper()
+	spec := device.OlderGenSSD()
+	m := NewMachine(MachineConfig{
+		Device:     DeviceChoice{SSD: &spec},
+		Controller: KindIOCost,
+		Seed:       1,
+		Pressure:   true,
+		Metrics:    true,
+	})
+	hi := m.Workload.NewChild("hi", 200)
+	lo := m.Workload.NewChild("lo", 100)
+	workload.NewSaturator(m.Q, workload.SaturatorConfig{
+		CG: hi, Op: bio.Read, Pattern: workload.Random,
+		Size: 4096, Depth: 32, Region: 0, Seed: 2,
+	}).Start()
+	workload.NewSaturator(m.Q, workload.SaturatorConfig{
+		CG: lo, Op: bio.Read, Pattern: workload.Random,
+		Size: 4096, Depth: 32, Region: 1 << 40, Seed: 3,
+	}).Start()
+	m.Run(2 * sim.Second)
+	return m
+}
+
+// TestMachineMetricsGolden pins the full end-to-end exports — every layer's
+// families sampled over a 2s contention run — byte for byte. A diff means
+// either the scenario's schedule changed (a determinism regression) or the
+// metrics surface changed (which downstream tooling should hear about).
+// Regenerate with UPDATE_METRICS_GOLDEN=1.
+func TestMachineMetricsGolden(t *testing.T) {
+	m := metricsMachine(t)
+	var om, js bytes.Buffer
+	if err := m.Sampler.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sampler.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		file string
+		got  []byte
+	}{
+		{"machine_metrics.om", om.Bytes()},
+		{"machine_metrics.json", js.Bytes()},
+	} {
+		path := filepath.Join("testdata", tc.file)
+		if os.Getenv("UPDATE_METRICS_GOLDEN") != "" {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run with UPDATE_METRICS_GOLDEN=1): %v", err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s: export differs from golden (regenerate with UPDATE_METRICS_GOLDEN=1 if intended); got %d bytes, want %d",
+				tc.file, len(tc.got), len(want))
+		}
+	}
+}
+
+// TestMachineMetricsJSONValidates checks the machine's JSON export satisfies
+// the schema validator and covers every instrumented layer.
+func TestMachineMetricsJSONValidates(t *testing.T) {
+	m := metricsMachine(t)
+	var buf bytes.Buffer
+	if err := m.Sampler.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var exp metrics.JSONExport
+	if err := json.Unmarshal(buf.Bytes(), &exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateExport(&exp); err != nil {
+		t.Fatal(err)
+	}
+	prefixes := map[string]bool{}
+	for _, mt := range exp.Metrics {
+		for _, p := range []string{"blk_", "device_", "cgroup_", "iocost_", "io_pressure_"} {
+			if len(mt.Name) >= len(p) && mt.Name[:len(p)] == p {
+				prefixes[p] = true
+			}
+		}
+	}
+	for _, p := range []string{"blk_", "device_", "cgroup_", "iocost_", "io_pressure_"} {
+		if !prefixes[p] {
+			t.Errorf("export has no %s* metrics — a layer is missing from registration", p)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package mem
+
+import "github.com/iocost-sim/iocost/internal/registry"
+
+// RegisterMetrics contributes the memory pool's state: pool-wide occupancy
+// gauges, lifetime reclaim/swap/OOM counters, and per-cgroup resident and
+// swapped bytes. Per-cgroup emission walks the creation-order slice, so
+// output never depends on map iteration.
+func (p *Pool) RegisterMetrics(r *registry.Registry) {
+	r.GaugeFunc("mem_resident_bytes", "resident bytes across all cgroups", nil,
+		func() float64 { return float64(p.totalResident) })
+	r.GaugeFunc("mem_swap_used_bytes", "bytes currently swapped out", nil,
+		func() float64 { return float64(p.swapUsed) })
+	r.GaugeFunc("mem_dirty_bytes", "dirty page-cache bytes awaiting writeback", nil,
+		func() float64 { return float64(p.totalDirty) })
+	r.GaugeFunc("mem_reclaim_inflight_bytes", "bytes being evicted right now", nil,
+		func() float64 { return float64(p.reclaimInFlight) })
+	r.CounterFunc("mem_swapouts_total", "pages clusters written to swap", nil,
+		func() float64 { return float64(p.SwapOuts) })
+	r.CounterFunc("mem_swapins_total", "major faults read back from swap", nil,
+		func() float64 { return float64(p.SwapIns) })
+	r.CounterFunc("mem_oom_kills_total", "cgroups OOM-killed", nil,
+		func() float64 { return float64(p.OOMKills) })
+	r.CounterFunc("mem_writebacks_total", "dirty page-cache writeback IOs", nil,
+		func() float64 { return float64(p.Writebacks) })
+	r.CounterFunc("mem_stall_seconds_total", "time tasks stalled on memory", nil,
+		func() float64 { return p.StallTime.Seconds() })
+
+	perCG := func(name, help string, pick func(*memCG) float64) {
+		r.Collector(name, registry.Gauge, help, func(emit func([]registry.Label, float64)) {
+			for _, mc := range p.order {
+				if mc.dead {
+					continue
+				}
+				emit(registry.L("cgroup", mc.cg.Path()), pick(mc))
+			}
+		})
+	}
+	perCG("mem_cg_resident_bytes", "resident bytes",
+		func(mc *memCG) float64 { return float64(mc.resident) })
+	perCG("mem_cg_swapped_bytes", "bytes swapped out",
+		func(mc *memCG) float64 { return float64(mc.swapped) })
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/registry"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// buildSampled runs a tiny deterministic scenario: a gauge following the
+// clock and a counter stepping by 2 per scrape, scraped every 100ms for 1s.
+func buildSampled(t *testing.T) *Sampler {
+	t.Helper()
+	eng := sim.New()
+	reg := registry.New()
+	var steps float64
+	reg.GaugeFunc("clock_seconds", "the virtual clock", nil,
+		func() float64 { return eng.Now().Seconds() })
+	reg.CounterFunc("steps_total", "scrapes seen", registry.L("kind", "test"),
+		func() float64 { steps += 2; return steps })
+	s := NewSampler(eng, reg, SamplerConfig{Interval: 100 * sim.Millisecond})
+	s.Start()
+	eng.RunUntil(1 * sim.Second)
+	return s
+}
+
+func TestSamplerScrapesOnInterval(t *testing.T) {
+	s := buildSampled(t)
+	if s.Samples() != 10 {
+		t.Fatalf("samples = %d, want 10 over 1s at 100ms", s.Samples())
+	}
+	exp := s.Export()
+	if len(exp.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(exp.Metrics))
+	}
+	clock := exp.Metrics[0]
+	if clock.Name != "clock_seconds" || len(clock.Points) != 10 {
+		t.Fatalf("first metric %q with %d points, want clock_seconds/10", clock.Name, len(clock.Points))
+	}
+	// The gauge sampled the clock exactly at each scrape tick.
+	for i, pt := range clock.Points {
+		want := (sim.Time(i+1) * 100 * sim.Millisecond).Seconds()
+		if pt[1] != want {
+			t.Errorf("clock at scrape %d = %v, want %v", i, pt[1], want)
+		}
+	}
+	if got := exp.Metrics[1].Labels["kind"]; got != "test" {
+		t.Errorf("label kind = %q, want test", got)
+	}
+	if err := ValidateExport(&exp); err != nil {
+		t.Fatalf("export fails its own validation: %v", err)
+	}
+}
+
+func TestSamplerOpenMetricsShape(t *testing.T) {
+	s := buildSampled(t)
+	var buf bytes.Buffer
+	if err := s.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP clock_seconds the virtual clock\n",
+		"# TYPE clock_seconds gauge\n",
+		"# TYPE steps_total counter\n",
+		`steps_total{kind="test"} 2 0.1` + "\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("output does not end with # EOF")
+	}
+}
+
+func TestSamplerExportsAreByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSampled(t).WriteOpenMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSampled(t).WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical scenarios produced different OpenMetrics bytes")
+	}
+	var ja, jb bytes.Buffer
+	if err := buildSampled(t).WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSampled(t).WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("identical scenarios produced different JSON bytes")
+	}
+}
+
+func TestValidateExportRejectsMalformed(t *testing.T) {
+	s := buildSampled(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var good JSONExport
+	if err := json.Unmarshal(buf.Bytes(), &good); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExport(&good); err != nil {
+		t.Fatalf("round-tripped export invalid: %v", err)
+	}
+
+	bad := good
+	bad.Version = 99
+	if ValidateExport(&bad) == nil {
+		t.Error("wrong version accepted")
+	}
+	bad = good
+	bad.IntervalNS = 0
+	if ValidateExport(&bad) == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = good
+	bad.Metrics = append([]JSONMetric{}, good.Metrics...)
+	bad.Metrics[0] = JSONMetric{Name: "x", Kind: "histogram"}
+	if ValidateExport(&bad) == nil {
+		t.Error("unknown kind accepted")
+	}
+	bad = good
+	bad.Metrics = []JSONMetric{{Name: "x", Kind: "gauge", Points: [][2]float64{{1, 0}, {1, 0}}}}
+	if ValidateExport(&bad) == nil {
+		t.Error("non-increasing point times accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package profiler
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// TestFormatGolden pins the full iocost-profile report for two device
+// models. Profiling is deterministic for a fixed seed, so any diff means
+// either the device models, the profiling sweeps, or the report format
+// changed — all of which tooling parsing the output should hear about.
+// Regenerate with UPDATE_PROFILE_GOLDEN=1.
+func TestFormatGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory DeviceFactory
+	}{
+		{"older-gen", func(eng *sim.Engine) device.Device {
+			return device.NewSSD(eng, device.OlderGenSSD(), 1)
+		}},
+		{"hdd", func(eng *sim.Engine) device.Device {
+			return device.NewHDD(eng, device.EvalHDD(), 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Profile(tc.factory, Options{Seed: 1}).Format()
+			path := filepath.Join("testdata", "profile_"+tc.name+".golden")
+			if os.Getenv("UPDATE_PROFILE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_PROFILE_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("profile report for %s changed.\ngot:\n%s\nwant:\n%s\n(regenerate with UPDATE_PROFILE_GOLDEN=1 if intended)",
+					tc.name, got, want)
+			}
+		})
+	}
+}

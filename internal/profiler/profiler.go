@@ -7,6 +7,7 @@ package profiler
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/iocost-sim/iocost/internal/bio"
 	"github.com/iocost-sim/iocost/internal/blk"
@@ -127,4 +128,21 @@ func Profile(factory DeviceFactory, opts Options) Result {
 func (r Result) String() string {
 	return fmt.Sprintf("%s (randread %.0f IOPS @%v, randwrite %.0f IOPS @%v)",
 		r.Params, r.RandReadIOPS, r.ReadLatP50, r.RandWriteIOPS, r.WriteLatP50)
+}
+
+// Format renders the full profiling report the iocost-profile command
+// prints: the measured peaks block followed by the derived io.cost.model
+// line. Pinned by a golden test, so tooling that parses the output can rely
+// on it.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# measured peaks\n")
+	fmt.Fprintf(&b, "rand read  %10.0f IOPS (p50 %v)\n", r.RandReadIOPS, r.ReadLatP50)
+	fmt.Fprintf(&b, "seq  read  %10.0f IOPS\n", r.SeqReadIOPS)
+	fmt.Fprintf(&b, "rand write %10.0f IOPS (p50 %v)\n", r.RandWriteIOPS, r.WriteLatP50)
+	fmt.Fprintf(&b, "seq  write %10.0f IOPS\n", r.SeqWriteIOPS)
+	fmt.Fprintf(&b, "read  bw   %10.0f MB/s\n", r.ReadBps/1e6)
+	fmt.Fprintf(&b, "write bw   %10.0f MB/s (sustained)\n", r.WriteBps/1e6)
+	fmt.Fprintf(&b, "\n# io.cost.model\n%s\n", r.Params)
+	return b.String()
 }

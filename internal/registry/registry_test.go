@@ -1,0 +1,109 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/stats"
+)
+
+func TestGatherOrderAndValues(t *testing.T) {
+	r := New()
+	n := 0.0
+	r.CounterFunc("a_total", "counts a", nil, func() float64 { return n })
+	r.GaugeFunc("b", "gauges b", L("dev", "ssd"), func() float64 { return 7 })
+	r.Collector("c", Gauge, "per-thing", func(emit func([]Label, float64)) {
+		emit(L("thing", "x"), 1)
+		emit(L("thing", "y"), 2)
+	})
+
+	n = 3
+	got := r.Gather()
+	if len(got) != 3 {
+		t.Fatalf("families = %d, want 3", len(got))
+	}
+	if got[0].Name != "a_total" || got[1].Name != "b" || got[2].Name != "c" {
+		t.Fatalf("family order = %s,%s,%s", got[0].Name, got[1].Name, got[2].Name)
+	}
+	if got[0].Kind != Counter || got[1].Kind != Gauge {
+		t.Fatalf("kinds = %v,%v", got[0].Kind, got[1].Kind)
+	}
+	if v := got[0].Samples[0].Value; v != 3 {
+		t.Fatalf("counter read %v, want 3 (reads must be live, not captured)", v)
+	}
+	if l := got[1].Samples[0].Labels; l != `{dev="ssd"}` {
+		t.Fatalf("rendered labels = %q", l)
+	}
+	if len(got[2].Samples) != 2 || got[2].Samples[0].Labels != `{thing="x"}` ||
+		got[2].Samples[1].Value != 2 {
+		t.Fatalf("collector samples = %+v", got[2].Samples)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	r := New()
+	h := stats.NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	r.Histogram("lat_ns", "latency", nil, h)
+
+	fams := r.Gather()
+	if fams[0].Kind != Summary {
+		t.Fatalf("kind = %v, want Summary", fams[0].Kind)
+	}
+	var names []string
+	byName := map[string]Sample{}
+	for _, s := range fams[0].Samples {
+		names = append(names, s.Name+s.Labels)
+		byName[s.Name+s.Labels] = s
+	}
+	want := []string{
+		`lat_ns{quantile="0.5"}`, `lat_ns{quantile="0.9"}`, `lat_ns{quantile="0.99"}`,
+		"lat_ns_count", "lat_ns_sum",
+	}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("summary samples = %v, want %v", names, want)
+	}
+	if c := byName["lat_ns_count"].Value; c != 100 {
+		t.Fatalf("count = %v", c)
+	}
+	p50 := byName[`lat_ns{quantile="0.5"}`].Value
+	if p50 < 40_000 || p50 > 60_000 {
+		t.Fatalf("p50 = %v, want ~50000", p50)
+	}
+}
+
+func TestRenderLabelsEscaping(t *testing.T) {
+	got := RenderLabels(L("path", `a"b\c`))
+	if got != `{path="a\"b\\c"}` {
+		t.Fatalf("escaped labels = %q", got)
+	}
+	if RenderLabels(nil) != "" {
+		t.Fatal("empty labels must render empty")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	r := New()
+	r.GaugeFunc("ok_name", "", nil, func() float64 { return 0 })
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"duplicate", func() { r.GaugeFunc("ok_name", "", nil, func() float64 { return 0 }) }},
+		{"bad char", func() { r.GaugeFunc("bad-name", "", nil, func() float64 { return 0 }) }},
+		{"leading digit", func() { r.GaugeFunc("9name", "", nil, func() float64 { return 0 }) }},
+		{"empty", func() { r.GaugeFunc("", "", nil, func() float64 { return 0 }) }},
+		{"odd L", func() { L("k") }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/profiler"
 	"github.com/iocost-sim/iocost/internal/rcb"
+	"github.com/iocost-sim/iocost/internal/registry"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
 	"github.com/iocost-sim/iocost/internal/workload"
@@ -265,6 +266,35 @@ type (
 	IOPressure = metrics.IOPressure
 	// PSIAverages is one io.pressure line (some or full).
 	PSIAverages = metrics.PSIAverages
+)
+
+// Metrics: the cross-layer registry (enable with MachineConfig.Metrics;
+// the registry is Machine.Registry, the sampler Machine.Sampler).
+type (
+	// MetricsRegistry holds pull-based metric families from every layer.
+	MetricsRegistry = registry.Registry
+	// MetricsRegistrar is implemented by components that can contribute
+	// metrics to a registry.
+	MetricsRegistrar = registry.Registrar
+	// MetricLabel is one key=value metric label.
+	MetricLabel = registry.Label
+	// Sampler scrapes a registry on the virtual clock into bounded
+	// time-series.
+	Sampler = metrics.Sampler
+	// SamplerConfig tunes the scrape interval and series capacity.
+	SamplerConfig = metrics.SamplerConfig
+	// MetricsExport is the versioned JSON export document.
+	MetricsExport = metrics.JSONExport
+)
+
+// Metrics constructors and helpers.
+var (
+	// NewMetricsRegistry builds an empty registry.
+	NewMetricsRegistry = registry.New
+	// NewSampler builds a sampler over a registry.
+	NewSampler = metrics.NewSampler
+	// ValidateMetricsExport checks a decoded JSON export document.
+	ValidateMetricsExport = metrics.ValidateExport
 )
 
 // Telemetry constructors and passes.

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Runs the hot-path benchmark suites (the event-engine scheduler and the
+# trace recorder — the two per-bio-adjacent paths the observability work
+# must not slow down) and writes the results as structured JSON.
+#
+# Usage: ./scripts/bench-json.sh [output.json]
+#   BENCHTIME=10x ./scripts/bench-json.sh /tmp/quick.json   # CI smoke
+#
+# The committed BENCH_4.json is the PR-4 reference run; regenerate it with
+# the default 1s benchtime on a quiet machine when the hot paths change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_4.json}"
+benchtime="${BENCHTIME:-1s}"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkEngine' -benchmem -benchtime "$benchtime" ./internal/sim >"$tmp"
+go test -run '^$' -bench 'BenchmarkTraceRecord' -benchmem -benchtime "$benchtime" ./internal/trace >>"$tmp"
+
+awk -v benchtime="$benchtime" '
+BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	if (sep) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, $2, $3, $5, $7
+	sep = 1
+}
+END { printf "\n  ]\n}\n" }' "$tmp" >"$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"

@@ -36,6 +36,14 @@ echo "== trace smoke (capture -> dump -> analyze -> diff)"
 # traces — the end-to-end determinism check for the telemetry pipeline.
 make trace-smoke
 
+echo "== monitor smoke (deterministic metrics exports + JSON schema)"
+make monitor-smoke
+
+echo "== bench json (engine + trace hot paths, quick pass)"
+# A 10x pass proves the benchmark-to-JSON pipeline; the committed
+# BENCH_4.json reference comes from a full 1s run of make bench-json.
+BENCHTIME=10x ./scripts/bench-json.sh "$(mktemp)"
+
 if $tier3; then
 	echo "== fuzz smoke (30s)"
 	# Seeds start past the deterministic TestFuzzScenarios range so the
