@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench bench-json ci ci-full fuzz-smoke trace-smoke monitor-smoke
+.PHONY: all build test bench bench-json ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke
 
 all: build test
 
@@ -34,6 +34,13 @@ ci-full:
 fuzz-smoke:
 	go test ./internal/simfuzz -run TestFuzzSmoke -count=1 -base=2000000 -smoke=30s
 
+# Fault shard of the fuzz smoke: the same budgeted sweep, but every scenario
+# carries a seed-derived device fault plan, so the sanitizer and drain checks
+# run against live error/retry/timeout paths. Seeds are disjoint from both
+# the fixed batch and the healthy smoke.
+fuzz-smoke-faults:
+	go test ./internal/simfuzz -run TestFuzzSmoke -count=1 -base=3000000 -smoke=15s -faults
+
 # Telemetry round-trip smoke: capture the same scenario seed twice and
 # require byte-identical binary traces (capture determinism), then run the
 # dump, analyze, diff and export passes over them. Part of tier-2 CI.
@@ -62,3 +69,18 @@ monitor-smoke:
 	go run ./cmd/iocost-sim -seconds 2 -seed 7 -metrics "$$dir/sim.om" >/dev/null; \
 	grep -q '^# EOF' "$$dir/sim.om"; \
 	echo "monitor-smoke OK: exports deterministic, JSON schema valid"
+
+# Failure-semantics smoke: run the storm fault preset (10x latency + 1%
+# errors) twice with the same seed and require byte-identical traces and
+# metrics exports — fault injection must be exactly as deterministic as the
+# healthy path — then require that failures were actually injected and that
+# the faulted metrics export still validates. Part of tier-2 CI.
+fault-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	go run ./cmd/iocost-sim -seconds 8 -seed 7 -faults storm -trace "$$dir/a.trace" -metrics "$$dir/a.json" > "$$dir/a.out"; \
+	go run ./cmd/iocost-sim -seconds 8 -seed 7 -faults storm -trace "$$dir/b.trace" -metrics "$$dir/b.json" >/dev/null; \
+	cmp "$$dir/a.trace" "$$dir/b.trace"; \
+	cmp "$$dir/a.json" "$$dir/b.json"; \
+	grep -q 'injected errors' "$$dir/a.out"; \
+	go run ./cmd/iocost-monitor -check "$$dir/a.json" >/dev/null; \
+	echo "fault-smoke OK: faulted runs deterministic, failures injected, metrics valid"

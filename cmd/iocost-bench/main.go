@@ -84,6 +84,9 @@ var experiments = []experiment{
 	{"ext-degradation", "Extension: QoS under a mid-run device degradation episode (§5)",
 		func(short bool) string { return exp.FormatExtDegradation(exp.ExtDegradation(extDegOpts(short))) },
 		func(short bool) any { return exp.ExtDegradation(extDegOpts(short)) }},
+	{"ext-faults", "Extension: failure semantics under a 10x latency + 1% error storm",
+		func(short bool) string { return exp.FormatExtFaults(exp.ExtFaults(extFaultsOpts(short))) },
+		func(short bool) any { return exp.ExtFaults(extFaultsOpts(short)) }},
 	{"ablations", "Ablations: donation, merging, planning period, cost model",
 		func(short bool) string {
 			d := ablationDur(short)
@@ -162,6 +165,13 @@ func fleetOpts(short bool) exp.FigFleetOptions {
 		return exp.FigFleetOptions{Trials: 3, Hosts: 500}
 	}
 	return exp.FigFleetOptions{}
+}
+
+func extFaultsOpts(short bool) exp.ExtFaultsOptions {
+	if short {
+		return exp.ExtFaultsOptions{Phase: 4 * sim.Second}
+	}
+	return exp.ExtFaultsOptions{}
 }
 
 func extDegOpts(short bool) exp.ExtDegradationOptions {

@@ -119,7 +119,10 @@ func main() {
 		},
 	}
 
-	res := scenario.Run(s)
+	res, err := scenario.Run(s)
+	if err != nil {
+		cli.Fatalf("iocost-demo", "%v", err)
+	}
 	fmt.Print(res.Format())
 	fmt.Println("\nweb-rps is the protected service's delivered throughput; watch how far")
 	fmt.Println("it falls in the 'greedy neighbour' and 'memory leak' phases under each")

@@ -26,11 +26,12 @@ import (
 )
 
 func main() {
-	cli.Setup("iocost-fuzz", "[-start N] [-n count] [-seed N] [-shrink] [-replay file.json]")
+	cli.Setup("iocost-fuzz", "[-start N] [-n count] [-seed N] [-faults] [-shrink] [-replay file.json]")
 	var (
 		start  = flag.Uint64("start", 1, "first seed")
 		n      = flag.Int("n", 100, "number of scenarios to run")
 		seed   = flag.Int64("seed", -1, "run exactly this seed instead of a range")
+		faults = flag.Bool("faults", false, "give every scenario a seed-derived device fault plan")
 		shrink = flag.Bool("shrink", false, "shrink failing scenarios to minimal reproductions")
 		replay = flag.String("replay", "", "replay a scenario JSON file instead of generating")
 		out    = flag.String("o", "", "write the (shrunk) failing scenario JSON to this file")
@@ -62,10 +63,13 @@ func main() {
 	failed := 0
 	for _, s := range seeds {
 		scn := simfuzz.Generate(s)
+		if *faults {
+			scn = simfuzz.GenerateFaulty(s)
+		}
 		if !*quiet {
-			fmt.Printf("seed=%d dev=%s/%s groups=%d submits=%d weights=%d nocontention=%v\n",
+			fmt.Printf("seed=%d dev=%s/%s groups=%d submits=%d weights=%d nocontention=%v faults=%d\n",
 				s, scn.Dev.Kind, scn.Dev.Profile, len(scn.Groups), len(scn.Submits),
-				len(scn.Weights), scn.NoContention)
+				len(scn.Weights), scn.NoContention, len(scn.Faults))
 		}
 		failed += report(runOne(scn, *shrink, *out, *quiet))
 	}

@@ -35,7 +35,7 @@ const tool = "iocost-monitor"
 func main() {
 	cli.Setup(tool, "[-mode live|openmetrics|json] [options]")
 	controller := flag.String("controller", iocost.ControllerIOCost,
-		"IO controller: iocost, bfq, mq-deadline, kyber, blk-throttle, iolatency, none")
+		"IO controller: "+strings.Join(iocost.ControllerNames(), ", "))
 	devName := flag.String("device", "older-gen", "device: older-gen, newer-gen, enterprise, hdd")
 	seconds := flag.Int("seconds", 10, "simulated seconds")
 	interval := flag.Int("interval", 1, "display interval in simulated seconds (live mode)")
@@ -49,6 +49,7 @@ func main() {
 	mode := flag.String("mode", "live", "output: live tables, openmetrics text, or json time-series")
 	out := flag.String("o", "", "write export to this file instead of stdout")
 	checkFile := flag.String("check", "", "validate a JSON export file and exit")
+	faults := flag.String("faults", "", "inject device faults: a preset (storm, flaky, hang, gcstorm, capcollapse) or kind:at=2s,dur=3s,rate=0.01;... episodes")
 	cli.Parse(tool)
 
 	if *checkFile != "" {
@@ -70,14 +71,27 @@ func main() {
 		cli.Fatalf(tool, "unknown device %q", *devName)
 	}
 
-	m := iocost.NewMachine(iocost.MachineConfig{
+	var plan iocost.FaultPlan
+	if *faults != "" {
+		var err error
+		plan, err = iocost.ParseFaultPlan(*faults)
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+	}
+
+	m, err := iocost.NewMachine(iocost.MachineConfig{
 		Device:          dev,
 		Controller:      *controller,
 		Seed:            *seed,
 		Pressure:        true,
 		Metrics:         true,
 		MetricsInterval: iocost.Time(*sampleMS) * iocost.Millisecond,
+		Faults:          plan,
 	})
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
+	}
 	hi := m.Workload.NewChild("hi", *hiWeight)
 	lo := m.Workload.NewChild("lo", *loWeight)
 
@@ -224,9 +238,16 @@ func blkLine(fams []registry.FamilySamples, prev map[string]float64, dt float64)
 	if len(comp) == 0 {
 		return
 	}
-	fmt.Printf("blk: inflight=%.0f ctl_queued=%.0f completions/s=%.0f depletion_hits=%.0f\n",
+	fmt.Printf("blk: inflight=%.0f ctl_queued=%.0f completions/s=%.0f depletion_hits=%.0f",
 		one(fams, "blk_inflight", ""),
 		one(fams, "blk_ctl_queued", ""),
 		rate(prev, "blk_completions_total", comp[0].Labels, comp[0].Value, dt),
 		one(fams, "blk_depletion_hits_total", ""))
+	// Failure counters appear only when something failed, keeping the
+	// healthy-path table unchanged.
+	if errs, touts, retr := one(fams, "blk_errors_total", ""), one(fams, "blk_timeouts_total", ""),
+		one(fams, "blk_retries_total", ""); errs > 0 || touts > 0 || retr > 0 {
+		fmt.Printf(" errors=%.0f timeouts=%.0f retries=%.0f", errs, touts, retr)
+	}
+	fmt.Println()
 }

@@ -25,7 +25,7 @@ const tool = "iocost-sim"
 func main() {
 	cli.Setup(tool, "[options]")
 	controller := flag.String("controller", iocost.ControllerIOCost,
-		"IO controller: iocost, bfq, mq-deadline, kyber, blk-throttle, iolatency, none")
+		"IO controller: "+strings.Join(iocost.ControllerNames(), ", "))
 	devName := flag.String("device", "older-gen", "device: older-gen, newer-gen, enterprise, hdd")
 	seconds := flag.Int("seconds", 10, "simulated seconds")
 	hiWeight := flag.Float64("hi-weight", 200, "high-priority cgroup weight")
@@ -39,6 +39,7 @@ func main() {
 	traceOut := flag.String("trace", "", "record a binary telemetry trace of the run to this file (inspect with iocost-trace)")
 	pressure := flag.Bool("pressure", false, "print per-cgroup io.pressure at the end of the run")
 	metricsOut := flag.String("metrics", "", "export sampled metrics of the run to this file (OpenMetrics text, or JSON with a .json suffix)")
+	faults := flag.String("faults", "", "inject device faults: a preset (storm, flaky, hang, gcstorm, capcollapse) or kind:at=2s,dur=3s,rate=0.01;... episodes")
 	cli.Parse(tool)
 
 	var dev iocost.DeviceChoice
@@ -55,14 +56,27 @@ func main() {
 		cli.Fatalf(tool, "unknown device %q", *devName)
 	}
 
-	m := iocost.NewMachine(iocost.MachineConfig{
+	var plan iocost.FaultPlan
+	if *faults != "" {
+		var err error
+		plan, err = iocost.ParseFaultPlan(*faults)
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+	}
+
+	m, err := iocost.NewMachine(iocost.MachineConfig{
 		Device:     dev,
 		Controller: *controller,
 		Seed:       *seed,
 		Trace:      *traceOut != "",
 		Pressure:   *pressure,
 		Metrics:    *metricsOut != "",
+		Faults:     plan,
 	})
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
+	}
 	hi := m.Workload.NewChild("hi", *hiWeight)
 	lo := m.Workload.NewChild("lo", *loWeight)
 
@@ -128,6 +142,13 @@ func main() {
 		if *monitor && m.IOCost != nil {
 			fmt.Print(m.IOCost.FormatSnapshot())
 		}
+	}
+	if m.Fault != nil {
+		fmt.Printf("faults: injected errors=%d stalls=%d gc-hits=%d capped=%d slowed=%d delay=%v\n",
+			m.Fault.Errors(), m.Fault.Stalls(), m.Fault.GCHits(), m.Fault.Capped(),
+			m.Fault.Slowed(), m.Fault.DelayedTime())
+		fmt.Printf("blk:    errors=%d timeouts=%d retries=%d failures=%d late-completions=%d\n",
+			m.Q.Errors(), m.Q.Timeouts(), m.Q.Retries(), m.Q.Failures(), m.Q.LateCompletions())
 	}
 	if *pressure {
 		fmt.Print(m.Pressure.Format())

@@ -12,7 +12,7 @@ import (
 // ExampleNewMachine runs the README's proportional-control quickstart:
 // two workloads weighted 2:1 on one SSD receive a 2:1 IOPS split.
 func ExampleNewMachine() {
-	m := iocost.NewMachine(iocost.MachineConfig{
+	m := iocost.MustNewMachine(iocost.MachineConfig{
 		Device:     iocost.SSD(iocost.OlderGenSSD()),
 		Controller: iocost.ControllerIOCost,
 		Seed:       1,

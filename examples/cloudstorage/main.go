@@ -23,7 +23,7 @@ func main() {
 }
 
 func run(vol iocost.RemoteSpec) (baseRPS, minRPS float64) {
-	m := iocost.NewMachine(iocost.MachineConfig{
+	m := iocost.MustNewMachine(iocost.MachineConfig{
 		Device:     iocost.Remote(vol),
 		Controller: iocost.ControllerIOCost,
 		Mem: &iocost.MemConfig{

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	m := iocost.NewMachine(iocost.MachineConfig{
+	m := iocost.MustNewMachine(iocost.MachineConfig{
 		Device:     iocost.SSD(iocost.OlderGenSSD()),
 		Controller: iocost.ControllerIOCost,
 		Seed:       8,

@@ -19,7 +19,7 @@ func main() {
 		"IO controller: iocost, bfq, mq-deadline, iolatency, blk-throttle")
 	flag.Parse()
 
-	m := iocost.NewMachine(iocost.MachineConfig{
+	m := iocost.MustNewMachine(iocost.MachineConfig{
 		Device:     iocost.SSD(iocost.OlderGenSSD()),
 		Controller: *controller,
 		Mem: &iocost.MemConfig{

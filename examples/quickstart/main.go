@@ -12,7 +12,7 @@ import (
 
 func main() {
 	spec := iocost.OlderGenSSD()
-	m := iocost.NewMachine(iocost.MachineConfig{
+	m := iocost.MustNewMachine(iocost.MachineConfig{
 		Device:     iocost.SSD(spec),
 		Controller: iocost.ControllerIOCost,
 		Seed:       1,

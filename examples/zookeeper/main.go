@@ -24,7 +24,7 @@ func main() {
 	queues := make([]*iocost.Queue, machines)
 	cgs := make([][]*iocost.CGroup, machines)
 	for i := range queues {
-		m := iocost.NewMachine(iocost.MachineConfig{
+		m := iocost.MustNewMachine(iocost.MachineConfig{
 			Engine:     eng,
 			Device:     iocost.SSD(iocost.EnterpriseSSD()),
 			Controller: *controller,

@@ -9,7 +9,7 @@ import (
 // The facade test exercises the public API end-to-end the way the README's
 // quickstart does.
 func TestPublicAPIQuickstart(t *testing.T) {
-	m := iocost.NewMachine(iocost.MachineConfig{
+	m := iocost.MustNewMachine(iocost.MachineConfig{
 		Device:     iocost.SSD(iocost.OlderGenSSD()),
 		Controller: iocost.ControllerIOCost,
 		Seed:       1,

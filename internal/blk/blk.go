@@ -64,6 +64,36 @@ type Observer interface {
 // layer) used unless configured otherwise, matching common NVMe settings.
 const DefaultTags = 256
 
+// RetryPolicy governs how the queue handles failed bios: error completions
+// from the device and bios whose dispatch deadline fires before the device
+// answers. The zero value disables both timeouts and retries, which keeps
+// fault-free simulations byte-identical to builds without failure semantics.
+type RetryPolicy struct {
+	// MaxRetries bounds how many times a failed bio is resubmitted before
+	// its failure is delivered to OnDone. 0 disables retries.
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles on each
+	// subsequent retry (exponential backoff). When retries are enabled and
+	// Backoff is 0, DefaultBackoff is used.
+	Backoff sim.Time
+	// Deadline is the per-bio dispatch-to-completion budget. A bio still
+	// uncompleted Deadline after dispatch is timed out: its tag is
+	// released, the completion path runs with StatusTimeout, and the
+	// eventual device completion is dropped as a late completion.
+	// 0 disables timeouts.
+	Deadline sim.Time
+}
+
+// DefaultBackoff is the first-retry delay used when a RetryPolicy enables
+// retries without choosing one.
+const DefaultBackoff = sim.Millisecond
+
+// DefaultRetryPolicy mirrors the kernel's usual posture: a few bounded
+// retries with a short backoff, and a generous 30s timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: DefaultBackoff, Deadline: 30 * sim.Second}
+}
+
 // Queue is the per-device block layer instance.
 type Queue struct {
 	eng  *sim.Engine
@@ -104,6 +134,20 @@ type Queue struct {
 	// obs are the registered life-cycle observers, invoked in
 	// registration order at every hook.
 	obs []Observer
+
+	// Failure semantics (see RetryPolicy). timers holds the armed deadline
+	// per in-flight bio when Deadline > 0; timedOut marks bios whose
+	// deadline fired so their eventual device completion is dropped.
+	policy       RetryPolicy
+	timers       map[*bio.Bio]sim.EventID
+	timedOut     map[*bio.Bio]struct{}
+	retryPending int
+
+	errors          uint64
+	timeouts        uint64
+	retries         uint64
+	failures        uint64
+	lateCompletions uint64
 }
 
 // New builds a queue over dev controlled by ctl. tags <= 0 selects
@@ -169,6 +213,46 @@ func (q *Queue) AddObserver(o Observer) {
 // Observers returns the registered observers in invocation order.
 func (q *Queue) Observers() []Observer { return q.obs }
 
+// SetRetryPolicy configures failure handling. Call before the simulation
+// runs; changing the policy mid-flight leaves already-armed deadlines on
+// their old schedule.
+func (q *Queue) SetRetryPolicy(p RetryPolicy) {
+	if p.MaxRetries > 0 && p.Backoff <= 0 {
+		p.Backoff = DefaultBackoff
+	}
+	q.policy = p
+	if p.Deadline > 0 && q.timers == nil {
+		q.timers = make(map[*bio.Bio]sim.EventID)
+		q.timedOut = make(map[*bio.Bio]struct{})
+	}
+}
+
+// RetryPolicy returns the active failure-handling policy.
+func (q *Queue) RetryPolicy() RetryPolicy { return q.policy }
+
+// Errors returns the number of error completions delivered by the device
+// (every attempt counts, including ones that were then retried).
+func (q *Queue) Errors() uint64 { return q.errors }
+
+// Timeouts returns the number of dispatch deadlines that fired.
+func (q *Queue) Timeouts() uint64 { return q.timeouts }
+
+// Retries returns the number of failed attempts that were requeued.
+func (q *Queue) Retries() uint64 { return q.retries }
+
+// Failures returns the number of bios whose failure was delivered to OnDone
+// after exhausting retries.
+func (q *Queue) Failures() uint64 { return q.failures }
+
+// LateCompletions returns the number of device completions dropped because
+// the bio had already been timed out.
+func (q *Queue) LateCompletions() uint64 { return q.lateCompletions }
+
+// PendingRetries returns the number of failed bios currently waiting out
+// their backoff before resubmission — outstanding work the drain checks must
+// wait for.
+func (q *Queue) PendingRetries() int { return q.retryPending }
+
 // Completions returns the total number of completed bios.
 func (q *Queue) Completions() uint64 { return q.completions }
 
@@ -217,15 +301,60 @@ func (q *Queue) dispatch(b *bio.Bio) {
 	}
 	q.inflight++
 	q.issuedBytes += uint64(b.Size)
+	// Stamp hand-off to the device; the device re-stamps when service
+	// actually begins. This keeps Dispatched fresh per attempt so a retried
+	// bio timed out before service never carries a stale timestamp.
+	b.Dispatched = q.eng.Now()
 	for _, o := range q.obs {
 		o.OnDispatch(b)
+	}
+	if q.policy.Deadline > 0 {
+		q.timers[b] = q.eng.After(q.policy.Deadline, func() { q.timeout(b) })
 	}
 	q.dev.Submit(b, q.complete)
 }
 
+// complete is the device's completion callback. Late completions of bios the
+// queue already timed out are dropped; everything else flows to finish.
 func (q *Queue) complete(b *bio.Bio) {
+	if q.timedOut != nil {
+		if _, late := q.timedOut[b]; late {
+			delete(q.timedOut, b)
+			q.lateCompletions++
+			return
+		}
+	}
+	if q.timers != nil {
+		if id, ok := q.timers[b]; ok {
+			q.eng.Cancel(id)
+			delete(q.timers, b)
+		}
+	}
+	q.finish(b)
+}
+
+// timeout fires when a dispatched bio outlives the policy deadline: the tag
+// is reclaimed and the completion path runs with StatusTimeout, as
+// blk_mq_rq_timed_out would. The device keeps servicing the request; its
+// eventual completion is dropped (and counted) in complete.
+func (q *Queue) timeout(b *bio.Bio) {
+	delete(q.timers, b)
+	q.timedOut[b] = struct{}{}
+	q.timeouts++
+	b.Status = bio.StatusTimeout
+	b.Completed = q.eng.Now()
+	q.finish(b)
+}
+
+// finish runs the completion path: observer + controller notification, tag
+// release, accounting, and — for failed attempts with retries remaining —
+// exponential-backoff requeue instead of OnDone delivery.
+func (q *Queue) finish(b *bio.Bio) {
 	q.inflight--
 	q.completions++
+	if b.Status == bio.StatusError {
+		q.errors++
+	}
 	for _, o := range q.obs {
 		o.OnComplete(b)
 	}
@@ -259,6 +388,26 @@ func (q *Queue) complete(b *bio.Bio) {
 	}
 
 	q.ctl.Completed(b)
+
+	if b.Status != bio.StatusOK && b.Retries < q.policy.MaxRetries {
+		// Requeue with exponential backoff. The bio re-enters Submit as a
+		// fresh attempt — every controller observes and is charged for the
+		// retried work, which is exactly the graceful-degradation signal
+		// iocost's QoS logic feeds on.
+		delay := q.policy.Backoff << uint(b.Retries)
+		b.Retries++
+		q.retries++
+		q.retryPending++
+		q.eng.After(delay, func() {
+			q.retryPending--
+			b.Status = bio.StatusOK
+			q.Submit(b)
+		})
+		return
+	}
+	if b.Status != bio.StatusOK {
+		q.failures++
+	}
 	if b.OnDone != nil {
 		b.OnDone(b)
 	}

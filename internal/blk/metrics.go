@@ -30,6 +30,16 @@ func (q *Queue) RegisterMetrics(r *registry.Registry) {
 		func() float64 { t, _ := q.DepletionTotals(); return t.Seconds() })
 	r.CounterFunc("blk_depletion_hits_total", "bios that had to wait for a tag", nil,
 		func() float64 { _, h := q.DepletionTotals(); return float64(h) })
+	r.CounterFunc("blk_errors_total", "error completions delivered by the device", nil,
+		func() float64 { return float64(q.errors) })
+	r.CounterFunc("blk_timeouts_total", "dispatch deadlines fired", nil,
+		func() float64 { return float64(q.timeouts) })
+	r.CounterFunc("blk_retries_total", "failed attempts requeued with backoff", nil,
+		func() float64 { return float64(q.retries) })
+	r.CounterFunc("blk_failures_total", "bios failed after exhausting retries", nil,
+		func() float64 { return float64(q.failures) })
+	r.CounterFunc("blk_late_completions_total", "device completions dropped after a timeout", nil,
+		func() float64 { return float64(q.lateCompletions) })
 	r.Histogram("blk_read_latency_ns", "read issue-to-completion latency", nil, q.ReadLat)
 	r.Histogram("blk_write_latency_ns", "write issue-to-completion latency", nil, q.WriteLat)
 

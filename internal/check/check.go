@@ -171,6 +171,13 @@ func (s *Sanitizer) Submit(b *bio.Bio) {
 	if b.Off < 0 {
 		s.fail("bio %v has negative offset", b)
 	}
+	if b.Status != bio.StatusOK {
+		s.fail("bio %v submitted carrying failed status %v", b, b.Status)
+	}
+	if b.Retries < 0 || b.Retries > s.q.RetryPolicy().MaxRetries {
+		s.fail("bio %v retry count %d outside policy bound %d",
+			b, b.Retries, s.q.RetryPolicy().MaxRetries)
+	}
 	s.live[b] = stSubmitted
 	s.submitted++
 
@@ -242,6 +249,22 @@ func (s *Sanitizer) OnComplete(b *bio.Bio) {
 	if !(b.Submitted <= b.Issued && b.Issued <= b.Dispatched && b.Dispatched <= b.Completed) {
 		s.fail("bio %v life-cycle timestamps out of order: sub=%v iss=%v disp=%v comp=%v",
 			b, b.Submitted, b.Issued, b.Dispatched, b.Completed)
+	}
+	// Error life-cycle rules: a timeout can only come from an armed
+	// deadline, and a timed-out bio's perceived device latency is at least
+	// that deadline (it waited the whole budget).
+	if b.Status == bio.StatusTimeout {
+		policy := s.q.RetryPolicy()
+		if policy.Deadline <= 0 {
+			s.fail("bio %v timed out but the queue has no deadline armed", b)
+		} else if b.DeviceLatency() < policy.Deadline {
+			s.fail("bio %v timed out after only %v of a %v deadline",
+				b, b.DeviceLatency(), policy.Deadline)
+		}
+	}
+	if b.Retries > s.q.RetryPolicy().MaxRetries {
+		s.fail("bio %v completed with retry count %d beyond policy bound %d",
+			b, b.Retries, s.q.RetryPolicy().MaxRetries)
 	}
 	if s.q.InFlight() < 0 {
 		s.fail("in-flight count went negative: %d", s.q.InFlight())

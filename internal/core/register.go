@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/ctl"
+)
+
+// core imports ctl (for the Table 1 feature ratings), so the controller
+// registry cannot import core; instead core self-registers its factory here
+// and receives its Config through the registry's opaque Custom field.
+func init() {
+	ctl.Register("iocost", func(cfg ctl.Config) (ctl.Controller, error) {
+		if cfg.Custom == nil {
+			return nil, fmt.Errorf("iocost: construction needs a core.Config (with at least a device cost model) in ctl.Config.Custom")
+		}
+		c, ok := cfg.Custom.(Config)
+		if !ok {
+			return nil, fmt.Errorf("iocost: ctl.Config.Custom is %T, want core.Config", cfg.Custom)
+		}
+		if c.Model == nil {
+			return nil, fmt.Errorf("iocost: Config.Model is required")
+		}
+		if c.QoS != (QoS{}) {
+			if err := c.QoS.Validate(); err != nil {
+				return nil, fmt.Errorf("iocost: %w", err)
+			}
+		}
+		return New(c), nil
+	})
+}

@@ -1,0 +1,80 @@
+package ctl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/blk"
+)
+
+// Config is the controller-construction configuration ctl.New hands to a
+// factory. The registry is shared by packages that cannot import each other
+// (core registers "iocost" here but ctl cannot import core), so
+// mechanism-specific configuration travels in Custom: the iocost factory
+// expects a core.Config, the baseline mechanisms here ignore it.
+type Config struct {
+	// Custom carries mechanism-specific configuration; nil asks the
+	// factory for its defaults.
+	Custom any
+}
+
+// Factory builds one controller from a Config.
+type Factory func(cfg Config) (Controller, error)
+
+// Controller aliases the block layer's controller interface; the registry
+// deals only in this type so it stays mechanism-agnostic.
+type Controller = blk.Controller
+
+var (
+	factories = map[string]Factory{}
+	names     []string
+)
+
+// Register adds a controller factory under name. Each controller package
+// self-registers from init (core registers "iocost"); duplicate or empty
+// names are programmer errors and panic.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("ctl: Register needs a name and a factory")
+	}
+	if _, dup := factories[name]; dup {
+		panic("ctl: duplicate controller " + name)
+	}
+	factories[name] = f
+	names = append(names, name)
+}
+
+// New builds the named controller. Unknown names return an error listing
+// what is registered — never a panic, so flag handling can report cleanly.
+func New(name string, cfg Config) (Controller, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("ctl: unknown controller %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(cfg)
+}
+
+// Known reports whether name is a registered controller.
+func Known(name string) bool {
+	_, ok := factories[name]
+	return ok
+}
+
+// Names returns every registered controller name, sorted, for flag help and
+// error messages.
+func Names() []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("none", func(Config) (Controller, error) { return NewNone(), nil })
+	Register("mq-deadline", func(Config) (Controller, error) { return NewMQDeadline(), nil })
+	Register("kyber", func(Config) (Controller, error) { return NewKyber(), nil })
+	Register("blk-throttle", func(Config) (Controller, error) { return NewThrottle(), nil })
+	Register("iolatency", func(Config) (Controller, error) { return NewIOLatency(), nil })
+	Register("bfq", func(Config) (Controller, error) { return NewBFQ(), nil })
+}

@@ -33,7 +33,7 @@ func AblationDonation(measure sim.Time) AblationDonationResult {
 	}
 	run := func(disable bool) float64 {
 		spec := device.OlderGenSSD()
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
 			IOCostCfg: core.Config{
@@ -94,7 +94,7 @@ func AblationPeriod(measure sim.Time) []AblationPeriodRow {
 	return ForEach(len(periods), func(pi int) AblationPeriodRow {
 		period := periods[pi]
 		spec := device.OlderGenSSD()
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
 			IOCostCfg: core.Config{
@@ -175,7 +175,7 @@ func AblationCostModel(measure sim.Time) []AblationCostModelRow {
 
 	return ForEach(len(models), func(mi int) AblationCostModelRow {
 		mc := models[mi]
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
 			IOCostCfg: core.Config{
@@ -254,7 +254,7 @@ func AblationMerging(measure sim.Time) AblationMergingResult {
 		spec := device.EvalHDD()
 		spec.ReadaheadBytes = ioSize // drive-side readahead off
 		spec.Merge = merge
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     DeviceChoice{HDD: &spec},
 			Controller: KindNone,
 			Seed:       0xab4,
@@ -316,7 +316,7 @@ func SweepWeightRatios(measure sim.Time) []WeightRatioRow {
 	return ForEach(len(ratios), func(ri int) WeightRatioRow {
 		ratio := ratios[ri]
 		spec := device.OlderGenSSD()
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
 			Seed:       0xab5,

@@ -54,7 +54,7 @@ func ExtDegradation(opts ExtDegradationOptions) []ExtDegradationRow {
 		// below the usual tuned floor so the controller can follow the
 		// device down.
 		qos.VrateMin = 0.15
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(spec),
 			Controller: kind,
 			IOCostCfg: core.Config{

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// TestExtFaults is the fault-injection acceptance gate: under a storm that
+// inflates device latency 10x and errors 1% of completions, iocost holds
+// the protected cgroup's p99 within 2x of its fault-free value, vrate
+// demonstrably tightens, and the best-effort tier absorbs the retry work.
+func TestExtFaults(t *testing.T) {
+	rows := ExtFaults(ExtFaultsOptions{Phase: 4 * sim.Second})
+	t.Logf("\n%s", FormatExtFaults(rows))
+	var none, ioc ExtFaultsRow
+	for _, r := range rows {
+		if r.Mechanism == "none" {
+			none = r
+		} else {
+			ioc = r
+		}
+	}
+
+	// The storm injected real failures and the block layer retried them.
+	if ioc.Errors == 0 || ioc.Retries == 0 {
+		t.Fatalf("storm injected no failures: errors=%d retries=%d", ioc.Errors, ioc.Retries)
+	}
+	if none.Errors == 0 {
+		t.Errorf("uncontrolled run saw no errors: %d", none.Errors)
+	}
+
+	// Acceptance: protected-cgroup p99 within 2x of fault-free under iocost.
+	if ioc.StormP99 > 2*ioc.HealthyP99 {
+		t.Errorf("iocost storm p99 %.2fms vs fault-free %.2fms; expected within 2x",
+			ioc.StormP99, ioc.HealthyP99)
+	}
+
+	// The QoS loop reacted: vrate tightened hard under the latency anomaly.
+	if ioc.VrateHealthy == 0 || ioc.VrateStorm >= ioc.VrateHealthy/2 {
+		t.Errorf("vrate did not tighten under the storm: healthy %.0f%% -> storm %.0f%%",
+			ioc.VrateHealthy*100, ioc.VrateStorm*100)
+	}
+
+	// The best-effort tier absorbs the retry work during the storm.
+	if ioc.BulkRetries <= ioc.SvcRetries {
+		t.Errorf("retry split svc=%d bulk=%d; expected best-effort to absorb retries",
+			ioc.SvcRetries, ioc.BulkRetries)
+	}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/trace"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+// faultReplayTrace runs a fixed-seed faulted scenario — an HDD (slow enough
+// for a compact trace) suffering transient errors and a hard hang while a
+// saturator drives it — and returns the captured trace. Every failure path
+// is exercised: errors, retries, deadline timeouts, and late completions.
+func faultReplayTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	spec := device.EvalHDD()
+	m := MustNewMachine(MachineConfig{
+		Device:     DeviceChoice{HDD: &spec},
+		Controller: KindIOCost,
+		Seed:       ExtFaultsSeed,
+		Trace:      true,
+		Faults: fault.Plan{Episodes: []fault.Episode{
+			{Kind: fault.Error, At: 200 * sim.Millisecond, Dur: 600 * sim.Millisecond, Rate: 0.3},
+			{Kind: fault.Stall, At: sim.Second, Dur: 400 * sim.Millisecond},
+		}},
+		// Deadline shorter than the hang so the stall manifests as
+		// timeouts and late completions, not just slow answers.
+		Retry: &blk.RetryPolicy{MaxRetries: 2, Backoff: 10 * sim.Millisecond, Deadline: 200 * sim.Millisecond},
+	})
+	w := m.Workload.NewChild("w", 100)
+	workload.NewSaturator(m.Q, workload.SaturatorConfig{
+		CG: w, Op: bio.Read, Pattern: workload.Random,
+		Size: 4096, Depth: 4, Region: 1 << 30, Seed: 2,
+	}).Start()
+	m.Run(2 * sim.Second)
+	return m.Trace.Trace()
+}
+
+// TestFaultReplayGolden pins fault replayability end to end: the same seed
+// and plan must reproduce the exact event stream — submissions, completions,
+// injected errors, timeouts, retries — byte for byte, across runs and across
+// commits. Regenerate with UPDATE_FAULT_GOLDEN=1 after an intended change.
+func TestFaultReplayGolden(t *testing.T) {
+	got := trace.Encode(faultReplayTrace(t))
+
+	// Two in-process runs must agree before anything touches the golden.
+	if again := trace.Encode(faultReplayTrace(t)); !bytes.Equal(got, again) {
+		t.Fatalf("two identical faulted runs produced different traces (%d vs %d bytes)",
+			len(got), len(again))
+	}
+
+	path := filepath.Join("testdata", "fault_replay.trace")
+	if os.Getenv("UPDATE_FAULT_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_FAULT_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fault trace differs from golden (regenerate with UPDATE_FAULT_GOLDEN=1 if intended); got %d bytes, want %d",
+			len(got), len(want))
+	}
+}
+
+// TestFaultReplayCapturesFailureEvents asserts the trace actually carries
+// the failure semantics: injected errors, block-layer timeouts, and retry
+// resubmissions all appear as typed events, and the encoded stream decodes
+// back to itself.
+func TestFaultReplayCapturesFailureEvents(t *testing.T) {
+	tr := faultReplayTrace(t)
+	a := trace.Analyze(tr)
+	if a.System.Errors == 0 {
+		t.Error("trace has no error events")
+	}
+	if a.System.Timeouts == 0 {
+		t.Error("trace has no timeout events (the hang should have tripped the deadline)")
+	}
+	if a.System.Retries == 0 {
+		t.Error("trace has no retry events")
+	}
+
+	back, err := trace.Decode(trace.Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("decode lost events: %d -> %d", len(tr.Events), len(back.Events))
+	}
+}

@@ -20,13 +20,13 @@ func hostFactory(kind string) fleet.HostFactory {
 		spec := device.OlderGenSSD()
 		dev := device.NewSSD(eng, spec, seed)
 		var c blk.Controller
-		switch kind {
-		case KindIOLatency:
-			c = ctl.NewIOLatency()
-		case KindIOCost:
+		if kind == KindIOCost {
 			c = newIOCostController(spec)
-		default:
-			panic("fleet: unsupported mechanism " + kind)
+		} else {
+			var err error
+			if c, err = ctl.New(kind, ctl.Config{}); err != nil {
+				panic("fleet: " + err.Error())
+			}
 		}
 		q := blk.New(eng, dev, c, 0)
 

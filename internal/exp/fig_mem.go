@@ -42,7 +42,7 @@ type memScenarioResult struct {
 // retention, the metric of Figures 14 and 17.
 func runMemScenario(cfg memScenarioConfig) memScenarioResult {
 	const capacity = 2 << 30
-	m := NewMachine(MachineConfig{
+	m := MustNewMachine(MachineConfig{
 		Device:     cfg.dev,
 		Controller: cfg.controller,
 		Mem: &mem.Config{
@@ -289,7 +289,7 @@ var (
 
 func runRamp(kind string, ioc core.Config, spec device.SSDSpec, stress bool, limit sim.Time) (sim.Time, bool) {
 	const capacity = 2 << 30
-	m := NewMachine(MachineConfig{
+	m := MustNewMachine(MachineConfig{
 		Device:     ssdChoice(spec),
 		Controller: kind,
 		IOCostCfg:  ioc,

@@ -77,7 +77,7 @@ func Fig10(opts Fig10Options) []Fig10Row {
 	kinds := CgroupKinds()
 	return ForEach(len(kinds), func(i int) Fig10Row {
 		kind := kinds[i]
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
 			Seed:       0x10,
@@ -168,7 +168,7 @@ func Fig11(opts Fig10Options) []Fig11Row {
 	kinds := CgroupKinds()
 	return ForEach(len(kinds), func(i int) Fig11Row {
 		kind := kinds[i]
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
 			Seed:       0x11,
@@ -245,7 +245,7 @@ func Fig12(opts Fig12Options) []Fig12Row {
 
 	pats := []workload.Pattern{workload.Random, workload.Sequential}
 	peaks := ForEach(len(pats), func(i int) float64 {
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     DeviceChoice{HDD: hddSpec()},
 			Controller: KindNone,
 			Seed:       0x12,
@@ -277,7 +277,7 @@ func Fig12(opts Fig12Options) []Fig12Row {
 	return ForEach(len(kinds)*len(scenarios), func(ci int) Fig12Row {
 		kind := kinds[ci/len(scenarios)]
 		sc := scenarios[ci%len(scenarios)]
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     DeviceChoice{HDD: hddSpec()},
 			Controller: kind,
 			Seed:       0x12,

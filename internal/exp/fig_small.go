@@ -32,7 +32,7 @@ func Table1() []Table1Row {
 		if kind == KindNone || kind == KindKyber {
 			continue // folded into the kyber/mq-deadline row
 		}
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
 		})
@@ -137,7 +137,7 @@ func Fig4(opts Fig4Options) []Fig4Row {
 	profiles := workload.MetaProfiles()
 	return ForEach(len(profiles), func(i int) Fig4Row {
 		p := profiles[i]
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(device.EnterpriseSSD()),
 			Controller: KindNone,
 			Seed:       uint64(i + 1),
@@ -226,7 +226,7 @@ type Fig8Result struct {
 // weights the planning path converged to.
 func Fig8() Fig8Result {
 	spec := device.OlderGenSSD()
-	m := NewMachine(MachineConfig{
+	m := MustNewMachine(MachineConfig{
 		Device:     ssdChoice(spec),
 		Controller: KindIOCost,
 		Seed:       0xf18,
@@ -329,7 +329,7 @@ func Fig9(opts Fig9Options) []Fig9Row {
 		evPerSec  float64
 	}
 	run := func(kind string) meas {
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(device.EnterpriseSSD()),
 			Controller: kind,
 			IOCostCfg: core.Config{

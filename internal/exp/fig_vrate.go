@@ -52,7 +52,7 @@ func Fig13(opts Fig13Options) Fig13Result {
 	var res Fig13Result
 	res.T1, res.T2 = phase, 2*phase
 
-	m := NewMachine(MachineConfig{
+	m := MustNewMachine(MachineConfig{
 		Device:     ssdChoice(spec),
 		Controller: KindIOCost,
 		IOCostCfg: core.Config{

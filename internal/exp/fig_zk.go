@@ -62,15 +62,13 @@ func Fig16(opts Fig16Options) []Fig16Row {
 		for i := range queues {
 			dev := device.NewSSD(eng, spec, uint64(i)+0x16)
 			var c blk.Controller
-			switch kind {
-			case KindThrottle:
-				c = ctl.NewThrottle()
-			case KindBFQ:
-				c = ctl.NewBFQ()
-			case KindIOLatency:
-				c = ctl.NewIOLatency()
-			default:
+			if kind == KindIOCost {
 				c = newIOCostController(spec)
+			} else {
+				var err error
+				if c, err = ctl.New(kind, ctl.Config{}); err != nil {
+					panic("fig16: " + err.Error())
+				}
 			}
 			q := blk.New(eng, dev, c, 0)
 			queues[i] = q

@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/iocost-sim/iocost/internal/blk"
 	"github.com/iocost-sim/iocost/internal/cgroup"
@@ -14,6 +15,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/fault"
 	"github.com/iocost-sim/iocost/internal/mem"
 	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/registry"
@@ -84,17 +86,74 @@ type MachineConfig struct {
 	// the sample interval (0 selects metrics.DefaultSampleInterval).
 	Metrics         bool
 	MetricsInterval sim.Time
+
+	// Faults, when non-empty, wraps the device in a fault injector
+	// (Machine.Fault) executing the plan on the virtual clock, seeded
+	// deterministically from Seed.
+	Faults fault.Plan
+	// Retry overrides the block layer's failure handling. Nil selects
+	// blk.DefaultRetryPolicy when Faults is non-empty (failures without a
+	// retry path would just be lost IO) and the zero policy — no
+	// deadlines, no retries, byte-identical to historical runs —
+	// otherwise.
+	Retry *blk.RetryPolicy
+}
+
+// Validate checks the configuration without building anything: exactly one
+// device selected, a registered controller name, non-negative sizes, and a
+// well-formed fault plan. NewMachine calls it first, so every construction
+// error is a typed error, not a panic.
+func (cfg MachineConfig) Validate() error {
+	n := 0
+	for _, set := range []bool{cfg.Device.SSD != nil, cfg.Device.HDD != nil, cfg.Device.Remote != nil} {
+		if set {
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("exp: MachineConfig.Device must select a device")
+	}
+	if n > 1 {
+		return fmt.Errorf("exp: MachineConfig.Device selects %d devices, want exactly one", n)
+	}
+	if name := cfg.Controller; name != "" && !ctl.Known(name) {
+		return fmt.Errorf("exp: unknown controller %q (have: %s)",
+			name, strings.Join(ctl.Names(), ", "))
+	}
+	if cfg.Tags < 0 {
+		return fmt.Errorf("exp: MachineConfig.Tags is negative: %d", cfg.Tags)
+	}
+	if cfg.TraceCap < 0 {
+		return fmt.Errorf("exp: MachineConfig.TraceCap is negative: %d", cfg.TraceCap)
+	}
+	if cfg.MetricsInterval < 0 {
+		return fmt.Errorf("exp: MachineConfig.MetricsInterval is negative: %v", cfg.MetricsInterval)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return fmt.Errorf("exp: MachineConfig.Faults: %w", err)
+	}
+	if p := cfg.Retry; p != nil {
+		if p.MaxRetries < 0 || p.Backoff < 0 || p.Deadline < 0 {
+			return fmt.Errorf("exp: MachineConfig.Retry fields must be non-negative: %+v", *p)
+		}
+	}
+	return nil
 }
 
 // Machine is a fully assembled host.
 type Machine struct {
-	Eng    *sim.Engine
+	Eng *sim.Engine
+	// Dev is what the block layer talks to: the device model, or the
+	// fault injector wrapping it when MachineConfig.Faults is set.
 	Dev    device.Device
 	Q      *blk.Queue
 	Ctl    blk.Controller
 	IOCost *core.Controller // non-nil iff the controller is iocost
 	Hier   *cgroup.Hierarchy
 	Mem    *mem.Pool
+
+	// Fault is the injector when MachineConfig.Faults is non-empty.
+	Fault *fault.Injector
 
 	// Trace is the telemetry recorder when MachineConfig.Trace is set.
 	Trace *trace.Recorder
@@ -174,16 +233,67 @@ func TunedQoS(spec device.SSDSpec) core.QoS {
 
 // newIOCostController builds a standalone IOCost controller for an SSD with
 // ideal model parameters and tuned QoS, for experiments that assemble
-// multi-machine topologies by hand.
+// multi-machine topologies by hand. Construction goes through the ctl
+// registry like every other path.
 func newIOCostController(spec device.SSDSpec) *core.Controller {
-	return core.New(core.Config{
+	c, err := ctl.New(KindIOCost, ctl.Config{Custom: core.Config{
 		Model: core.MustLinearModel(IdealParams(spec)),
 		QoS:   TunedQoS(spec),
-	})
+	}})
+	if err != nil {
+		panic(err)
+	}
+	return c.(*core.Controller)
 }
 
-// NewMachine assembles a host.
-func NewMachine(cfg MachineConfig) *Machine {
+// iocostConfig completes cfg.IOCostCfg with device-derived defaults: an
+// ideal-profiling cost model and tuned QoS for whichever device the machine
+// runs on.
+func iocostConfig(cfg MachineConfig, ssdSpec *device.SSDSpec) core.Config {
+	c := cfg.IOCostCfg
+	if c.Model == nil {
+		switch {
+		case ssdSpec != nil:
+			c.Model = core.MustLinearModel(IdealParams(*ssdSpec))
+		case cfg.Device.HDD != nil:
+			c.Model = core.MustLinearModel(IdealHDDParams(*cfg.Device.HDD))
+		default:
+			c.Model = core.MustLinearModel(IdealRemoteParams(*cfg.Device.Remote))
+		}
+	}
+	if c.QoS == (core.QoS{}) {
+		switch {
+		case ssdSpec != nil:
+			c.QoS = TunedQoS(*ssdSpec)
+		case cfg.Device.HDD != nil:
+			c.QoS = core.QoS{
+				RPct: 90, RLat: 15 * sim.Millisecond,
+				WPct: 90, WLat: 40 * sim.Millisecond,
+				VrateMin: 0.1, VrateMax: 1.2,
+			}
+		default:
+			rtt := sim.Time(cfg.Device.Remote.RTTNS)
+			c.QoS = core.QoS{
+				RPct: 90, RLat: 6 * rtt,
+				WPct: 90, WLat: 10 * rtt,
+				VrateMin: 0.25, VrateMax: 1.5,
+			}
+		}
+	}
+	return c
+}
+
+// faultSeedTag derives the injector's seed stream from the machine seed, so
+// enabling faults never perturbs device or workload randomness.
+const faultSeedTag = 0xfa17
+
+// NewMachine assembles a host. Configuration errors (no device, unknown
+// controller, malformed fault plan) are returned, not panicked; see
+// MachineConfig.Validate.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := cfg.Engine
 	if eng == nil {
 		eng = sim.New()
@@ -198,61 +308,34 @@ func NewMachine(cfg MachineConfig) *Machine {
 		m.Dev = device.NewSSD(eng, *cfg.Device.SSD, devSeed)
 	case cfg.Device.HDD != nil:
 		m.Dev = device.NewHDD(eng, *cfg.Device.HDD, devSeed)
-	case cfg.Device.Remote != nil:
-		m.Dev = device.NewRemote(eng, *cfg.Device.Remote, devSeed)
 	default:
-		panic("exp: MachineConfig.Device must select a device")
+		m.Dev = device.NewRemote(eng, *cfg.Device.Remote, devSeed)
 	}
 
-	switch cfg.Controller {
-	case KindNone, "":
-		m.Ctl = ctl.NewNone()
-	case KindMQDL:
-		m.Ctl = ctl.NewMQDeadline()
-	case KindKyber:
-		m.Ctl = ctl.NewKyber()
-	case KindThrottle:
-		m.Ctl = ctl.NewThrottle()
-	case KindBFQ:
-		m.Ctl = ctl.NewBFQ()
-	case KindIOLatency:
-		m.Ctl = ctl.NewIOLatency()
-	case KindIOCost:
-		c := cfg.IOCostCfg
-		if c.Model == nil {
-			switch {
-			case ssdSpec != nil:
-				c.Model = core.MustLinearModel(IdealParams(*ssdSpec))
-			case cfg.Device.HDD != nil:
-				c.Model = core.MustLinearModel(IdealHDDParams(*cfg.Device.HDD))
-			default:
-				c.Model = core.MustLinearModel(IdealRemoteParams(*cfg.Device.Remote))
-			}
+	if !cfg.Faults.Empty() {
+		inj, err := fault.NewInjector(eng, m.Dev, cfg.Faults, rng.DeriveSeed(cfg.Seed, faultSeedTag))
+		if err != nil {
+			return nil, err
 		}
-		if c.QoS == (core.QoS{}) {
-			switch {
-			case ssdSpec != nil:
-				c.QoS = TunedQoS(*ssdSpec)
-			case cfg.Device.HDD != nil:
-				c.QoS = core.QoS{
-					RPct: 90, RLat: 15 * sim.Millisecond,
-					WPct: 90, WLat: 40 * sim.Millisecond,
-					VrateMin: 0.1, VrateMax: 1.2,
-				}
-			default:
-				rtt := sim.Time(cfg.Device.Remote.RTTNS)
-				c.QoS = core.QoS{
-					RPct: 90, RLat: 6 * rtt,
-					WPct: 90, WLat: 10 * rtt,
-					VrateMin: 0.25, VrateMax: 1.5,
-				}
-			}
-		}
-		ioc := core.New(c)
+		m.Fault = inj
+		m.Dev = inj
+	}
+
+	name := cfg.Controller
+	if name == "" {
+		name = KindNone
+	}
+	var ctlCfg ctl.Config
+	if name == KindIOCost {
+		ctlCfg.Custom = iocostConfig(cfg, ssdSpec)
+	}
+	c, err := ctl.New(name, ctlCfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	m.Ctl = c
+	if ioc, ok := c.(*core.Controller); ok {
 		m.IOCost = ioc
-		m.Ctl = ioc
-	default:
-		panic(fmt.Sprintf("exp: unknown controller %q", cfg.Controller))
 	}
 
 	// Under the sanitizer build tag every machine runs with invariant
@@ -268,6 +351,14 @@ func NewMachine(cfg MachineConfig) *Machine {
 	}
 
 	m.Q = blk.New(eng, m.Dev, qctl, cfg.Tags)
+	switch {
+	case cfg.Retry != nil:
+		m.Q.SetRetryPolicy(*cfg.Retry)
+	case m.Fault != nil:
+		// Faults without a retry/timeout path would just lose IO; default
+		// to the kernel-like policy.
+		m.Q.SetRetryPolicy(blk.DefaultRetryPolicy())
+	}
 
 	// Telemetry observers stack after the sanitizer (if any) in
 	// deterministic registration order; both are read-only, so enabling
@@ -304,8 +395,15 @@ func NewMachine(cfg MachineConfig) *Machine {
 	if cfg.Metrics {
 		m.Registry = registry.New()
 		m.Q.RegisterMetrics(m.Registry)
-		if reg, ok := m.Dev.(registry.Registrar); ok {
+		dev := m.Dev
+		if m.Fault != nil {
+			dev = m.Fault.Device()
+		}
+		if reg, ok := dev.(registry.Registrar); ok {
 			reg.RegisterMetrics(m.Registry)
+		}
+		if m.Fault != nil {
+			m.Fault.RegisterMetrics(m.Registry)
 		}
 		m.Hier.RegisterMetrics(m.Registry)
 		if reg, ok := m.Ctl.(registry.Registrar); ok {
@@ -321,6 +419,16 @@ func NewMachine(cfg MachineConfig) *Machine {
 			Interval: cfg.MetricsInterval,
 		})
 		m.Sampler.Start()
+	}
+	return m, nil
+}
+
+// MustNewMachine is NewMachine for code-authored configurations that are
+// correct by construction (the figure harnesses, tests): it panics on error.
+func MustNewMachine(cfg MachineConfig) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }

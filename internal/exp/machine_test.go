@@ -1,18 +1,21 @@
 package exp
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/blk"
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/fault"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
 
 func TestNewMachineAllControllers(t *testing.T) {
 	for _, kind := range AllKinds() {
-		m := NewMachine(MachineConfig{
+		m := MustNewMachine(MachineConfig{
 			Device:     ssdChoice(device.OlderGenSSD()),
 			Controller: kind,
 			Seed:       1,
@@ -41,7 +44,7 @@ func TestNewMachineDeviceKinds(t *testing.T) {
 		{Device: DeviceChoice{HDD: &hdd}, Controller: KindIOCost},
 		{Device: DeviceChoice{Remote: &remote}, Controller: KindIOCost},
 	} {
-		m := NewMachine(cfg)
+		m := MustNewMachine(cfg)
 		// The derived default QoS must be valid and the controller
 		// functional: push one IO through.
 		done := false
@@ -54,22 +57,43 @@ func TestNewMachineDeviceKinds(t *testing.T) {
 	}
 }
 
-func TestNewMachinePanicsWithoutDevice(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no device did not panic")
-		}
-	}()
-	NewMachine(MachineConfig{Controller: KindIOCost})
+func TestNewMachineErrorsWithoutDevice(t *testing.T) {
+	if _, err := NewMachine(MachineConfig{Controller: KindIOCost}); err == nil {
+		t.Error("no device did not error")
+	}
 }
 
-func TestNewMachinePanicsOnUnknownController(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown controller did not panic")
+func TestNewMachineErrorsOnUnknownController(t *testing.T) {
+	_, err := NewMachine(MachineConfig{Device: ssdChoice(device.OlderGenSSD()), Controller: "wfq"})
+	if err == nil {
+		t.Fatal("unknown controller did not error")
+	}
+	// The error names the bad controller and lists what exists, so flag
+	// users can fix their invocation without reading source.
+	if !strings.Contains(err.Error(), "wfq") || !strings.Contains(err.Error(), KindIOCost) {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestMachineConfigValidate(t *testing.T) {
+	good := MachineConfig{Device: ssdChoice(device.OlderGenSSD()), Controller: KindIOCost}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	hdd := device.EvalHDD()
+	for name, cfg := range map[string]MachineConfig{
+		"no device":   {Controller: KindIOCost},
+		"two devices": {Device: DeviceChoice{SSD: good.Device.SSD, HDD: &hdd}},
+		"bad ctl":     {Device: good.Device, Controller: "cfq"},
+		"neg tags":    {Device: good.Device, Tags: -1},
+		"bad fault": {Device: good.Device,
+			Faults: fault.Plan{Episodes: []fault.Episode{{Kind: fault.Error, Dur: sim.Second, Rate: 2}}}},
+		"neg retry": {Device: good.Device, Retry: &blk.RetryPolicy{MaxRetries: -1}},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad config", name)
 		}
-	}()
-	NewMachine(MachineConfig{Device: ssdChoice(device.OlderGenSSD()), Controller: "wfq"})
+	}
 }
 
 // TestMultiDeviceHost: two devices on one engine, each with its own iocost
@@ -77,12 +101,12 @@ func TestNewMachinePanicsOnUnknownController(t *testing.T) {
 // controllers are independent.
 func TestMultiDeviceHost(t *testing.T) {
 	eng := sim.New()
-	fast := NewMachine(MachineConfig{
+	fast := MustNewMachine(MachineConfig{
 		Engine: eng, Device: ssdChoice(device.EnterpriseSSD()),
 		Controller: KindIOCost, Seed: 1,
 	})
 	hdd := device.EvalHDD()
-	slow := NewMachine(MachineConfig{
+	slow := MustNewMachine(MachineConfig{
 		Engine: eng, Device: DeviceChoice{HDD: &hdd},
 		Controller: KindIOCost, Seed: 2,
 	})

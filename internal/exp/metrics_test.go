@@ -19,7 +19,7 @@ import (
 func metricsMachine(t *testing.T) *Machine {
 	t.Helper()
 	spec := device.OlderGenSSD()
-	m := NewMachine(MachineConfig{
+	m := MustNewMachine(MachineConfig{
 		Device:     DeviceChoice{SSD: &spec},
 		Controller: KindIOCost,
 		Seed:       1,

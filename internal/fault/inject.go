@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// seedTag separates the injector's random stream from every other consumer
+// of the run seed, so enabling faults never perturbs workload or device
+// randomness for the same seed.
+const seedTag = 0xfa017
+
+// Injector wraps a device and applies a Plan to its completions. It is a
+// device.Device itself, so the block layer (and everything above it) is
+// oblivious: failures surface only as error statuses and anomalous
+// latencies, exactly as they do to a real block layer.
+//
+// All perturbations act on the completion path. Service begins on the real
+// device immediately; the injector then errors, delays, or holds the
+// completion according to the episodes active at completion time. Delayed
+// completions re-stamp bio.Completed at actual delivery.
+type Injector struct {
+	eng  *sim.Engine
+	dev  device.Device
+	plan Plan
+	rnd  *rng.Source
+
+	// held counts completions the injector is sitting on (stalls, storms,
+	// cap queues) — in flight from the block layer's point of view.
+	held int
+
+	// nextAdmit is the IOPSCap serialization point: no capped completion
+	// is delivered before it.
+	nextAdmit sim.Time
+
+	// Counters for registry export and the fault report.
+	errors    uint64
+	stalls    uint64
+	gcHits    uint64
+	capped    uint64
+	slowed    uint64
+	delayedNS sim.Time
+}
+
+// NewInjector wraps dev with plan. The seed (typically the run seed) feeds a
+// derived stream, so identical seed+plan reproduce identical failures.
+func NewInjector(eng *sim.Engine, dev device.Device, plan Plan, seed uint64) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Empty() {
+		return nil, fmt.Errorf("fault: plan has no episodes")
+	}
+	return &Injector{
+		eng:  eng,
+		dev:  dev,
+		plan: plan,
+		rnd:  rng.Derive(seed, seedTag),
+	}, nil
+}
+
+// Name returns the wrapped device's name; the injector is transparent to
+// metrics and reports.
+func (inj *Injector) Name() string { return inj.dev.Name() }
+
+// Parallelism returns the wrapped device's parallelism.
+func (inj *Injector) Parallelism() int { return inj.dev.Parallelism() }
+
+// InFlight counts requests in the wrapped device plus completions the
+// injector is holding.
+func (inj *Injector) InFlight() int { return inj.dev.InFlight() + inj.held }
+
+// Device returns the wrapped device.
+func (inj *Injector) Device() device.Device { return inj.dev }
+
+// Plan returns the active plan.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// Errors returns how many completions were marked bio.StatusError.
+func (inj *Injector) Errors() uint64 { return inj.errors }
+
+// Stalls returns how many completions a Stall episode held.
+func (inj *Injector) Stalls() uint64 { return inj.stalls }
+
+// GCHits returns how many bios a GCStorm episode stalled.
+func (inj *Injector) GCHits() uint64 { return inj.gcHits }
+
+// Capped returns how many completions an IOPSCap episode delayed.
+func (inj *Injector) Capped() uint64 { return inj.capped }
+
+// Slowed returns how many completions a Slow episode stretched.
+func (inj *Injector) Slowed() uint64 { return inj.slowed }
+
+// DelayedTime returns the total completion delay injected.
+func (inj *Injector) DelayedTime() sim.Time { return inj.delayedNS }
+
+// Active returns how many episodes cover the current virtual time.
+func (inj *Injector) Active() int {
+	now := inj.eng.Now()
+	n := 0
+	for _, e := range inj.plan.Episodes {
+		if e.active(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit passes b to the wrapped device and intercepts its completion.
+func (inj *Injector) Submit(b *bio.Bio, done func(*bio.Bio)) {
+	start := inj.eng.Now()
+	inj.dev.Submit(b, func(b *bio.Bio) { inj.complete(b, start, done) })
+}
+
+// complete applies every episode active at completion time, in plan order
+// (deterministic), then delivers — possibly later, possibly with an error.
+func (inj *Injector) complete(b *bio.Bio, start sim.Time, done func(*bio.Bio)) {
+	now := inj.eng.Now()
+	var delay sim.Time
+	for _, ep := range inj.plan.Episodes {
+		if !ep.active(now) {
+			continue
+		}
+		switch ep.Kind {
+		case Error:
+			if inj.rnd.Bool(ep.Rate) {
+				b.Status = bio.StatusError
+				inj.errors++
+			}
+		case Slow:
+			// Stretch the observed service time: the device took
+			// now-start; a Factor-times-slower device takes Factor as
+			// long, so the completion owes (Factor-1)x more.
+			d := sim.Time(float64(now-start) * (ep.Factor - 1))
+			if d > 0 {
+				delay += d
+				inj.slowed++
+			}
+		case GCStorm:
+			if inj.rnd.Bool(ep.Rate) {
+				delay += sim.Time(inj.rnd.Pareto(float64(ep.Stall), 1.5))
+				inj.gcHits++
+			}
+		case Stall:
+			// Nothing completes until the episode ends.
+			if end := ep.End(); now+delay < end {
+				delay = end - now
+				inj.stalls++
+			}
+		case IOPSCap:
+			// Serialize deliveries at the capped rate.
+			gap := sim.Time(1e9 / ep.Rate)
+			t := now + delay
+			if inj.nextAdmit > t {
+				delay = inj.nextAdmit - now
+				inj.capped++
+				t = inj.nextAdmit
+			}
+			inj.nextAdmit = t + gap
+		}
+	}
+	if delay <= 0 {
+		done(b)
+		return
+	}
+	inj.delayedNS += delay
+	inj.held++
+	inj.eng.After(delay, func() {
+		inj.held--
+		b.Completed = inj.eng.Now()
+		done(b)
+	})
+}

@@ -1,0 +1,29 @@
+package fault
+
+import (
+	"github.com/iocost-sim/iocost/internal/registry"
+)
+
+// RegisterMetrics contributes the injector's counters to a metrics registry,
+// labeled by the wrapped device's name: injected errors, held completions
+// per failure mode, total injected delay, and how many episodes are active
+// at scrape time.
+func (inj *Injector) RegisterMetrics(r *registry.Registry) {
+	lbl := registry.L("device", inj.Name())
+	r.CounterFunc("fault_errors_total", "completions marked with an injected error", lbl,
+		func() float64 { return float64(inj.errors) })
+	r.CounterFunc("fault_stalls_total", "completions held by a device-stall episode", lbl,
+		func() float64 { return float64(inj.stalls) })
+	r.CounterFunc("fault_gc_hits_total", "bios stalled by a GC-storm episode", lbl,
+		func() float64 { return float64(inj.gcHits) })
+	r.CounterFunc("fault_capped_total", "completions delayed by an IOPS-cap episode", lbl,
+		func() float64 { return float64(inj.capped) })
+	r.CounterFunc("fault_slowed_total", "completions stretched by a slow episode", lbl,
+		func() float64 { return float64(inj.slowed) })
+	r.CounterFunc("fault_delay_seconds_total", "total completion delay injected", lbl,
+		func() float64 { return inj.delayedNS.Seconds() })
+	r.GaugeFunc("fault_held", "completions the injector is currently holding", lbl,
+		func() float64 { return float64(inj.held) })
+	r.GaugeFunc("fault_episodes_active", "fault episodes covering the current time", lbl,
+		func() float64 { return float64(inj.Active()) })
+}

@@ -51,9 +51,13 @@ type Result struct {
 // Run executes the scenario and returns per-phase measurements. Built-in
 // metrics per phase: iops (completions/s), mbps (issued bytes/s), util
 // (device busy fraction), read-p50/p99 and write-p99 in ms, and vrate when
-// the controller is iocost.
-func Run(s Scenario) *Result {
-	m := exp.NewMachine(s.Machine)
+// the controller is iocost. A bad machine configuration is returned as an
+// error before any phase runs.
+func Run(s Scenario) (*Result, error) {
+	m, err := exp.NewMachine(s.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	res := &Result{Name: s.Name, Machine: m}
 
 	var prevComp, prevBytes uint64
@@ -89,7 +93,7 @@ func Run(s Scenario) *Result {
 			Name: ph.Name, Start: start, Dur: ph.Dur, Metrics: metrics,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Format renders the result as a phase table. Columns are the union of all

@@ -53,7 +53,10 @@ func TestScenarioPhasesAndMetrics(t *testing.T) {
 			},
 		},
 	}
-	res := scenario.Run(s)
+	res, err := scenario.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Phases) != 3 {
 		t.Fatalf("got %d phases", len(res.Phases))
 	}

@@ -13,11 +13,20 @@ import (
 )
 
 var (
-	seedFlag  = flag.Int64("seed", -1, "replay the scenario with this seed (TestFuzzReplay)")
-	scenarios = flag.Int("scenarios", 200, "number of random scenarios TestFuzzScenarios runs")
-	baseFlag  = flag.Uint64("base", 1, "first seed for TestFuzzScenarios")
-	smokeDur  = flag.Duration("smoke", 0, "wall-clock budget for TestFuzzSmoke (0 skips)")
+	seedFlag   = flag.Int64("seed", -1, "replay the scenario with this seed (TestFuzzReplay)")
+	scenarios  = flag.Int("scenarios", 200, "number of random scenarios TestFuzzScenarios runs")
+	baseFlag   = flag.Uint64("base", 1, "first seed for TestFuzzScenarios")
+	smokeDur   = flag.Duration("smoke", 0, "wall-clock budget for TestFuzzSmoke (0 skips)")
+	faultsFlag = flag.Bool("faults", false, "generate scenarios with the seed's fault plan (TestFuzzReplay, TestFuzzSmoke)")
 )
+
+// generate builds the scenario for a seed, honouring the -faults flag.
+func generate(seed uint64) Scenario {
+	if *faultsFlag {
+		return GenerateFaulty(seed)
+	}
+	return Generate(seed)
+}
 
 // TestFuzzScenarios is the main acceptance gate: a batch of random
 // scenarios, every controller, sanitizer on, differential checks on top.
@@ -46,10 +55,10 @@ func TestFuzzReplay(t *testing.T) {
 		t.Skip("no -seed given; this test exists to replay fuzz failures")
 	}
 	seed := uint64(*seedFlag)
-	scn := Generate(seed)
-	t.Logf("scenario %d: dev=%s/%s groups=%d submits=%d weights=%d nocontention=%v",
+	scn := generate(seed)
+	t.Logf("scenario %d: dev=%s/%s groups=%d submits=%d weights=%d nocontention=%v faults=%d",
 		seed, scn.Dev.Kind, scn.Dev.Profile, len(scn.Groups), len(scn.Submits),
-		len(scn.Weights), scn.NoContention)
+		len(scn.Weights), scn.NoContention, len(scn.Faults))
 	for _, f := range Check(scn) {
 		t.Error(f)
 	}
@@ -65,7 +74,7 @@ func TestFuzzSmoke(t *testing.T) {
 	seed := *baseFlag + 1_000_000 // disjoint from the fixed batch
 	ran := 0
 	for time.Now().Before(deadline) {
-		if failures := Check(Generate(seed)); len(failures) > 0 {
+		if failures := Check(generate(seed)); len(failures) > 0 {
 			for _, f := range failures {
 				t.Error(f)
 			}
@@ -75,6 +84,53 @@ func TestFuzzSmoke(t *testing.T) {
 		ran++
 	}
 	t.Logf("smoke: %d scenarios clean in %v", ran, *smokeDur)
+}
+
+// TestFuzzScenariosWithFaults runs a smaller batch with device faults
+// active: every controller against the same faulted bio sequence, sanitizer
+// on, drain and completion checks enforced (timeliness bounds are skipped
+// for faulted scenarios).
+func TestFuzzScenariosWithFaults(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		seed := *baseFlag + uint64(i)
+		if failures := Check(GenerateFaulty(seed)); len(failures) > 0 {
+			for _, f := range failures {
+				t.Error(f)
+			}
+			if t.Failed() && i > 5 {
+				t.Fatalf("stopping after first failing faulted scenario (seed=%d)", seed)
+			}
+		}
+	}
+}
+
+// TestFaultyGenerationSharesBaseScenario pins the stream separation: a
+// seed's faulted scenario is its healthy scenario plus a fault plan.
+func TestFaultyGenerationSharesBaseScenario(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		healthy, faulted := Generate(seed), GenerateFaulty(seed)
+		if len(faulted.Faults) == 0 {
+			t.Fatalf("seed %d: GenerateFaulty produced no episodes", seed)
+		}
+		faulted.Faults = nil
+		if string(healthy.JSON()) != string(faulted.JSON()) {
+			t.Fatalf("seed %d: fault generation perturbed the base scenario", seed)
+		}
+	}
+}
+
+func TestFaultyRunIsDeterministic(t *testing.T) {
+	scn := GenerateFaulty(3)
+	for _, kind := range []string{exp.KindIOCost, exp.KindBFQ} {
+		a, b := Run(scn, kind), Run(scn, kind)
+		if a.Completions != b.Completions || a.Makespan != b.Makespan || a.Failed != b.Failed {
+			t.Errorf("%s: two faulted runs diverged: %+v vs %+v", kind, a, b)
+		}
+	}
 }
 
 func TestScenarioGenerationIsDeterministic(t *testing.T) {
@@ -90,13 +146,14 @@ func TestScenarioGenerationIsDeterministic(t *testing.T) {
 }
 
 func TestScenarioJSONRoundTrip(t *testing.T) {
-	scn := Generate(7)
-	back, err := ParseScenario(scn.JSON())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(back.JSON()) != string(scn.JSON()) {
-		t.Error("scenario changed across JSON round trip")
+	for _, scn := range []Scenario{Generate(7), GenerateFaulty(7)} {
+		back, err := ParseScenario(scn.JSON())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(back.JSON()) != string(scn.JSON()) {
+			t.Error("scenario changed across JSON round trip")
+		}
 	}
 }
 

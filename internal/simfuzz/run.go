@@ -13,6 +13,8 @@ import (
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
 )
@@ -37,6 +39,9 @@ type RunResult struct {
 	// (drain timeouts).
 	Violations []string
 	Drained    bool
+	// Failed counts bios whose final completion carried a failure status
+	// (retries exhausted); only faulted scenarios produce any.
+	Failed int
 }
 
 // mutateCtl, when non-nil, wraps every controller under test. The
@@ -68,63 +73,65 @@ func ssdSpec(profile string) device.SSDSpec {
 	}
 }
 
+// buildController constructs the controller under test through the ctl
+// registry — the same path the cmds and exp harness use — then applies the
+// scenario's per-group configuration for the kinds that take any.
 func buildController(kind string, scn Scenario, nodes []*cgroup.Node) blk.Controller {
-	switch kind {
-	case exp.KindNone:
-		return ctl.NewNone()
-	case exp.KindMQDL:
-		return ctl.NewMQDeadline()
-	case exp.KindKyber:
-		return ctl.NewKyber()
-	case exp.KindThrottle:
-		c := ctl.NewThrottle()
+	var cfg ctl.Config
+	if kind == exp.KindIOCost {
+		cfg.Custom = iocostCoreConfig(scn)
+	}
+	c, err := ctl.New(kind, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("simfuzz: %v", err))
+	}
+	switch cc := c.(type) {
+	case *ctl.Throttle:
 		for i, g := range scn.Groups {
 			if g.ReadIOPS > 0 || g.WriteIOPS > 0 {
-				c.SetLimits(nodes[i], ctl.ThrottleLimits{
+				cc.SetLimits(nodes[i], ctl.ThrottleLimits{
 					ReadIOPS:  g.ReadIOPS,
 					WriteIOPS: g.WriteIOPS,
 				})
 			}
 		}
-		return c
-	case exp.KindBFQ:
-		return ctl.NewBFQ()
-	case exp.KindIOLatency:
-		c := ctl.NewIOLatency()
+	case *ctl.IOLatency:
 		for i, g := range scn.Groups {
 			if g.LatTargetMS > 0 {
-				c.SetTarget(nodes[i], sim.Time(g.LatTargetMS*float64(sim.Millisecond)))
+				cc.SetTarget(nodes[i], sim.Time(g.LatTargetMS*float64(sim.Millisecond)))
 			}
 		}
-		return c
-	case exp.KindIOCost:
-		var cfg core.Config
-		switch scn.Dev.Kind {
-		case "ssd":
-			spec := ssdSpec(scn.Dev.Profile)
-			cfg.Model = core.MustLinearModel(exp.IdealParams(spec))
-			cfg.QoS = exp.TunedQoS(spec)
-		case "hdd":
-			cfg.Model = core.MustLinearModel(exp.IdealHDDParams(device.EvalHDD()))
-			cfg.QoS = core.QoS{
-				RPct: 90, RLat: 15 * sim.Millisecond,
-				WPct: 90, WLat: 40 * sim.Millisecond,
-				VrateMin: 0.1, VrateMax: 1.2,
-			}
-		default:
-			spec := device.EBSgp3()
-			cfg.Model = core.MustLinearModel(exp.IdealRemoteParams(spec))
-			rtt := sim.Time(spec.RTTNS)
-			cfg.QoS = core.QoS{
-				RPct: 90, RLat: 6 * rtt,
-				WPct: 90, WLat: 10 * rtt,
-				VrateMin: 0.25, VrateMax: 1.5,
-			}
-		}
-		return core.New(cfg)
-	default:
-		panic(fmt.Sprintf("simfuzz: unknown controller %q", kind))
 	}
+	return c
+}
+
+// iocostCoreConfig derives the iocost cost model and QoS targets for the
+// scenario's device, mirroring what exp.MachineConfig defaults would pick.
+func iocostCoreConfig(scn Scenario) core.Config {
+	var cfg core.Config
+	switch scn.Dev.Kind {
+	case "ssd":
+		spec := ssdSpec(scn.Dev.Profile)
+		cfg.Model = core.MustLinearModel(exp.IdealParams(spec))
+		cfg.QoS = exp.TunedQoS(spec)
+	case "hdd":
+		cfg.Model = core.MustLinearModel(exp.IdealHDDParams(device.EvalHDD()))
+		cfg.QoS = core.QoS{
+			RPct: 90, RLat: 15 * sim.Millisecond,
+			WPct: 90, WLat: 40 * sim.Millisecond,
+			VrateMin: 0.1, VrateMax: 1.2,
+		}
+	default:
+		spec := device.EBSgp3()
+		cfg.Model = core.MustLinearModel(exp.IdealRemoteParams(spec))
+		rtt := sim.Time(spec.RTTNS)
+		cfg.QoS = core.QoS{
+			RPct: 90, RLat: 6 * rtt,
+			WPct: 90, WLat: 10 * rtt,
+			VrateMin: 0.25, VrateMax: 1.5,
+		}
+	}
+	return cfg
 }
 
 // Run executes the scenario under one controller with the sanitizer enabled
@@ -146,6 +153,16 @@ func run(scn Scenario, kind string, capture bool) (RunResult, *trace.Trace) {
 	res := RunResult{Kind: kind, PerGroup: make([]int, len(scn.Groups))}
 	eng := sim.New()
 	dev := buildDevice(eng, scn)
+	faulted := len(scn.Faults) > 0
+	if faulted {
+		inj, err := fault.NewInjector(eng, dev, scn.FaultPlan(),
+			rng.DeriveSeed(scn.Seed, tagFaultInject))
+		if err != nil {
+			// Plans are validated at parse and generation time.
+			panic(fmt.Sprintf("simfuzz: %v", err))
+		}
+		dev = inj
+	}
 	hier := cgroup.NewHierarchy()
 
 	nodes := make([]*cgroup.Node, len(scn.Groups))
@@ -167,6 +184,10 @@ func run(scn Scenario, kind string, capture bool) (RunResult, *trace.Trace) {
 		DeepEvery: 4,
 	})
 	q := blk.New(eng, dev, san, scn.Tags)
+	if faulted {
+		// Failure semantics on: deadlines, bounded retries with backoff.
+		q.SetRetryPolicy(blk.DefaultRetryPolicy())
+	}
 
 	// The recorder stacks behind the sanitizer's observer; both are
 	// read-only, so captured runs execute the exact same schedule.
@@ -199,6 +220,9 @@ func run(scn Scenario, kind string, capture bool) (RunResult, *trace.Trace) {
 					outstanding--
 					res.Completions++
 					res.PerGroup[ev.Group]++
+					if b.Failed() {
+						res.Failed++
+					}
 					if b.Completed > res.Makespan {
 						res.Makespan = b.Completed
 					}
@@ -269,13 +293,18 @@ var TraceDumpDir = os.TempDir()
 // inspection with cmd/iocost-trace.
 func Check(scn Scenario) []string {
 	results := RunAll(scn)
+	faulted := len(scn.Faults) > 0
+	replay := fmt.Sprintf("go test ./internal/simfuzz -run TestFuzzReplay -seed=%d", scn.Seed)
+	if faulted {
+		replay += " -faults"
+	}
 	var failures []string
 	var failedKinds []string
 	blame := func(kind, format string, args ...any) {
 		failedKinds = append(failedKinds, kind)
 		failures = append(failures,
-			fmt.Sprintf("seed=%d ctl=%s: %s\n  replay: go test ./internal/simfuzz -run TestFuzzReplay -seed=%d",
-				scn.Seed, kind, fmt.Sprintf(format, args...), scn.Seed))
+			fmt.Sprintf("seed=%d ctl=%s: %s\n  replay: %s",
+				scn.Seed, kind, fmt.Sprintf(format, args...), replay))
 	}
 
 	var noneMakespan sim.Time
@@ -310,8 +339,11 @@ func Check(scn Scenario) []string {
 		// Work conservation: a work-conserving controller must not take
 		// wildly longer than no controller at all. BFQ's sync idling can
 		// legitimately add up to SliceIdle per service slot, so it gets a
-		// per-bio allowance on top of the generous shared bound.
-		if workConserving(r.Kind) && noneMakespan > 0 {
+		// per-bio allowance on top of the generous shared bound. Faulted
+		// scenarios skip the timeliness bounds: a stalled or capped device
+		// legitimately violates them, and per-controller completion order
+		// makes injected delay non-comparable across controllers.
+		if workConserving(r.Kind) && noneMakespan > 0 && !faulted {
 			bound := 10*noneMakespan + sim.Second
 			if r.Kind == exp.KindBFQ {
 				bound += sim.Time(len(scn.Submits)) * 2 * sim.Millisecond
@@ -321,7 +353,7 @@ func Check(scn Scenario) []string {
 					r.Makespan, noneMakespan, bound)
 			}
 		}
-		if scn.NoContention && r.Kind == exp.KindIOCost && r.MaxWait > noContentionWaitBound {
+		if scn.NoContention && !faulted && r.Kind == exp.KindIOCost && r.MaxWait > noContentionWaitBound {
 			blame(r.Kind, "held a bio %v under no contention (bound %v)",
 				r.MaxWait, noContentionWaitBound)
 		}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/iocost-sim/iocost/internal/fault"
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
@@ -79,7 +80,15 @@ type Scenario struct {
 	// capability; IOCost must then meet its latency targets (§3.4), which
 	// the differential checks assert.
 	NoContention bool `json:"no_contention,omitempty"`
+	// Faults is the device fault plan, empty for healthy runs. Faulted
+	// scenarios keep the drain, completion-count, and sanitizer checks but
+	// skip the timeliness bounds (makespan, no-contention wait), which a
+	// stalled or erroring device legitimately violates.
+	Faults []fault.Episode `json:"faults,omitempty"`
 }
+
+// FaultPlan returns the scenario's fault schedule as a fault.Plan.
+func (s Scenario) FaultPlan() fault.Plan { return fault.Plan{Episodes: s.Faults} }
 
 // Horizon returns the time of the last scheduled event.
 func (s Scenario) Horizon() sim.Time {
@@ -93,6 +102,9 @@ func (s Scenario) Horizon() sim.Time {
 		if ev.At > last {
 			last = ev.At
 		}
+	}
+	if h := s.FaultPlan().Horizon(); h > last {
+		last = h
 	}
 	return last
 }
@@ -143,6 +155,9 @@ func (s Scenario) validate() error {
 			return fmt.Errorf("simfuzz: weight event %d weight %v not positive", i, ev.Weight)
 		}
 	}
+	if err := s.FaultPlan().Validate(); err != nil {
+		return fmt.Errorf("simfuzz: %w", err)
+	}
 	return nil
 }
 
@@ -153,6 +168,11 @@ const (
 	tagTree   = 0x5af1
 	tagLoad   = 0x5af2
 	tagDevice = 0x5af3
+	// tagFault feeds fault-plan generation and tagFaultInject the runtime
+	// injector; both are fresh streams, so the base scenario a seed
+	// generates is identical with and without faults.
+	tagFault       = 0x5af4
+	tagFaultInject = 0x5af5
 )
 
 // Generation bounds. Weights stay well inside (0, 1000) and trees shallow so
@@ -198,6 +218,51 @@ func Generate(seed uint64) Scenario {
 	s.genTree(rng.Derive(seed, tagTree))
 	s.genLoad(rng.Derive(seed, tagLoad))
 	return s
+}
+
+// GenerateFaulty is Generate plus a fault plan drawn from its own derived
+// stream: the base scenario is byte-identical to Generate(seed)'s, so a
+// seed's healthy and faulted runs exercise the same workload.
+func GenerateFaulty(seed uint64) Scenario {
+	s := Generate(seed)
+	s.genFaults(rng.Derive(seed, tagFault))
+	return s
+}
+
+// genFaults sprinkles 1–3 failure episodes over the arrival window. Bounds
+// keep worst-case drain far below drainHorizon: stalls are short, caps stay
+// in the thousands of IOPS, and slow factors are single-digit.
+func (s *Scenario) genFaults(r *rng.Source) {
+	span := s.Horizon()
+	if span < 500*sim.Millisecond {
+		span = 500 * sim.Millisecond
+	}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		ep := fault.Episode{
+			At:  1 + sim.Time(r.Int63n(int64(span))),
+			Dur: 100*sim.Millisecond + sim.Time(r.Int63n(int64(700*sim.Millisecond))),
+		}
+		switch r.Intn(5) {
+		case 0:
+			ep.Kind = fault.Error
+			ep.Rate = 0.005 + 0.045*r.Float64()
+		case 1:
+			ep.Kind = fault.Stall
+			ep.Dur = 50*sim.Millisecond + sim.Time(r.Int63n(int64(250*sim.Millisecond)))
+		case 2:
+			ep.Kind = fault.Slow
+			ep.Factor = 2 + 8*r.Float64()
+		case 3:
+			ep.Kind = fault.GCStorm
+			ep.Rate = 0.01 + 0.09*r.Float64()
+			ep.Stall = sim.Time(1+r.Intn(4)) * sim.Millisecond
+		case 4:
+			ep.Kind = fault.IOPSCap
+			ep.Rate = 2000 + 6000*r.Float64()
+		}
+		s.Faults = append(s.Faults, ep)
+	}
 }
 
 // genTree builds 2–6 groups, depth at most two below the root, with weight

@@ -27,6 +27,12 @@ type CGSummary struct {
 	Throttled  uint64
 	ThrottleNS sim.Time
 
+	// Errors, Timeouts and Retries count failure events: error
+	// completions, block-layer timeouts, and requeued attempts.
+	Errors   uint64
+	Timeouts uint64
+	Retries  uint64
+
 	// Wait, Device and Total are latency distributions: controller hold,
 	// dispatch-to-complete, and submit-to-complete respectively.
 	Wait   *stats.Histogram
@@ -207,6 +213,25 @@ func Analyze(t *Trace) *Analysis {
 				pOf(ev.CG).Adjust(ev.At, 0, -1)
 			}
 
+		case KindError:
+			s := cgOf(ev.CG)
+			a.System.Errors++
+			if s != a.System {
+				s.Errors++
+			}
+		case KindTimeout:
+			s := cgOf(ev.CG)
+			a.System.Timeouts++
+			if s != a.System {
+				s.Timeouts++
+			}
+		case KindRetry:
+			s := cgOf(ev.CG)
+			a.System.Retries++
+			if s != a.System {
+				s.Retries++
+			}
+
 		case KindVrate, KindPeriod:
 			a.Vrate.Add(ev.At.Seconds(), float64(ev.Aux)/1e6)
 			if ev.Kind == KindPeriod {
@@ -268,6 +293,10 @@ func (a *Analysis) formatCG(b *strings.Builder, s *CGSummary) {
 			100*float64(s.ThrottleNS)/float64(a.System.ThrottleNS))
 	}
 	b.WriteByte('\n')
+	if s.Errors > 0 || s.Timeouts > 0 || s.Retries > 0 {
+		fmt.Fprintf(b, "  faults   errors=%d timeouts=%d retries=%d\n",
+			s.Errors, s.Timeouts, s.Retries)
+	}
 	fmt.Fprintf(b, "  pressure some=%.1f%% full=%.1f%% (stall %s / %s)\n",
 		a.stallPct(s.SomeNS), a.stallPct(s.FullNS), fmtDur(s.SomeNS), fmtDur(s.FullNS))
 }

@@ -66,7 +66,20 @@ const (
 	// force for the next period, in parts-per-million.
 	KindPeriod
 
-	kindMax = KindPeriod
+	// KindError: the device completed the bio with an error; emitted
+	// right after the completion pair. Aux is the attempt number (0 for
+	// the first attempt).
+	KindError
+	// KindTimeout: the block layer timed the bio out before the device
+	// answered; emitted right after the completion pair. Aux is the
+	// attempt number.
+	KindTimeout
+	// KindRetry: a failed bio re-entered the block layer for another
+	// attempt; emitted just before its new submit event. Aux is the
+	// attempt number (1 for the first retry).
+	KindRetry
+
+	kindMax = KindRetry
 )
 
 var kindNames = [...]string{
@@ -81,6 +94,9 @@ var kindNames = [...]string{
 	KindDonation:      "donation",
 	KindDebt:          "debt",
 	KindPeriod:        "period",
+	KindError:         "error",
+	KindTimeout:       "timeout",
+	KindRetry:         "retry",
 }
 
 func (k Kind) String() string {
@@ -91,8 +107,11 @@ func (k Kind) String() string {
 }
 
 // BioEvent reports whether k describes a bio life-cycle stage (as opposed
-// to a controller event).
-func (k Kind) BioEvent() bool { return k >= KindSubmit && k <= KindComplete }
+// to a controller event). The failure kinds carry full request geometry and
+// count as bio events.
+func (k Kind) BioEvent() bool {
+	return (k >= KindSubmit && k <= KindComplete) || k >= KindError
+}
 
 // NoCG marks an event not attributable to any cgroup.
 const NoCG int32 = -1
@@ -261,10 +280,14 @@ func (r *Recorder) bioEvent(kind Kind, at sim.Time, b *bio.Bio, aux int64) {
 	})
 }
 
-// OnSubmit implements blk.Observer.
+// OnSubmit implements blk.Observer. A resubmitted bio (the block layer's
+// retry path) emits a retry event before its fresh submit.
 func (r *Recorder) OnSubmit(b *bio.Bio) {
 	if !r.enabled {
 		return
+	}
+	if b.Retries > 0 {
+		r.bioEvent(KindRetry, r.eng.Now(), b, int64(b.Retries))
 	}
 	r.bioEvent(KindSubmit, r.eng.Now(), b, 0)
 }
@@ -294,12 +317,19 @@ func (r *Recorder) OnDispatch(b *bio.Bio) {
 
 // OnComplete implements blk.Observer: the device's internal start time
 // becomes known here, so the device-start event precedes the completion.
+// Failed attempts additionally emit their error or timeout event.
 func (r *Recorder) OnComplete(b *bio.Bio) {
 	if !r.enabled {
 		return
 	}
 	r.bioEvent(KindDeviceStart, b.Dispatched, b, 0)
 	r.bioEvent(KindComplete, r.eng.Now(), b, int64(b.Completed-b.Submitted))
+	switch b.Status {
+	case bio.StatusError:
+		r.bioEvent(KindError, r.eng.Now(), b, int64(b.Retries))
+	case bio.StatusTimeout:
+		r.bioEvent(KindTimeout, r.eng.Now(), b, int64(b.Retries))
+	}
 }
 
 // ppm converts a rate to integer parts-per-million for Aux.

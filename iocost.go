@@ -29,8 +29,10 @@ import (
 	"github.com/iocost-sim/iocost/internal/blk"
 	"github.com/iocost-sim/iocost/internal/cgroup"
 	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/fault"
 	"github.com/iocost-sim/iocost/internal/mem"
 	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/profiler"
@@ -83,8 +85,18 @@ type MachineConfig = exp.MachineConfig
 // DeviceChoice selects the device model; construct with SSD, HDD or Remote.
 type DeviceChoice = exp.DeviceChoice
 
-// NewMachine assembles a host from cfg.
-func NewMachine(cfg MachineConfig) *Machine { return exp.NewMachine(cfg) }
+// NewMachine assembles a host from cfg. Configuration errors — no device
+// selected, an unregistered controller name, a malformed fault plan — are
+// returned, not panicked; validate ahead of time with MachineConfig.Validate.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return exp.NewMachine(cfg) }
+
+// MustNewMachine is NewMachine for configurations known correct at compile
+// time; it panics on error.
+func MustNewMachine(cfg MachineConfig) *Machine { return exp.MustNewMachine(cfg) }
+
+// ControllerNames lists every registered controller, sorted — what
+// MachineConfig.Controller and ctl.New accept.
+func ControllerNames() []string { return ctl.Names() }
 
 // SSD selects a flash device model.
 func SSD(spec SSDSpec) DeviceChoice { return DeviceChoice{SSD: &spec} }
@@ -184,6 +196,61 @@ const (
 	Sync  = bio.Sync
 	Swap  = bio.Swap
 	Meta  = bio.Meta
+)
+
+// BioStatus is a bio's completion status.
+type BioStatus = bio.Status
+
+// Completion statuses.
+const (
+	StatusOK      = bio.StatusOK
+	StatusError   = bio.StatusError
+	StatusTimeout = bio.StatusTimeout
+)
+
+// RetryPolicy governs block-layer failure handling: per-bio dispatch
+// deadlines and bounded exponential-backoff retries. Used as
+// MachineConfig.Retry; the zero value disables both.
+type RetryPolicy = blk.RetryPolicy
+
+// DefaultRetryPolicy returns the kernel-like failure-handling defaults
+// (3 retries, 1ms initial backoff, 30s timeout).
+func DefaultRetryPolicy() RetryPolicy { return blk.DefaultRetryPolicy() }
+
+// Fault injection (enable with MachineConfig.Faults; the injector is
+// Machine.Fault).
+type (
+	// FaultPlan is a declarative fault schedule: episodes of errors,
+	// stalls, slowdowns, GC storms and IOPS-cap collapses on the virtual
+	// clock.
+	FaultPlan = fault.Plan
+	// FaultEpisode is one failure window of a plan.
+	FaultEpisode = fault.Episode
+	// FaultKind is a failure mode.
+	FaultKind = fault.Kind
+	// FaultInjector wraps a device and executes a plan deterministically.
+	FaultInjector = fault.Injector
+)
+
+// Failure modes.
+const (
+	FaultError   = fault.Error
+	FaultStall   = fault.Stall
+	FaultSlow    = fault.Slow
+	FaultGCStorm = fault.GCStorm
+	FaultIOPSCap = fault.IOPSCap
+)
+
+// Fault-plan constructors.
+var (
+	// ParseFaultPlan parses a preset name ("storm", "flaky", ...) or a
+	// kind:at=...,dur=... episode list.
+	ParseFaultPlan = fault.ParsePlan
+	// FaultPresets returns the named stock plans.
+	FaultPresets = fault.Presets
+	// NewFaultInjector wraps any device with a plan for hand-assembled
+	// topologies; NewMachine does this automatically for Faults configs.
+	NewFaultInjector = fault.NewInjector
 )
 
 // Memory subsystem.

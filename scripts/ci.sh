@@ -39,6 +39,28 @@ make trace-smoke
 echo "== monitor smoke (deterministic metrics exports + JSON schema)"
 make monitor-smoke
 
+echo "== fault smoke (deterministic fault injection, end to end)"
+# Two identical-seed runs of the storm preset must produce byte-identical
+# traces and metrics: enabling faults must not cost determinism.
+make fault-smoke
+
+echo "== cmd exit codes (errors must exit non-zero)"
+# Every tool must fail loudly on bad input; a zero exit here is a
+# regression that silently greenlights broken CI pipelines.
+for bad in \
+	"./cmd/iocost-sim -device nosuch" \
+	"./cmd/iocost-sim -faults bogus" \
+	"./cmd/iocost-monitor -check /nonexistent.json" \
+	"./cmd/iocost-trace analyze /nonexistent.trace" \
+	"./cmd/iocost-fuzz -replay /nonexistent.json" \
+	"./cmd/iocost-bench -run nosuch" \
+	"./cmd/iocost-profile -device nosuch"; do
+	if go run $bad >/dev/null 2>&1; then
+		echo "FAIL: 'go run $bad' exited zero"
+		exit 1
+	fi
+done
+
 echo "== bench json (engine + trace hot paths, quick pass)"
 # A 10x pass proves the benchmark-to-JSON pipeline; the committed
 # BENCH_4.json reference comes from a full 1s run of make bench-json.
@@ -49,6 +71,11 @@ if $tier3; then
 	# Seeds start past the deterministic TestFuzzScenarios range so the
 	# smoke explores scenarios the fixed suite has not already covered.
 	make fuzz-smoke
+
+	echo "== fuzz smoke with faults (15s)"
+	# The same sweep with seed-derived fault plans on every scenario:
+	# sanitizer and drain checks against live error/retry/timeout paths.
+	make fuzz-smoke-faults
 
 	echo "== go test -tags sanitizer ./..."
 	# The sanitizer wraps every controller with the invariant checker, so
