@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench bench-json ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke
+.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke
 
 all: build test
 
@@ -14,11 +14,18 @@ test:
 bench:
 	go test -bench=BenchmarkEngine -benchmem ./internal/sim/
 
-# Hot-path benchmarks (event engine + trace recorder) as structured JSON.
-# Writes BENCH_4.json, the committed reference for the zero-overhead
-# acceptance check; BENCHTIME=10x for a quick CI pass to another path.
+# Hot-path benchmarks (event engine + trace recorder + whole-stack
+# BenchmarkMachine bios/sec matrix) as structured JSON. Writes BENCH_6.json,
+# the committed reference for the bench budget; BENCHTIME=10x for a quick
+# CI pass to another path.
 bench-json:
 	./scripts/bench-json.sh
+
+# Bench budget gate: fresh BenchmarkMachine bios/sec vs the committed
+# BENCH_6.json reference; >15% regression on any row fails. Part of tier-2
+# CI. See TESTING.md for the noise/regeneration workflow.
+bench-check:
+	./scripts/bench-check.sh
 
 # Tier-2: vet + race detector, including the parallel experiment fan-out.
 ci:

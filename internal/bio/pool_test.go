@@ -1,0 +1,125 @@
+package bio
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+func TestPoolGrowsOnExhaustion(t *testing.T) {
+	p := NewPool()
+	// Drain an empty pool far past any free-list contents: every Get must
+	// succeed, growing the pool.
+	live := make([]*Bio, 100)
+	for i := range live {
+		live[i] = p.Get()
+		if live[i] == nil {
+			t.Fatalf("Get #%d returned nil", i)
+		}
+		if !live[i].Pooled() {
+			t.Fatalf("Get #%d returned a bio not owned by the pool", i)
+		}
+	}
+	if got := p.Allocated(); got != 100 {
+		t.Errorf("Allocated = %d, want 100", got)
+	}
+	if p.Free() != 0 {
+		t.Errorf("Free = %d with every bio live", p.Free())
+	}
+	// Recycle everything; subsequent Gets must reuse, not allocate.
+	for _, b := range live {
+		p.Put(b)
+	}
+	if p.Free() != 100 {
+		t.Errorf("Free = %d after returning 100", p.Free())
+	}
+	for i := 0; i < 100; i++ {
+		p.Get()
+	}
+	if got := p.Allocated(); got != 100 {
+		t.Errorf("Allocated grew to %d on reuse, want to stay 100", got)
+	}
+	if gets := p.Gets(); gets != 200 {
+		t.Errorf("Gets = %d, want 200", gets)
+	}
+}
+
+func TestPoolReuseClearsStaleState(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	// Dirty every request field a past life could leak into the next one.
+	b.Op = Write
+	b.Flags = Sync
+	b.Off, b.Size = 4096, 8192
+	b.Submitted, b.Issued, b.Dispatched, b.Completed = 1, 2, 3, 4
+	b.OnDone = func(*Bio) {}
+	b.Seq = 42
+	b.DeadlineEv = sim.EventID{}
+	b.Status = StatusError
+	b.Retries = 3
+	gen := b.Gen()
+
+	p.Put(b)
+	nb := p.Get()
+	if nb != b {
+		t.Fatal("pool did not recycle the returned bio")
+	}
+	if nb.Status != StatusOK {
+		t.Errorf("recycled bio leaked Status %v", nb.Status)
+	}
+	if nb.Retries != 0 {
+		t.Errorf("recycled bio leaked Retries %d", nb.Retries)
+	}
+	if nb.Op != Read || nb.Flags != 0 || nb.Off != 0 || nb.Size != 0 {
+		t.Errorf("recycled bio leaked request fields: %+v", nb)
+	}
+	if nb.Submitted != 0 || nb.Issued != 0 || nb.Dispatched != 0 || nb.Completed != 0 {
+		t.Error("recycled bio leaked timestamps")
+	}
+	if nb.OnDone != nil || nb.Seq != 0 {
+		t.Error("recycled bio leaked OnDone/Seq")
+	}
+	if nb.Gen() != gen+1 {
+		t.Errorf("Gen = %d after recycle, want %d", nb.Gen(), gen+1)
+	}
+	if !nb.Pooled() {
+		t.Error("recycled bio lost its pool ownership")
+	}
+}
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	p.Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic")
+		}
+	}()
+	p.Put(b)
+}
+
+func TestPoolForeignPutPanics(t *testing.T) {
+	p, q := NewPool(), NewPool()
+	b := p.Get()
+	defer func() {
+		if recover() == nil {
+			t.Error("Put into a foreign pool did not panic")
+		}
+	}()
+	q.Put(b)
+}
+
+func TestDetachStopsRecycling(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Detach()
+	if b.Pooled() {
+		t.Error("detached bio still reports Pooled")
+	}
+	// Release must leave a detached bio alone.
+	Release(b)
+	if p.Free() != 0 {
+		t.Error("Release recycled a detached bio")
+	}
+}

@@ -128,18 +128,35 @@ type Queue struct {
 	completions uint64
 	issuedBytes uint64
 
-	// iostat is per-cgroup accounting (see iostat.go).
-	iostat map[*cgroup.Node]*CGIOStat
+	// iostat is per-cgroup accounting (see iostat.go), indexed by
+	// cgroup ID for the fast path; iostatX catches nodes from a foreign
+	// hierarchy whose ID collides (multi-hierarchy topologies).
+	iostat  []*cgStat
+	iostatX map[*cgroup.Node]*cgStat
+
+	// pool is the queue's bio free list: workloads draw submissions from
+	// it and finish recycles them after the final OnDone.
+	pool *bio.Pool
+
+	// plug, when non-nil, is the active plug list: submissions accumulate
+	// there and flush, in order, on FinishPlug.
+	plug *Plug
 
 	// obs are the registered life-cycle observers, invoked in
 	// registration order at every hook.
 	obs []Observer
 
-	// Failure semantics (see RetryPolicy). timers holds the armed deadline
-	// per in-flight bio when Deadline > 0; timedOut marks bios whose
-	// deadline fired so their eventual device completion is dropped.
+	// completeFn is the device completion callback (bound once — a method
+	// value built per dispatch would allocate); retryFn and timeoutF are
+	// the pooled-event forms of the retry resubmit and deadline firing.
+	completeFn func(*bio.Bio)
+	retryFn    func(any)
+	timeoutF   func(any)
+
+	// Failure semantics (see RetryPolicy). The armed deadline event lives
+	// on the bio itself (no per-dispatch map insert); timedOut marks bios
+	// whose deadline fired so their eventual device completion is dropped.
 	policy       RetryPolicy
-	timers       map[*bio.Bio]sim.EventID
 	timedOut     map[*bio.Bio]struct{}
 	retryPending int
 
@@ -163,11 +180,23 @@ func New(eng *sim.Engine, dev device.Device, ctl Controller, tags int) *Queue {
 		tags:     tags,
 		ReadLat:  stats.NewHistogram(),
 		WriteLat: stats.NewHistogram(),
-		iostat:   make(map[*cgroup.Node]*CGIOStat),
+		pool:     bio.NewPool(),
+	}
+	q.completeFn = q.complete
+	q.retryFn = func(a any) {
+		b := a.(*bio.Bio)
+		q.retryPending--
+		b.Status = bio.StatusOK
+		q.Submit(b)
 	}
 	ctl.Attach(q)
 	return q
 }
+
+// BioPool returns the queue's bio free list. Workloads allocate their
+// submissions from it; the block layer recycles each bio after its final
+// completion, making the steady-state IO path allocation-free.
+func (q *Queue) BioPool() *bio.Pool { return q.pool }
 
 // Engine returns the simulation engine.
 func (q *Queue) Engine() *sim.Engine { return q.eng }
@@ -210,8 +239,68 @@ func (q *Queue) AddObserver(o Observer) {
 	q.obs = append(q.obs, o)
 }
 
-// Observers returns the registered observers in invocation order.
-func (q *Queue) Observers() []Observer { return q.obs }
+// Observers returns a copy of the registered observers in invocation
+// order. Returning a copy keeps callers from mutating observer order (or
+// aliasing future registrations) out from under the fan-out.
+func (q *Queue) Observers() []Observer {
+	if len(q.obs) == 0 {
+		return nil
+	}
+	out := make([]Observer, len(q.obs))
+	copy(out, q.obs)
+	return out
+}
+
+// Plug is a submission batch, mirroring the kernel's blk_plug: while a plug
+// is active on a queue, Submit only appends to the plug list, and
+// FinishPlug replays the batch — each bio through the full submit path, in
+// submission order, at the (single) flush instant. Because discrete-event
+// time does not advance while user code runs, a plugged batch observes the
+// same clock, the same sequence numbers and the same controller state as
+// unplugged submission, so schedules are byte-identical; what batching buys
+// is amortization: one plug-state check per Submit instead of the full
+// path, and the controller/device fast-path caches (hweight, cost, iostat)
+// stay hot across the whole batch instead of being interleaved with
+// completion work.
+//
+// The zero value is ready to use and a Plug may be reused after FinishPlug
+// (the backing array is retained).
+type Plug struct {
+	bios []*bio.Bio
+	q    *Queue
+}
+
+// Pending returns how many submissions the plug is holding.
+func (p *Plug) Pending() int { return len(p.bios) }
+
+// StartPlug activates p on the queue. Nested plugs are ignored (the
+// outermost wins), as in the kernel: StartPlug on a queue that is already
+// plugged leaves the active plug in place and FinishPlug of the inner plug
+// is a no-op.
+func (q *Queue) StartPlug(p *Plug) {
+	if q.plug != nil || p == nil {
+		return
+	}
+	p.q = q
+	p.bios = p.bios[:0]
+	q.plug = p
+}
+
+// FinishPlug deactivates p and flushes its submissions in order. Only the
+// plug that StartPlug actually armed flushes; finishing an inner (ignored)
+// plug does nothing.
+func (q *Queue) FinishPlug(p *Plug) {
+	if p == nil || q.plug != p {
+		return
+	}
+	q.plug = nil
+	p.q = nil
+	for i, b := range p.bios {
+		p.bios[i] = nil
+		q.Submit(b)
+	}
+	p.bios = p.bios[:0]
+}
 
 // SetRetryPolicy configures failure handling. Call before the simulation
 // runs; changing the policy mid-flight leaves already-armed deadlines on
@@ -221,8 +310,7 @@ func (q *Queue) SetRetryPolicy(p RetryPolicy) {
 		p.Backoff = DefaultBackoff
 	}
 	q.policy = p
-	if p.Deadline > 0 && q.timers == nil {
-		q.timers = make(map[*bio.Bio]sim.EventID)
+	if p.Deadline > 0 && q.timedOut == nil {
 		q.timedOut = make(map[*bio.Bio]struct{})
 	}
 }
@@ -260,18 +348,50 @@ func (q *Queue) Completions() uint64 { return q.completions }
 func (q *Queue) IssuedBytes() uint64 { return q.issuedBytes }
 
 // Submit passes b into the block layer. The controller decides when it
-// reaches the device.
+// reaches the device. While a plug is active (StartPlug) the bio only
+// joins the plug list; FinishPlug replays the batch through this same
+// path, in order, at the same virtual instant.
 func (q *Queue) Submit(b *bio.Bio) {
+	if q.plug != nil {
+		q.plug.bios = append(q.plug.bios, b)
+		return
+	}
 	b.Submitted = q.eng.Now()
 	b.Seq = q.seq
 	q.seq++
 	if b.CG != nil {
 		b.CG.Activate()
 	}
+	if len(q.obs) != 0 {
+		q.notifySubmit(b)
+	}
+	q.ctl.Submit(b)
+}
+
+// notify* keep the observer fan-out off the fast path: production runs
+// register no observers and pay one length check per hook.
+func (q *Queue) notifySubmit(b *bio.Bio) {
 	for _, o := range q.obs {
 		o.OnSubmit(b)
 	}
-	q.ctl.Submit(b)
+}
+
+func (q *Queue) notifyIssue(b *bio.Bio) {
+	for _, o := range q.obs {
+		o.OnIssue(b)
+	}
+}
+
+func (q *Queue) notifyDispatch(b *bio.Bio) {
+	for _, o := range q.obs {
+		o.OnDispatch(b)
+	}
+}
+
+func (q *Queue) notifyComplete(b *bio.Bio) {
+	for _, o := range q.obs {
+		o.OnComplete(b)
+	}
 }
 
 // Issue sends b toward the device; controllers call this when they admit a
@@ -279,8 +399,8 @@ func (q *Queue) Submit(b *bio.Bio) {
 // queue depletion.
 func (q *Queue) Issue(b *bio.Bio) {
 	b.Issued = q.eng.Now()
-	for _, o := range q.obs {
-		o.OnIssue(b)
+	if len(q.obs) != 0 {
+		q.notifyIssue(b)
 	}
 	if q.inflight >= q.tags {
 		q.tagWait.Push(b)
@@ -305,13 +425,23 @@ func (q *Queue) dispatch(b *bio.Bio) {
 	// actually begins. This keeps Dispatched fresh per attempt so a retried
 	// bio timed out before service never carries a stale timestamp.
 	b.Dispatched = q.eng.Now()
-	for _, o := range q.obs {
-		o.OnDispatch(b)
+	if len(q.obs) != 0 {
+		q.notifyDispatch(b)
 	}
 	if q.policy.Deadline > 0 {
-		q.timers[b] = q.eng.After(q.policy.Deadline, func() { q.timeout(b) })
+		b.DeadlineEv = q.eng.AfterCall(q.policy.Deadline, q.timeoutFn(), b)
 	}
-	q.dev.Submit(b, q.complete)
+	q.dev.Submit(b, q.completeFn)
+}
+
+// timeoutFn returns the pooled-event timeout callback, built lazily once
+// (deadlines are off in the default policy, so most queues never pay for
+// it).
+func (q *Queue) timeoutFn() func(any) {
+	if q.timeoutF == nil {
+		q.timeoutF = func(a any) { q.timeout(a.(*bio.Bio)) }
+	}
+	return q.timeoutF
 }
 
 // complete is the device's completion callback. Late completions of bios the
@@ -324,11 +454,9 @@ func (q *Queue) complete(b *bio.Bio) {
 			return
 		}
 	}
-	if q.timers != nil {
-		if id, ok := q.timers[b]; ok {
-			q.eng.Cancel(id)
-			delete(q.timers, b)
-		}
+	if q.policy.Deadline > 0 {
+		q.eng.Cancel(b.DeadlineEv)
+		b.DeadlineEv = sim.EventID{}
 	}
 	q.finish(b)
 }
@@ -336,9 +464,13 @@ func (q *Queue) complete(b *bio.Bio) {
 // timeout fires when a dispatched bio outlives the policy deadline: the tag
 // is reclaimed and the completion path runs with StatusTimeout, as
 // blk_mq_rq_timed_out would. The device keeps servicing the request; its
-// eventual completion is dropped (and counted) in complete.
+// eventual completion is dropped (and counted) in complete. The bio is
+// detached from its pool (if any): the device still holds a pointer for
+// the eventual late completion, so recycling it would alias a live
+// request.
 func (q *Queue) timeout(b *bio.Bio) {
-	delete(q.timers, b)
+	b.DeadlineEv = sim.EventID{}
+	b.Detach()
 	q.timedOut[b] = struct{}{}
 	q.timeouts++
 	b.Status = bio.StatusTimeout
@@ -348,15 +480,16 @@ func (q *Queue) timeout(b *bio.Bio) {
 
 // finish runs the completion path: observer + controller notification, tag
 // release, accounting, and — for failed attempts with retries remaining —
-// exponential-backoff requeue instead of OnDone delivery.
+// exponential-backoff requeue instead of OnDone delivery. Pooled bios are
+// recycled once the final OnDone has returned.
 func (q *Queue) finish(b *bio.Bio) {
 	q.inflight--
 	q.completions++
 	if b.Status == bio.StatusError {
 		q.errors++
 	}
-	for _, o := range q.obs {
-		o.OnComplete(b)
+	if len(q.obs) != 0 {
+		q.notifyComplete(b)
 	}
 	if q.inflight == 0 {
 		q.busyTime += q.eng.Now() - q.busyFrom
@@ -379,12 +512,7 @@ func (q *Queue) finish(b *bio.Bio) {
 		q.WriteLat.Observe(int64(lat))
 	}
 	if b.CG != nil {
-		st := q.iostat[b.CG]
-		if st == nil {
-			st = &CGIOStat{}
-			q.iostat[b.CG] = st
-		}
-		st.account(b)
+		q.statFor(b.CG).account(b)
 	}
 
 	q.ctl.Completed(b)
@@ -398,11 +526,7 @@ func (q *Queue) finish(b *bio.Bio) {
 		b.Retries++
 		q.retries++
 		q.retryPending++
-		q.eng.After(delay, func() {
-			q.retryPending--
-			b.Status = bio.StatusOK
-			q.Submit(b)
-		})
+		q.eng.AfterCall(delay, q.retryFn, b)
 		return
 	}
 	if b.Status != bio.StatusOK {
@@ -411,6 +535,10 @@ func (q *Queue) finish(b *bio.Bio) {
 	if b.OnDone != nil {
 		b.OnDone(b)
 	}
+	// The bio's life is over: recycle it if it came from a pool. OnDone
+	// ran above, so the submitter has had its look; holders that keep a
+	// bio longer must Detach it.
+	bio.Release(b)
 }
 
 // TakeDepletion returns the accumulated tag-depletion time and hit count

@@ -40,21 +40,80 @@ func (s *CGIOStat) account(b *bio.Bio) {
 	s.DeviceTime += b.DeviceLatency()
 }
 
+// cgStat binds the accounting to its cgroup so the ID-indexed fast path
+// can verify it resolved the right node.
+type cgStat struct {
+	cg *cgroup.Node
+	CGIOStat
+}
+
+// statFor returns cg's accounting entry, creating it on first IO. The hot
+// path is a slice index by cgroup ID — no hashing; nodes from a foreign
+// hierarchy whose ID collides with a resident entry fall back to a map, so
+// multi-hierarchy topologies stay correct.
+func (q *Queue) statFor(cg *cgroup.Node) *CGIOStat {
+	id := cg.ID()
+	if id < len(q.iostat) {
+		if st := q.iostat[id]; st != nil {
+			if st.cg == cg {
+				return &st.CGIOStat
+			}
+			return q.statForeign(cg)
+		}
+	} else {
+		grown := make([]*cgStat, id+1)
+		copy(grown, q.iostat)
+		q.iostat = grown
+	}
+	st := &cgStat{cg: cg}
+	q.iostat[id] = st
+	return &st.CGIOStat
+}
+
+// statForeign serves ID collisions between hierarchies from a side map.
+func (q *Queue) statForeign(cg *cgroup.Node) *CGIOStat {
+	st := q.iostatX[cg]
+	if st == nil {
+		if q.iostatX == nil {
+			q.iostatX = make(map[*cgroup.Node]*cgStat)
+		}
+		st = &cgStat{cg: cg}
+		q.iostatX[cg] = st
+	}
+	return &st.CGIOStat
+}
+
+// eachStat visits every accounted cgroup's entry, resident then foreign.
+// Visit order is unspecified; callers that emit sort by path.
+func (q *Queue) eachStat(fn func(*cgroup.Node, *CGIOStat)) {
+	for _, st := range q.iostat {
+		if st != nil {
+			fn(st.cg, &st.CGIOStat)
+		}
+	}
+	for cg, st := range q.iostatX {
+		fn(cg, &st.CGIOStat)
+	}
+}
+
 // IOStat returns cg's accumulated accounting (zero value if it never did
 // IO).
 func (q *Queue) IOStat(cg *cgroup.Node) CGIOStat {
-	if s := q.iostat[cg]; s != nil {
-		return *s
+	if id := cg.ID(); id < len(q.iostat) {
+		if st := q.iostat[id]; st != nil && st.cg == cg {
+			return st.CGIOStat
+		}
+	}
+	if st := q.iostatX[cg]; st != nil {
+		return st.CGIOStat
 	}
 	return CGIOStat{}
 }
 
-// IOStatAll returns every accounted cgroup's stats, sorted by path.
+// IOStatAll returns every accounted cgroup's stats.
 func (q *Queue) IOStatAll() map[*cgroup.Node]CGIOStat {
 	out := make(map[*cgroup.Node]CGIOStat, len(q.iostat))
-	for cg, s := range q.iostat {
-		out[cg] = *s
-	}
+	q.eachStat(func(cg *cgroup.Node, s *CGIOStat) { out[cg] = *s })
 	return out
 }
 
@@ -65,10 +124,10 @@ func (q *Queue) FormatIOStat() string {
 		path string
 		s    CGIOStat
 	}
-	rows := make([]row, 0, len(q.iostat))
-	for cg, s := range q.iostat {
+	var rows []row
+	q.eachStat(func(cg *cgroup.Node, s *CGIOStat) {
 		rows = append(rows, row{cg.Path(), *s})
-	}
+	})
 	sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
 
 	var b strings.Builder

@@ -3,6 +3,7 @@ package blk
 import (
 	"sort"
 
+	"github.com/iocost-sim/iocost/internal/cgroup"
 	"github.com/iocost-sim/iocost/internal/registry"
 )
 
@@ -52,9 +53,9 @@ func (q *Queue) RegisterMetrics(r *registry.Registry) {
 				st   *CGIOStat
 			}
 			rows := make([]row, 0, len(q.iostat))
-			for cg, st := range q.iostat {
+			q.eachStat(func(cg *cgroup.Node, st *CGIOStat) {
 				rows = append(rows, row{cg.Path(), st})
-			}
+			})
 			sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
 			for _, rw := range rows {
 				emit(registry.L("cgroup", rw.path), field(rw.st))

@@ -32,8 +32,9 @@ const DefaultWeight = 100
 
 // Hierarchy is a tree of cgroups with a single root.
 type Hierarchy struct {
-	root *Node
-	gen  uint64
+	root   *Node
+	gen    uint64
+	nextID int
 }
 
 // NewHierarchy returns a hierarchy containing only the root node.
@@ -45,8 +46,14 @@ func NewHierarchy() *Hierarchy {
 		weight: DefaultWeight,
 		inuse:  DefaultWeight,
 	}
+	h.nextID = 1
 	return h
 }
+
+// NodeCount returns the number of nodes ever created in the hierarchy
+// (removed nodes keep their IDs), i.e. one past the largest Node.ID. Fast
+// paths size their per-cgroup state slices from it.
+func (h *Hierarchy) NodeCount() int { return h.nextID }
 
 // Root returns the root node. The root is always active and its hweight is
 // always 1.
@@ -65,6 +72,7 @@ func (h *Hierarchy) Walk(fn func(*Node)) { h.root.walk(fn) }
 type Node struct {
 	hier     *Hierarchy
 	name     string
+	id       int
 	parent   *Node
 	children []*Node
 
@@ -91,10 +99,12 @@ func (n *Node) NewChild(name string, weight float64) *Node {
 	c := &Node{
 		hier:   n.hier,
 		name:   name,
+		id:     n.hier.nextID,
 		parent: n,
 		weight: weight,
 		inuse:  weight,
 	}
+	n.hier.nextID++
 	n.children = append(n.children, c)
 	n.hier.bump()
 	return c
@@ -102,6 +112,13 @@ func (n *Node) NewChild(name string, weight float64) *Node {
 
 // Name returns the node's own name.
 func (n *Node) Name() string { return n.name }
+
+// ID returns the node's dense hierarchy-unique index, assigned in creation
+// order (the root is 0). IDs are never reused, so per-cgroup fast-path
+// state can live in slices indexed by ID instead of maps keyed by pointer
+// — the block layer's iostat table, IOCost's per-cgroup state and the
+// device seq trackers all do. IDs are only unique within one hierarchy.
+func (n *Node) ID() int { return n.id }
 
 // Parent returns the parent node, nil for the root.
 func (n *Node) Parent() *Node { return n.parent }

@@ -62,6 +62,13 @@ const (
 	stDispatched
 )
 
+// bioTrack is the sanitizer's per-bio record: life-cycle state plus the
+// pool generation observed at submit.
+type bioTrack struct {
+	st  uint8
+	gen uint32
+}
+
 func stateName(st uint8) string {
 	switch st {
 	case stSubmitted:
@@ -82,8 +89,12 @@ type Sanitizer struct {
 	q     *blk.Queue
 	opts  Options
 
-	// Bio state machine.
-	live map[*bio.Bio]uint8
+	// Bio state machine. Each tracked bio also records its pool recycle
+	// generation at submit: if the generation moves while the bio is in
+	// flight, the pool recycled it under a live request — a use-after-free
+	// the pointer identity alone cannot reveal, because the recycled bio
+	// occupies the same address.
+	live map[*bio.Bio]bioTrack
 
 	// Counters; dispatched-completed must mirror the queue's in-flight
 	// count, issued-dispatched its tag-wait backlog.
@@ -116,7 +127,7 @@ func Wrap(inner blk.Controller, opts Options) *Sanitizer {
 	return &Sanitizer{
 		inner: inner,
 		opts:  opts,
-		live:  make(map[*bio.Bio]uint8),
+		live:  make(map[*bio.Bio]bioTrack),
 	}
 }
 
@@ -162,8 +173,8 @@ func (s *Sanitizer) Attach(q *blk.Queue) {
 // Submit implements blk.Controller.
 func (s *Sanitizer) Submit(b *bio.Bio) {
 	s.tick()
-	if st, ok := s.live[b]; ok {
-		s.fail("bio %v resubmitted while still %s", b, stateName(st))
+	if tr, ok := s.live[b]; ok {
+		s.fail("bio %v resubmitted while still %s", b, stateName(tr.st))
 	}
 	if b.Size < 0 {
 		s.fail("bio %v has negative size", b)
@@ -178,7 +189,7 @@ func (s *Sanitizer) Submit(b *bio.Bio) {
 		s.fail("bio %v retry count %d outside policy bound %d",
 			b, b.Retries, s.q.RetryPolicy().MaxRetries)
 	}
-	s.live[b] = stSubmitted
+	s.live[b] = bioTrack{st: stSubmitted, gen: b.Gen()}
 	s.submitted++
 
 	s.depth++
@@ -203,13 +214,16 @@ func (s *Sanitizer) OnSubmit(*bio.Bio) {}
 // OnIssue implements blk.Observer.
 func (s *Sanitizer) OnIssue(b *bio.Bio) {
 	s.tick()
-	switch st := s.live[b]; st {
+	tr := s.live[b]
+	s.checkGen(b, tr)
+	switch tr.st {
 	case stSubmitted:
-		s.live[b] = stIssued
+		tr.st = stIssued
+		s.live[b] = tr
 	case 0:
 		s.fail("bio %v issued without being submitted", b)
 	default:
-		s.fail("bio %v issued twice (state %s)", b, stateName(st))
+		s.fail("bio %v issued twice (state %s)", b, stateName(tr.st))
 	}
 	s.issued++
 	if b.Issued < b.Submitted {
@@ -220,13 +234,16 @@ func (s *Sanitizer) OnIssue(b *bio.Bio) {
 // OnDispatch implements blk.Observer.
 func (s *Sanitizer) OnDispatch(b *bio.Bio) {
 	s.tick()
-	switch st := s.live[b]; st {
+	tr := s.live[b]
+	s.checkGen(b, tr)
+	switch tr.st {
 	case stIssued:
-		s.live[b] = stDispatched
+		tr.st = stDispatched
+		s.live[b] = tr
 	case 0:
 		s.fail("bio %v dispatched without being issued", b)
 	default:
-		s.fail("bio %v dispatched from state %s", b, stateName(st))
+		s.fail("bio %v dispatched from state %s", b, stateName(tr.st))
 	}
 	s.dispatched++
 	if got, tags := s.q.InFlight(), s.q.Tags(); got > tags {
@@ -237,13 +254,15 @@ func (s *Sanitizer) OnDispatch(b *bio.Bio) {
 // OnComplete implements blk.Observer.
 func (s *Sanitizer) OnComplete(b *bio.Bio) {
 	s.tick()
-	switch st := s.live[b]; st {
+	tr := s.live[b]
+	s.checkGen(b, tr)
+	switch tr.st {
 	case stDispatched:
 		delete(s.live, b)
 	case 0:
 		s.fail("bio %v completed twice or never submitted", b)
 	default:
-		s.fail("bio %v completed from state %s", b, stateName(st))
+		s.fail("bio %v completed from state %s", b, stateName(tr.st))
 	}
 	s.completed++
 	if !(b.Submitted <= b.Issued && b.Issued <= b.Dispatched && b.Dispatched <= b.Completed) {
@@ -268,6 +287,15 @@ func (s *Sanitizer) OnComplete(b *bio.Bio) {
 	}
 	if s.q.InFlight() < 0 {
 		s.fail("in-flight count went negative: %d", s.q.InFlight())
+	}
+}
+
+// checkGen fails if a tracked bio's pool generation moved since submit —
+// the pool recycled it while the block layer still considered it in flight.
+func (s *Sanitizer) checkGen(b *bio.Bio, tr bioTrack) {
+	if tr.st != 0 && b.Gen() != tr.gen {
+		s.fail("bio %v recycled while in flight (%s): pool generation %d at submit, %d now — use-after-free",
+			b, stateName(tr.st), tr.gen, b.Gen())
 	}
 }
 
@@ -348,7 +376,7 @@ func (s *Sanitizer) CheckDrained() {
 		stuck = stuck[:3]
 	}
 	for _, b := range stuck {
-		s.fail("bio lost: %v stuck in state %s since submit=%v", b, stateName(s.live[b]), b.Submitted)
+		s.fail("bio lost: %v stuck in state %s since submit=%v", b, stateName(s.live[b].st), b.Submitted)
 	}
 	s.fail("%d bios lost in total (submitted=%d issued=%d dispatched=%d completed=%d)",
 		len(s.live), s.submitted, s.issued, s.dispatched, s.completed)

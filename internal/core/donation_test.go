@@ -118,7 +118,7 @@ func TestDonationRescindRestoresWeights(t *testing.T) {
 
 	// Next pass with everyone busy must rescind all adjustments.
 	periodV := c.periodVns()
-	for _, st := range c.state {
+	for _, st := range c.order {
 		st.usage = st.cg.HweightActive() * periodV
 	}
 	if got := c.donate(); got != 0 {

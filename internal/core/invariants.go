@@ -102,7 +102,14 @@ func (c *Controller) CheckInvariants(fail func(msg string)) {
 		failf("iocost: outstanding debt %v exceeds lifetime debt incurred %v",
 			debtSum, c.totalDebtAbs)
 	}
-	if len(c.state) != len(c.order) {
-		failf("iocost: state map has %d entries, order walk has %d", len(c.state), len(c.order))
+	resident := 0
+	for _, st := range c.state {
+		if st != nil {
+			resident++
+		}
+	}
+	if resident+len(c.stateX) != len(c.order) {
+		failf("iocost: state index has %d entries, order walk has %d",
+			resident+len(c.stateX), len(c.order))
 	}
 }

@@ -113,7 +113,12 @@ type Controller struct {
 	vbase float64
 	tbase sim.Time
 
-	state map[*cgroup.Node]*iocg
+	// state holds per-cgroup controller state indexed by cgroup ID, so
+	// the per-bio lookup is an array index instead of a map hash. Nodes
+	// from a foreign hierarchy whose ID collides with a resident entry
+	// live in the stateX side map.
+	state  []*iocg
+	stateX map[*cgroup.Node]*iocg
 	// order holds per-cgroup states in creation order: the planning path
 	// walks it (periodTick upkeep, donor identification) so waiter kicks,
 	// deactivations and floating-point donor sums are deterministic
@@ -121,6 +126,9 @@ type Controller struct {
 	order     []*iocg
 	periodSeq uint64
 	ticker    *sim.Ticker
+	// modelGen invalidates per-iocg cached costs when the model is
+	// swapped online (SetModel).
+	modelGen uint32
 
 	// Per-period QoS accounting, indexed by bio.Op.
 	latMet    [2]uint64
@@ -153,6 +161,21 @@ type iocg struct {
 	waiters ring.Queue[waiter]
 	kick    sim.EventID
 	kickAt  sim.Time // 0 when no kick scheduled
+	// kickFn is the persistent wake-up closure; built once at state
+	// creation so scheduling a kick allocates nothing.
+	kickFn func()
+
+	// One-entry cost-model cache. Workloads overwhelmingly issue runs of
+	// same-shaped bios (fixed block size, one direction, steady
+	// random/sequential pattern), so remembering the last (op, size, seq)
+	// → cost mapping short-circuits the model arithmetic on the hot
+	// path. costGen ties the entry to the controller's modelGen;
+	// SetModel bumps that to invalidate every cache at once.
+	costOp   bio.Op
+	costSeq  bool
+	costSize int64
+	costAbs  float64
+	costGen  uint32
 
 	lastIOPeriod uint64
 	usage        float64 // absolute cost issued this period
@@ -210,12 +233,12 @@ func New(cfg Config) *Controller {
 		}
 	}
 	return &Controller{
-		cfg:    cfg,
-		model:  cfg.Model,
-		qos:    cfg.QoS,
-		period: period,
-		vrate:  1.0,
-		state:  make(map[*cgroup.Node]*iocg),
+		cfg:      cfg,
+		model:    cfg.Model,
+		qos:      cfg.QoS,
+		period:   period,
+		vrate:    1.0,
+		modelGen: 1, // nonzero so zero-valued iocg caches never hit
 	}
 }
 
@@ -235,8 +258,12 @@ func (c *Controller) Vrate() float64 { return c.vrate }
 // Period returns the planning period.
 func (c *Controller) Period() sim.Time { return c.period }
 
-// SetModel replaces the cost model online (Figure 13).
-func (c *Controller) SetModel(m Model) { c.model = m }
+// SetModel replaces the cost model online (Figure 13). Cached per-cgroup
+// costs are invalidated.
+func (c *Controller) SetModel(m Model) {
+	c.model = m
+	c.modelGen++
+}
 
 // SetQoS replaces the QoS parameters online.
 func (c *Controller) SetQoS(q QoS) {
@@ -283,13 +310,68 @@ func (c *Controller) periodVns() float64 {
 }
 
 func (c *Controller) stateFor(cg *cgroup.Node) *iocg {
-	st := c.state[cg]
+	id := cg.ID()
+	if id < len(c.state) {
+		if st := c.state[id]; st != nil {
+			if st.cg == cg {
+				return st
+			}
+			return c.stateForeign(cg)
+		}
+	} else {
+		grown := make([]*iocg, id+1)
+		copy(grown, c.state)
+		c.state = grown
+	}
+	st := c.newState(cg)
+	c.state[id] = st
+	return st
+}
+
+// stateForeign serves cgroup-ID collisions between hierarchies from a side
+// map, keeping multi-hierarchy topologies correct.
+func (c *Controller) stateForeign(cg *cgroup.Node) *iocg {
+	st := c.stateX[cg]
 	if st == nil {
-		st = &iocg{cg: cg, vtime: c.gvtime(c.q.Now())}
-		c.state[cg] = st
-		c.order = append(c.order, st)
+		if c.stateX == nil {
+			c.stateX = make(map[*cgroup.Node]*iocg)
+		}
+		st = c.newState(cg)
+		c.stateX[cg] = st
 	}
 	return st
+}
+
+func (c *Controller) newState(cg *cgroup.Node) *iocg {
+	st := &iocg{cg: cg, vtime: c.gvtime(c.q.Now())}
+	st.kickFn = func() {
+		st.kickAt = 0
+		c.kickWaiters(st)
+	}
+	c.order = append(c.order, st)
+	return st
+}
+
+// lookup returns cg's state or nil without creating one.
+func (c *Controller) lookup(cg *cgroup.Node) *iocg {
+	if id := cg.ID(); id < len(c.state) {
+		if st := c.state[id]; st != nil && st.cg == cg {
+			return st
+		}
+	}
+	return c.stateX[cg]
+}
+
+// costOf returns the model cost of (op, size, seq) through st's one-entry
+// cache.
+func (c *Controller) costOf(st *iocg, op bio.Op, size int64, seq bool) float64 {
+	if st.costGen == c.modelGen && st.costOp == op && st.costSeq == seq && st.costSize == size {
+		return st.costAbs
+	}
+	abs := c.model.Cost(op, size, seq)
+	st.costOp, st.costSeq, st.costSize = op, seq, size
+	st.costAbs, st.costGen = abs, c.modelGen
+	return abs
 }
 
 // payDebt pays down st's absolute debt from accumulated budget.
@@ -338,7 +420,7 @@ func (c *Controller) Submit(b *bio.Bio) {
 
 	seq := st.lastEnd == b.Off && b.Off != 0
 	st.lastEnd = b.End()
-	abs := c.model.Cost(b.Op, b.Size, seq)
+	abs := c.costOf(st, b.Op, b.Size, seq)
 
 	forced := b.Flags.Has(bio.Swap) || b.Flags.Has(bio.Meta)
 	if forced && !c.cfg.DisableDebt {
@@ -471,10 +553,7 @@ func (c *Controller) kickWaiters(st *iocg) {
 		c.q.Engine().Cancel(st.kick)
 	}
 	st.kickAt = wake
-	st.kick = c.q.Engine().At(wake, func() {
-		st.kickAt = 0
-		c.kickWaiters(st)
-	})
+	st.kick = c.q.Engine().At(wake, st.kickFn)
 }
 
 // Completed implements blk.Controller: QoS latency accounting (§3.3).
@@ -606,7 +685,7 @@ func (c *Controller) periodTick() {
 
 // Debt returns cg's outstanding absolute debt in occupancy-nanoseconds.
 func (c *Controller) Debt(cg *cgroup.Node) float64 {
-	if st := c.state[cg]; st != nil {
+	if st := c.lookup(cg); st != nil {
 		return st.debt
 	}
 	return 0
@@ -616,7 +695,7 @@ func (c *Controller) Debt(cg *cgroup.Node) float64 {
 // userspace to pay for memory-management IO issued on its behalf (§3.5).
 // Zero means no stall is needed.
 func (c *Controller) Delay(cg *cgroup.Node) sim.Time {
-	st := c.state[cg]
+	st := c.lookup(cg)
 	if st == nil || st.debt <= debtStallThreshold {
 		return 0
 	}

@@ -39,8 +39,9 @@ type CGStat struct {
 // Snapshot returns the controller's per-cgroup state, sorted by path.
 func (c *Controller) Snapshot() []CGStat {
 	gV := c.gvtime(c.q.Now())
-	out := make([]CGStat, 0, len(c.state))
-	for cg, st := range c.state {
+	out := make([]CGStat, 0, len(c.order))
+	for _, st := range c.order {
+		cg := st.cg
 		indebt := st.indebtNS
 		if st.inDebt {
 			indebt += c.q.Now() - st.debtSince

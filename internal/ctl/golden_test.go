@@ -18,18 +18,28 @@ import (
 	"github.com/iocost-sim/iocost/internal/bio"
 	"github.com/iocost-sim/iocost/internal/blk"
 	"github.com/iocost-sim/iocost/internal/cgroup"
+	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
 
-// goldenDispatchHashes pins the dispatch/completion traces. Values are
-// produced by dispatchTrace below; on mismatch the test logs the fresh hash
-// to paste here.
+// goldenDispatchHashes pins the dispatch/completion traces for all seven
+// controllers. Values are produced by dispatchTrace below; on mismatch the
+// test logs the fresh hash to paste here.
+//
+// These hashes were produced by the tree as of PR 5, before bio pooling and
+// batched completion delivery existed, so they double as the proof that the
+// fast-path work delivers bios in exactly the order the unbatched code did.
 var goldenDispatchHashes = map[string]uint64{
+	"none":         0xea3a340174b3d9b6,
+	"mq-deadline":  0xfc01b563f11333f6,
+	"kyber":        0x0b75942631b953ea,
 	"bfq":          0x917e0782df7cbdf8,
 	"blk-throttle": 0x2f208c4bc10e370b,
 	"iolatency":    0x1e6afdaeb1b743dd,
+	"iocost":       0x3afef7c1abda6c4c,
 }
 
 // traceObs folds every dispatch and completion into an FNV-1a hash.
@@ -86,6 +96,20 @@ func dispatchTrace(t *testing.T, name string) (uint64, int) {
 
 	var c blk.Controller
 	switch name {
+	case "none":
+		c = ctl.NewNone()
+	case "mq-deadline":
+		c = ctl.NewMQDeadline()
+	case "kyber":
+		c = ctl.NewKyber()
+	case "iocost":
+		ioc, err := ctl.New("iocost", ctl.Config{Custom: core.Config{
+			Model: core.MustLinearModel(exp.IdealParams(spec)),
+		}})
+		if err != nil {
+			t.Fatalf("iocost construction: %v", err)
+		}
+		c = ioc
 	case "bfq":
 		c = ctl.NewBFQ()
 	case "blk-throttle":
@@ -103,9 +127,21 @@ func dispatchTrace(t *testing.T, name string) (uint64, int) {
 		t.Fatalf("unknown controller %q", name)
 	}
 
+	// The original three controllers keep the light bursts their hashes
+	// were pinned under. The rows added with the bio fast-path work use
+	// deeper bursts over fewer tags: with submissions outrunning the
+	// device, each controller's internal queues stay populated and the
+	// trace captures its actual scheduling decisions rather than FIFO
+	// pass-through.
+	burst, period, tags := 8, 2*sim.Millisecond, 8
+	switch name {
+	case "none", "mq-deadline", "kyber", "iocost":
+		burst, period, tags = 48, sim.Millisecond, 4
+	}
+
 	// A small tag set keeps the device queue short so scheduling decisions,
 	// not raw device parallelism, determine the dispatch order.
-	q := blk.New(eng, dev, c, 8)
+	q := blk.New(eng, dev, c, tags)
 	obs := newTraceObs(eng)
 	q.SetObserver(obs)
 
@@ -129,7 +165,7 @@ func dispatchTrace(t *testing.T, name string) (uint64, int) {
 			Size: 4096 << next(4),
 			CG:   cg,
 		}
-		at := sim.Time(i/8) * 2 * sim.Millisecond // bursts of 8 every 2ms
+		at := sim.Time(i/burst) * period
 		eng.At(at, func() { q.Submit(b) })
 	}
 	// iolatency and kyber controllers keep periodic timers alive, so drain

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/cgroup"
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
@@ -52,7 +53,7 @@ type HDD struct {
 	head int64 // current head byte position
 
 	// Per-stream sequential detection and readahead credit.
-	streams map[*cgroupRef]*hddStream
+	streams map[*cgroup.Node]*hddStream
 }
 
 type hddStream struct {
@@ -65,7 +66,7 @@ func NewHDD(eng *sim.Engine, spec HDDSpec, seed uint64) *HDD {
 	if spec.ReadaheadBytes == 0 {
 		spec.ReadaheadBytes = 512 << 10
 	}
-	d := &HDD{spec: spec, rnd: rng.New(seed), streams: make(map[*cgroupRef]*hddStream)}
+	d := &HDD{spec: spec, rnd: rng.New(seed), streams: make(map[*cgroup.Node]*hddStream)}
 	d.engine = engine{eng: eng, name: spec.Name, slots: 1,
 		merge: spec.Merge, mergeLimit: 1 << 20}
 	d.engine.service = d.serviceTime

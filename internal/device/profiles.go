@@ -96,6 +96,25 @@ func NewerGenSSD() SSDSpec {
 	}
 }
 
+// NullSSD is the simulator's null_blk analog: a deterministic
+// fixed-latency device with no noise, write buffering, or GC behaviour.
+// It exists for whole-stack benchmarking — with device-model randomness
+// out of the picture, bios/sec through a null device measures the
+// software overhead of the bio path itself (what BenchmarkMachine*Null
+// tracks), and identical seeds trivially reproduce identical schedules.
+func NullSSD() SSDSpec {
+	return SSDSpec{
+		Name:        "null-ssd",
+		Parallelism: 32,
+		RandReadNS:  20_000, SeqReadNS: 20_000,
+		RandWriteNS: 20_000, SeqWriteNS: 20_000,
+		ReadBps: 8e9, WriteBps: 8e9,
+		// No buffer model: sustained equals peak, which keeps derived
+		// cost models (IdealSSDParams) well-formed.
+		SustainedWBp: 8e9,
+	}
+}
+
 // EnterpriseSSD is the high-end enterprise device with ~750K max read IOPS
 // used for the overhead (Figure 9) and ZooKeeper (Figure 16) experiments.
 func EnterpriseSSD() SSDSpec {

@@ -1,67 +1,81 @@
-// Package ring provides a minimal FIFO queue with O(1) amortized push and
-// pop. Controllers can accumulate very large backlogs when throttling
-// overloaded workloads, so popping must not shift the remaining elements.
+// Package ring provides a minimal FIFO queue with O(1) push and pop.
+// Controllers can accumulate very large backlogs when throttling overloaded
+// workloads, so popping must not shift the remaining elements.
 package ring
 
-// Queue is a FIFO. The zero value is ready to use.
+// Queue is a FIFO backed by a power-of-two circular buffer, so Push and Pop
+// are branch-light index arithmetic with no periodic compaction. The zero
+// value is ready to use.
 type Queue[T any] struct {
-	items []T
-	head  int
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of queued elements
+}
+
+// grow doubles the buffer (seeding at 8), unwrapping the live elements to
+// the front so head arithmetic stays a simple mask.
+func (q *Queue[T]) grow() {
+	c := len(q.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]T, c)
+	m := copy(nb, q.buf[q.head:])
+	copy(nb[m:], q.buf[:q.head])
+	q.buf = nb
+	q.head = 0
 }
 
 // Push appends v.
-func (q *Queue[T]) Push(v T) { q.items = append(q.items, v) }
+func (q *Queue[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
 
 // Pop removes and returns the oldest element; ok is false when empty.
 func (q *Queue[T]) Pop() (v T, ok bool) {
-	if q.head >= len(q.items) {
+	if q.n == 0 {
 		return v, false
 	}
-	v = q.items[q.head]
+	v = q.buf[q.head]
 	var zero T
-	q.items[q.head] = zero // release references
-	q.head++
-	// Compact once the dead prefix dominates, keeping pop amortized O(1)
-	// without unbounded memory retention.
-	if q.head > 64 && q.head*2 >= len(q.items) {
-		n := copy(q.items, q.items[q.head:])
-		for i := n; i < len(q.items); i++ {
-			q.items[i] = zero
-		}
-		q.items = q.items[:n]
-		q.head = 0
-	}
+	q.buf[q.head] = zero // release references
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	return v, true
 }
 
 // Peek returns the oldest element without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
-	if q.head >= len(q.items) {
+	if q.n == 0 {
 		return v, false
 	}
-	return q.items[q.head], true
+	return q.buf[q.head], true
 }
 
 // PeekTail returns a pointer to the newest element, or nil when empty. The
 // pointer is invalidated by the next Push or Pop.
 func (q *Queue[T]) PeekTail() *T {
-	if q.head >= len(q.items) {
+	if q.n == 0 {
 		return nil
 	}
-	return &q.items[len(q.items)-1]
+	return &q.buf[(q.head+q.n-1)&(len(q.buf)-1)]
 }
 
 // At returns a pointer to the i-th oldest element (0 = head). The pointer
 // is invalidated by the next Push or Pop. It panics when out of range.
 func (q *Queue[T]) At(i int) *T {
-	if i < 0 || q.head+i >= len(q.items) {
+	if i < 0 || i >= q.n {
 		panic("ring: index out of range")
 	}
-	return &q.items[q.head+i]
+	return &q.buf[(q.head+i)&(len(q.buf)-1)]
 }
 
 // Len returns the number of queued elements.
-func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+func (q *Queue[T]) Len() int { return q.n }
 
 // Empty reports whether the queue has no elements.
-func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
+func (q *Queue[T]) Empty() bool { return q.n == 0 }

@@ -75,24 +75,52 @@ func TestInterleavedPushPop(t *testing.T) {
 	}
 }
 
-func TestCompactionReleasesMemory(t *testing.T) {
+func TestWrapAround(t *testing.T) {
+	// A steady push/pop cadence at constant depth must wrap the circular
+	// buffer many times without growing it.
 	var q Queue[int]
-	for i := 0; i < 10000; i++ {
+	for i := 0; i < 8; i++ {
 		q.Push(i)
 	}
-	for i := 0; i < 9990; i++ {
-		q.Pop()
-	}
-	// After draining most elements, the backing slice must have been
-	// compacted well below its peak.
-	if len(q.items) > 6000 {
-		t.Errorf("backing slice still %d long after compaction", len(q.items))
-	}
-	// Remaining elements intact.
-	for i := 9990; i < 10000; i++ {
+	capAfterFill := len(q.buf)
+	next := 8
+	for i := 0; i < 10000; i++ {
 		v, ok := q.Pop()
 		if !ok || v != i {
-			t.Fatalf("post-compaction Pop = %d,%v want %d", v, ok, i)
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+		q.Push(next)
+		next++
+	}
+	if len(q.buf) != capAfterFill {
+		t.Errorf("buffer grew from %d to %d at constant depth", capAfterFill, len(q.buf))
+	}
+	if v, _ := q.Peek(); v != 10000 {
+		t.Errorf("Peek = %d want 10000", v)
+	}
+	if tl := q.PeekTail(); tl == nil || *tl != next-1 {
+		t.Errorf("PeekTail = %v want %d", tl, next-1)
+	}
+	for i := 0; i < q.Len(); i++ {
+		if *q.At(i) != 10000+i {
+			t.Errorf("At(%d) = %d want %d", i, *q.At(i), 10000+i)
+		}
+	}
+}
+
+func TestPopReleasesReferences(t *testing.T) {
+	// Popped slots must be zeroed so the queue does not pin dead objects.
+	var q Queue[*int]
+	for i := 0; i < 4; i++ {
+		v := i
+		q.Push(&v)
+	}
+	for i := 0; i < 4; i++ {
+		q.Pop()
+	}
+	for i, p := range q.buf {
+		if p != nil {
+			t.Errorf("buf[%d] still references %d after pop", i, *p)
 		}
 	}
 }

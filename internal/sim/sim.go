@@ -50,18 +50,35 @@ type Engine struct {
 
 	// cur is the wheel cursor: no pending event is earlier. It equals now
 	// whenever the engine is not inside popNext.
-	cur        Time
-	count      int
-	wheel      [numLevels][slotsPerLevel]slot
-	occupied   [numLevels][wordsPerLevel]uint64
+	cur   Time
+	count int
+	// wheel0 is the wide bottom level (single-nanosecond slots); wheelHi
+	// holds the coarser levels 1..numLevels-1. See wheel.go.
+	wheel0  [level0Slots]slot
+	wheelHi [numLevels - 1][slotsPerLevel]slot
+	// occupied0 marks non-empty level-0 slots; summary0 marks non-zero
+	// occupied0 words; summary1 marks non-zero summary0 words. Together
+	// they turn the next-event scan across the wide bottom level into at
+	// most three find-first-set steps regardless of how sparse it is.
+	occupied0  [level0Words]uint64
+	summary0   [level0Words / 64]uint64
+	summary1   uint64
+	occupiedHi [numLevels - 1][wordsPerLevel]uint64
 	levelCount [numLevels]int
 	overflow   []*event
 	free       *event
+
+	// tHi caches the earliest occupied slot base across levels 1+ (an
+	// absolute time, so it stays valid as the cursor moves within its
+	// current slots); hiDirty forces recomputation after any
+	// higher-level mutation. See popNext.
+	tHi     Time
+	hiDirty bool
 }
 
 // New returns an empty engine at time zero.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{hiDirty: true}
 }
 
 // Now returns the current simulated time.
@@ -73,6 +90,23 @@ func (e *Engine) EventsRun() uint64 { return e.nrun }
 // Pending reports how many live events are scheduled. Cancelled events are
 // removed immediately and do not count.
 func (e *Engine) Pending() int { return e.count }
+
+// StillTail reports whether id refers to a pending event that sits in the
+// wheel's bottom level as the last event of its instant. A level-0 slot
+// holds exactly one instant in seq order, so a true result guarantees no
+// other event will run between this one and work appended to run directly
+// after its callback — piggybacking on it is indistinguishable from
+// scheduling a fresh event at the same instant. Events parked on coarser
+// levels or in the overflow heap return false (their slots are unordered),
+// as do events that already ran or were cancelled.
+func (e *Engine) StillTail(id EventID) bool {
+	ev := id.e
+	if ev == nil || ev.gen != id.gen || ev.level != 0 {
+		return false
+	}
+	h := ev.owner.wheel0[ev.slotIdx]
+	return h != nil && h.prev == ev
+}
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // (before Now) panics: it always indicates a simulation bug.
@@ -96,6 +130,36 @@ func (e *Engine) After(d Time, fn func()) EventID {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AtCall schedules fn(arg) at the absolute time at. Unlike At, the callback
+// and its argument are stored directly in the pooled event, so hot paths
+// that would otherwise build a fresh capturing closure per event (device
+// completions, controller waiter kicks) schedule without allocating: store
+// the fn once (a field, not a method value) and pass the varying state as
+// arg.
+func (e *Engine) AtCall(at Time, fn func(any), arg any) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	ev.afn = fn
+	ev.arg = arg
+	e.count++
+	e.enqueue(ev)
+	return EventID{ev, ev.gen}
+}
+
+// AfterCall schedules fn(arg) d nanoseconds from now without allocating a
+// closure; see AtCall.
+func (e *Engine) AfterCall(d Time, fn func(any), arg any) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now+d, fn, arg)
 }
 
 // Cancel prevents a scheduled event from running, removing it immediately.
@@ -127,9 +191,13 @@ func (e *Engine) Cancel(id EventID) bool {
 // EventIDs are invalidated by the generation bump in release.
 func (e *Engine) run(ev *event) {
 	e.now = ev.at
-	fn := ev.fn
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
 	e.release(ev)
 	e.nrun++
+	if afn != nil {
+		afn(arg)
+		return
+	}
 	fn()
 }
 

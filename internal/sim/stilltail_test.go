@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+func TestStillTail(t *testing.T) {
+	e := New()
+
+	if e.StillTail(EventID{}) {
+		t.Error("zero EventID reported as tail")
+	}
+
+	a := e.At(100, func() {})
+	if !e.StillTail(a) {
+		t.Error("sole level-0 event is not reported as tail")
+	}
+
+	// A later event at the same instant takes over the slot tail.
+	b := e.At(100, func() {})
+	if e.StillTail(a) {
+		t.Error("superseded event still reported as tail")
+	}
+	if !e.StillTail(b) {
+		t.Error("new tail not reported as tail")
+	}
+
+	// Events at other instants don't disturb this slot's tail.
+	c := e.At(200, func() {})
+	if !e.StillTail(b) {
+		t.Error("tail lost to an event in a different slot")
+	}
+	_ = c
+
+	// Far-future events sit on coarser levels, whose slots hold mixed
+	// instants in no particular order — never a safe piggyback target.
+	far := e.At(Time(1)<<level0Bits+500, func() {})
+	if e.StillTail(far) {
+		t.Error("higher-level event reported as tail")
+	}
+
+	// Cancellation invalidates the handle.
+	e.Cancel(b)
+	if e.StillTail(b) {
+		t.Error("cancelled event reported as tail")
+	}
+	if !e.StillTail(a) {
+		t.Error("tail did not revert to the remaining slot occupant")
+	}
+
+	// Run events; executed handles must go stale.
+	e.RunUntil(300)
+	if e.StillTail(a) || e.StillTail(c) {
+		t.Error("executed event reported as tail")
+	}
+}
+
+// TestStillTailAfterReuse pins the generation guard: once an event's
+// storage is recycled for a new schedule, the old handle must not match
+// even if the recycled event happens to be a slot tail again.
+func TestStillTailAfterReuse(t *testing.T) {
+	e := New()
+	a := e.At(10, func() {})
+	e.RunUntil(20) // runs and recycles a's event storage
+	b := e.At(30, func() {})
+	if !e.StillTail(b) {
+		t.Fatal("fresh event not reported as tail")
+	}
+	if e.StillTail(a) {
+		t.Error("stale handle matched a recycled event")
+	}
+}

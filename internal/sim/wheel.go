@@ -5,10 +5,13 @@ import "math/bits"
 // The engine's scheduler is a hierarchical timing wheel with an overflow
 // min-heap and a free-list event pool:
 //
-//   - numLevels wheel levels of slotsPerLevel slots each. Level l has slot
-//     granularity 2^(levelBits*l) ns, so level 0 buckets single nanoseconds
-//     and the whole wheel spans 2^(levelBits*numLevels) ns (~4.3 s) ahead of
-//     the cursor. Schedule and cancel are O(1); each event cascades at most
+//   - Level 0 is deliberately wide: 2^level0Bits single-nanosecond slots
+//     (~33µs). Device service times — the bulk of all scheduled events —
+//     land directly in it, so the common event never cascades at all and
+//     the pop path stays on the level-0 fast path. Levels 1..numLevels-1
+//     have slotsPerLevel slots of geometrically coarser granularity; the
+//     whole wheel spans 2^wheelSpanBits ns (~9 min) ahead of the cursor.
+//     Schedule and cancel are O(1); each event cascades at most
 //     numLevels-1 times on its way down, so the run path is O(1) amortized.
 //   - Events farther out than the wheel span wait in a (time, seq) min-heap
 //     and are drained into the wheel as the cursor approaches.
@@ -23,37 +26,65 @@ import "math/bits"
 // cascaded first, since it may hold an earlier-seq event of the same
 // instant.
 const (
+	// level0Bits sizes the wide bottom level: 2^15 1ns slots = ~33µs.
+	level0Bits  = 15
+	level0Slots = 1 << level0Bits
+	level0Mask  = level0Slots - 1
+	level0Words = level0Slots / 64
+
+	// Levels 1..numLevels-1 each have slotsPerLevel slots; level l's slot
+	// granularity is 2^lvlShift[l] ns.
 	levelBits     = 8
 	slotsPerLevel = 1 << levelBits
 	slotMask      = slotsPerLevel - 1
-	numLevels     = 4
-	// wheelSpan is how far ahead of the cursor the wheel can represent.
-	wheelSpan = Time(1) << (levelBits * numLevels)
-	// topLevelShift converts a time to a top-level slot number.
-	topLevelShift = levelBits * (numLevels - 1)
-	// wordsPerLevel is the occupancy bitmap size of one level.
 	wordsPerLevel = slotsPerLevel / 64
+	numLevels     = 4
+
+	// wheelSpanBits is how many time bits the whole wheel covers.
+	wheelSpanBits = level0Bits + (numLevels-1)*levelBits
+	wheelSpan     = Time(1) << wheelSpanBits
+	// topLevelShift converts a time to a top-level slot number.
+	topLevelShift = level0Bits + (numLevels-2)*levelBits
 	// eventBlock is how many events one pool refill allocates.
 	eventBlock = 64
 )
 
-// slot is one wheel bucket: an intrusive doubly-linked event list.
-type slot struct {
-	head, tail *event
-}
+// summary1 is a single word, so the bottom level may use at most 64
+// summary0 words (compile-time assertion).
+var _ [64 - level0Words/64]struct{}
+
+// lvlShift[l] is the bit position of level l's slot index within a time;
+// lvlSpanBits[l] is how many time bits levels 0..l cover together, i.e. an
+// event with delta < 1<<lvlSpanBits[l] fits at level l or below.
+var (
+	lvlShift    = [numLevels]uint{0, level0Bits, level0Bits + levelBits, level0Bits + 2*levelBits}
+	lvlSpanBits = [numLevels]uint{level0Bits, level0Bits + levelBits, level0Bits + 2*levelBits, wheelSpanBits}
+	lvlMask     = [numLevels]int{level0Mask, slotMask, slotMask, slotMask}
+)
+
+// A wheel slot is a single pointer to the head of an intrusive
+// doubly-linked event list, with the tail reachable as head.prev (the
+// head's prev link is otherwise unused). One word per slot keeps the wide
+// bottom level's array — and the cache footprint of slot probes — half of
+// what a head+tail pair would cost. Within a list, tail.next is nil.
+type slot = *event
 
 // event is a scheduled callback. Its storage is pooled; gen distinguishes
 // incarnations so stale EventIDs cannot cancel a recycled event.
 type event struct {
-	at         Time
-	seq        uint64
-	fn         func()
+	at  Time
+	seq uint64
+	fn  func()
+	// afn/arg are the closure-free callback form (AtCall): afn takes
+	// precedence over fn when non-nil.
+	afn        func(any)
+	arg        any
 	next, prev *event
 	owner      *Engine
 	hidx       int32 // index in the overflow heap, -1 when not in it
 	gen        uint32
 	level      int8 // wheel level, -1 when not in the wheel
-	slotIdx    uint8
+	slotIdx    uint16
 }
 
 // alloc takes an event from the pool, refilling it block-wise when empty.
@@ -79,6 +110,8 @@ func (e *Engine) alloc() *event {
 // EventID for this incarnation.
 func (e *Engine) release(ev *event) {
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.prev = nil
 	ev.level, ev.hidx = -1, -1
 	ev.gen++
@@ -86,17 +119,48 @@ func (e *Engine) release(ev *event) {
 	e.free = ev
 }
 
-func (e *Engine) setBit(l, idx int)   { e.occupied[l][idx>>6] |= 1 << uint(idx&63) }
-func (e *Engine) clearBit(l, idx int) { e.occupied[l][idx>>6] &^= 1 << uint(idx&63) }
+// slotAt returns wheel slot (l, idx).
+func (e *Engine) slotAt(l, idx int) *slot {
+	if l == 0 {
+		return &e.wheel0[idx]
+	}
+	return &e.wheelHi[l-1][idx]
+}
+
+func (e *Engine) setBit(l, idx int) {
+	if l == 0 {
+		w := idx >> 6
+		e.occupied0[w] |= 1 << uint(idx&63)
+		e.summary0[w>>6] |= 1 << uint(w&63)
+		e.summary1 |= 1 << uint(w>>6)
+		return
+	}
+	e.occupiedHi[l-1][idx>>6] |= 1 << uint(idx&63)
+}
+
+func (e *Engine) clearBit(l, idx int) {
+	if l == 0 {
+		w := idx >> 6
+		e.occupied0[w] &^= 1 << uint(idx&63)
+		if e.occupied0[w] == 0 {
+			e.summary0[w>>6] &^= 1 << uint(w&63)
+			if e.summary0[w>>6] == 0 {
+				e.summary1 &^= 1 << uint(w>>6)
+			}
+		}
+		return
+	}
+	e.occupiedHi[l-1][idx>>6] &^= 1 << uint(idx&63)
+}
 
 // enqueue places a pending event into the wheel or the overflow heap,
 // bucketing by distance from the cursor. Invariant: ev.at >= e.cur.
 func (e *Engine) enqueue(ev *event) {
 	delta := ev.at - e.cur
 	for l := 0; l < numLevels; l++ {
-		if delta < Time(1)<<(levelBits*(l+1)) {
-			idx := int(ev.at>>(levelBits*l)) & slotMask
-			if l > 0 && idx == int(e.cur>>(levelBits*l))&slotMask {
+		if delta < Time(1)<<lvlSpanBits[l] {
+			idx := int(ev.at>>lvlShift[l]) & lvlMask[l]
+			if l > 0 && idx == int(e.cur>>lvlShift[l])&lvlMask[l] {
 				// The slot the cursor currently occupies has already been
 				// cascaded; an insert here would be a full-wrap collision
 				// (ev is ~one whole level-span ahead). Push one level up,
@@ -114,28 +178,34 @@ func (e *Engine) enqueue(ev *event) {
 // instant and stay sorted by seq; higher levels are unordered (ordering is
 // re-established when they cascade down to level 0).
 func (e *Engine) pushSlot(l, idx int, ev *event) {
-	ev.level, ev.slotIdx = int8(l), uint8(idx)
-	s := &e.wheel[l][idx]
+	ev.level, ev.slotIdx = int8(l), uint16(idx)
+	if l != 0 {
+		e.hiDirty = true
+	}
+	s := e.slotAt(l, idx)
+	h := *s
 	switch {
-	case s.head == nil:
-		s.head, s.tail = ev, ev
+	case h == nil:
+		ev.prev, ev.next = ev, nil // sole element: its own tail
+		*s = ev
 		e.setBit(l, idx)
-	case l != 0 || s.tail.seq < ev.seq:
-		ev.prev = s.tail
-		s.tail.next = ev
-		s.tail = ev
+	case l != 0 || h.prev.seq < ev.seq:
+		t := h.prev
+		t.next = ev
+		ev.prev, ev.next = t, nil
+		h.prev = ev
 	default:
 		// Cascaded arrival with an out-of-order seq: walk back from the
-		// tail to its sorted position.
-		p := s.tail
-		for p.prev != nil && p.prev.seq > ev.seq {
+		// tail to its sorted position and insert before p.
+		p := h.prev
+		for p != h && p.prev.seq > ev.seq {
 			p = p.prev
 		}
 		ev.prev, ev.next = p.prev, p
-		if p.prev != nil {
-			p.prev.next = ev
+		if p == h {
+			*s = ev // new head keeps the old tail as its prev
 		} else {
-			s.head = ev
+			p.prev.next = ev
 		}
 		p.prev = ev
 	}
@@ -144,19 +214,27 @@ func (e *Engine) pushSlot(l, idx int, ev *event) {
 
 // unlinkWheel removes a wheel-resident event from its slot.
 func (e *Engine) unlinkWheel(ev *event) {
-	s := &e.wheel[ev.level][ev.slotIdx]
-	if ev.prev != nil {
+	if ev.level != 0 {
+		e.hiDirty = true
+	}
+	s := e.slotAt(int(ev.level), int(ev.slotIdx))
+	h := *s
+	if ev == h {
+		nh := ev.next
+		if nh == nil {
+			*s = nil
+			e.clearBit(int(ev.level), int(ev.slotIdx))
+		} else {
+			nh.prev = ev.prev // inherit the tail link
+			*s = nh
+		}
+	} else {
 		ev.prev.next = ev.next
-	} else {
-		s.head = ev.next
-	}
-	if ev.next != nil {
-		ev.next.prev = ev.prev
-	} else {
-		s.tail = ev.prev
-	}
-	if s.head == nil {
-		e.clearBit(int(ev.level), int(ev.slotIdx))
+		if ev.next != nil {
+			ev.next.prev = ev.prev
+		} else {
+			h.prev = ev.prev // ev was the tail
+		}
 	}
 	e.levelCount[ev.level]--
 }
@@ -164,15 +242,15 @@ func (e *Engine) unlinkWheel(ev *event) {
 // popSlot0 removes and returns the seq-first event of level-0 slot idx and
 // advances the cursor to its instant.
 func (e *Engine) popSlot0(idx int) *event {
-	s := &e.wheel[0][idx]
-	ev := s.head
-	s.head = ev.next
-	if s.head == nil {
-		s.tail = nil
+	s := &e.wheel0[idx]
+	ev := *s
+	nh := ev.next
+	if nh == nil {
 		e.clearBit(0, idx)
 	} else {
-		s.head.prev = nil
+		nh.prev = ev.prev // inherit the tail link
 	}
+	*s = nh
 	e.levelCount[0]--
 	e.count--
 	e.cur = ev.at
@@ -182,21 +260,71 @@ func (e *Engine) popSlot0(idx int) *event {
 // nextOccupied returns the first occupied slot at level l scanning
 // circularly from slot `from` (inclusive).
 func (e *Engine) nextOccupied(l, from int) (int, bool) {
-	bm := &e.occupied[l]
+	if l == 0 {
+		return e.nextOccupied0(from)
+	}
+	bm := e.occupiedHi[l-1][:]
+	n := len(bm)
 	w := from >> 6
 	off := uint(from & 63)
 	if v := bm[w] >> off; v != 0 {
 		return from + bits.TrailingZeros64(v), true
 	}
-	for i := 1; i <= wordsPerLevel; i++ {
-		wi := (w + i) & (wordsPerLevel - 1)
+	for i := 1; i <= n; i++ {
+		wi := (w + i) & (n - 1)
 		v := bm[wi]
-		if i == wordsPerLevel {
+		if i == n {
 			v &= ^(^uint64(0) << off) // wrapped back: only bits below off
 		}
 		if v != 0 {
 			return wi<<6 + bits.TrailingZeros64(v), true
 		}
+	}
+	return 0, false
+}
+
+// nextOccupied0 is nextOccupied for the wide bottom level: the two summary
+// bitmaps locate the first non-empty occupancy word in O(1), so the scan
+// costs a handful of find-first-set steps however sparse the level is.
+func (e *Engine) nextOccupied0(from int) (int, bool) {
+	w := from >> 6
+	off := uint(from & 63)
+	if v := e.occupied0[w] >> off; v != 0 {
+		return from + bits.TrailingZeros64(v), true
+	}
+	// First non-zero occupancy word strictly after w within w's summary
+	// word, then later summary words (via the top mask), then wrap back.
+	sw := w >> 6
+	if v := e.summary0[sw] >> uint(w&63+1); v != 0 {
+		wi := w + 1 + bits.TrailingZeros64(v)
+		return wi<<6 + bits.TrailingZeros64(e.occupied0[wi]), true
+	}
+	if v := e.summary1 >> uint(sw+1); v != 0 {
+		swi := sw + 1 + bits.TrailingZeros64(v)
+		wi := swi<<6 + bits.TrailingZeros64(e.summary0[swi])
+		return wi<<6 + bits.TrailingZeros64(e.occupied0[wi]), true
+	}
+	// Wrapped: summary words 0..sw in increasing (circular) order. Within
+	// word sw only occupancy words <= w remain, and within occupancy word
+	// w only bits below off.
+	for v := e.summary1 & (1<<uint(sw+1) - 1); v != 0; v &= v - 1 {
+		swi := bits.TrailingZeros64(v)
+		sv := e.summary0[swi]
+		if swi == sw {
+			sv &= ^(^uint64(0) << uint(w&63+1))
+			if sv == 0 {
+				break
+			}
+		}
+		wi := swi<<6 + bits.TrailingZeros64(sv)
+		word := e.occupied0[wi]
+		if wi == w {
+			word &= ^(^uint64(0) << off)
+			if word == 0 {
+				break
+			}
+		}
+		return wi<<6 + bits.TrailingZeros64(word), true
 	}
 	return 0, false
 }
@@ -217,12 +345,12 @@ func (e *Engine) advance(t Time) {
 		return
 	}
 	e.cur = t
-	if old>>levelBits == t>>levelBits {
-		return // no slot boundary crossed at any level
+	if old>>level0Bits == t>>level0Bits {
+		return // no slot boundary crossed at any level above 0
 	}
 	for l := numLevels - 1; l >= 1; l-- {
-		if old>>(levelBits*l) != t>>(levelBits*l) {
-			e.cascade(l, int(t>>(levelBits*l))&slotMask)
+		if old>>lvlShift[l] != t>>lvlShift[l] {
+			e.cascade(l, int(t>>lvlShift[l])&slotMask)
 		}
 	}
 }
@@ -230,12 +358,13 @@ func (e *Engine) advance(t Time) {
 // cascade re-buckets every event of slot (l, idx) relative to the new
 // cursor; all of them land on strictly lower levels.
 func (e *Engine) cascade(l, idx int) {
-	s := &e.wheel[l][idx]
-	ev := s.head
+	s := e.slotAt(l, idx)
+	ev := *s
 	if ev == nil {
 		return
 	}
-	s.head, s.tail = nil, nil
+	e.hiDirty = true
+	*s = nil
 	e.clearBit(l, idx)
 	for ev != nil {
 		next := ev.next
@@ -256,12 +385,12 @@ func (e *Engine) popNext(limit Time) *event {
 		}
 		return nil
 	}
-	// Fast path: every pending event lives in level 0 (within 256ns of the
+	// Fast path: every pending event lives in level 0 (within ~65µs of the
 	// cursor), so no drain, cascade, or higher-level comparison can matter.
 	if e.count == e.levelCount[0] {
-		cursor := int(e.cur) & slotMask
-		idx, _ := e.nextOccupied(0, cursor)
-		if t0 := e.cur + Time((idx-cursor)&slotMask); t0 > limit {
+		cursor := int(e.cur) & level0Mask
+		idx, _ := e.nextOccupied0(cursor)
+		if t0 := e.cur + Time((idx-cursor)&level0Mask); t0 > limit {
 			e.advance(limit)
 			return nil
 		}
@@ -277,30 +406,38 @@ func (e *Engine) popNext(limit Time) *event {
 		t0 := maxTime
 		idx0 := 0
 		if e.levelCount[0] > 0 {
-			cursor := int(e.cur) & slotMask
-			if idx, ok := e.nextOccupied(0, cursor); ok {
-				t0 = e.cur + Time((idx-cursor)&slotMask)
-				idx0 = idx & slotMask
+			cursor := int(e.cur) & level0Mask
+			if idx, ok := e.nextOccupied0(cursor); ok {
+				t0 = e.cur + Time((idx-cursor)&level0Mask)
+				idx0 = idx & level0Mask
 			}
 		}
 
 		// Conservative earliest slot base across levels 1..numLevels-1.
-		tHi := maxTime
-		for l := 1; l < numLevels; l++ {
-			if e.levelCount[l] == 0 {
-				continue
+		// The base is an absolute time, so the cached value stays valid
+		// while the cursor moves within its current slots; any
+		// higher-level mutation (push, unlink, cascade) marks it dirty.
+		if e.hiDirty {
+			tHi := maxTime
+			for l := 1; l < numLevels; l++ {
+				if e.levelCount[l] == 0 {
+					continue
+				}
+				cursor := int(e.cur>>lvlShift[l]) & slotMask
+				idx, ok := e.nextOccupied(l, (cursor+1)&slotMask)
+				if !ok {
+					continue
+				}
+				d := (idx - cursor) & slotMask
+				base := (e.cur>>lvlShift[l] + Time(d)) << lvlShift[l]
+				if base < tHi {
+					tHi = base
+				}
 			}
-			cursor := int(e.cur>>(levelBits*l)) & slotMask
-			idx, ok := e.nextOccupied(l, (cursor+1)&slotMask)
-			if !ok {
-				continue
-			}
-			d := (idx - cursor) & slotMask
-			base := (e.cur>>(levelBits*l) + Time(d)) << (levelBits * l)
-			if base < tHi {
-				tHi = base
-			}
+			e.tHi = tHi
+			e.hiDirty = false
 		}
+		tHi := e.tHi
 
 		if t0 == maxTime && tHi == maxTime {
 			// Wheel empty: everything pending is in the overflow heap, so

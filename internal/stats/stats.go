@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -21,6 +22,14 @@ type Histogram struct {
 	sumsq  float64
 	max    int64
 	min    int64
+
+	// One-entry memo for Observe: steady-state workloads record long runs
+	// of identical samples, so the previous value's bucket and float form
+	// are almost always this sample's too. The zero value (0 → bucket 0,
+	// 0.0) is self-consistent, so no sentinel is needed.
+	lastV int64
+	lastB int
+	lastF float64
 }
 
 const (
@@ -39,7 +48,7 @@ func bucketOf(v int64) int {
 		v = 1
 	}
 	// floor(log2(v)) and the sub-bucket within the power of two.
-	pow := 63 - leadingZeros64(uint64(v))
+	pow := 63 - bits.LeadingZeros64(uint64(v))
 	var sub int64
 	if pow > 0 {
 		sub = (v - (1 << uint(pow))) * histSubBuckets >> uint(pow)
@@ -51,17 +60,6 @@ func bucketOf(v int64) int {
 	return b
 }
 
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
-}
 
 func bucketLow(b int) int64 {
 	pow := b / histSubBuckets
@@ -72,10 +70,15 @@ func bucketLow(b int) int64 {
 
 // Observe records a sample.
 func (h *Histogram) Observe(v int64) {
-	h.counts[bucketOf(v)]++
+	if v != h.lastV {
+		h.lastV = v
+		h.lastB = bucketOf(v)
+		h.lastF = float64(v)
+	}
+	h.counts[h.lastB]++
 	h.total++
-	h.sum += float64(v)
-	h.sumsq += float64(v) * float64(v)
+	h.sum += h.lastF
+	h.sumsq += h.lastF * h.lastF
 	if v > h.max {
 		h.max = v
 	}

@@ -36,6 +36,10 @@ type LoadShedder struct {
 	Shed uint64
 
 	stopped bool
+	// onDone/tickFn are built once so the pacing loop allocates no
+	// closures.
+	onDone func(*bio.Bio)
+	tickFn func()
 }
 
 // LoadShedderConfig configures a LoadShedder.
@@ -79,7 +83,7 @@ func NewLoadShedder(q *blk.Queue, cfg LoadShedderConfig) *LoadShedder {
 	if cfg.Span <= 0 {
 		cfg.Span = 16 << 30
 	}
-	return &LoadShedder{
+	w := &LoadShedder{
 		q: q, cg: cfg.CG, op: cfg.Op, pat: cfg.Pattern, sz: cfg.Size,
 		reg:     region{base: cfg.Region, size: cfg.Span, rnd: rng.Derive(cfg.Seed, 0x10ad)},
 		target:  cfg.Target,
@@ -91,6 +95,16 @@ func NewLoadShedder(q *blk.Queue, cfg LoadShedderConfig) *LoadShedder {
 		winLat:  stats.NewHistogram(),
 		Stats:   newStats(),
 	}
+	w.onDone = func(b *bio.Bio) {
+		w.inflight--
+		w.Stats.observe(b)
+		w.winLat.Observe(int64(b.Latency()))
+	}
+	w.tickFn = func() {
+		w.issueOne()
+		w.issueNext()
+	}
+	return w
 }
 
 // Rate returns the current issue rate in IO/s.
@@ -113,10 +127,7 @@ func (w *LoadShedder) issueNext() {
 	if gap < 1 {
 		gap = 1
 	}
-	w.q.Engine().After(gap, func() {
-		w.issueOne()
-		w.issueNext()
-	})
+	w.q.Engine().After(gap, w.tickFn)
 }
 
 func (w *LoadShedder) issueOne() {
@@ -128,18 +139,14 @@ func (w *LoadShedder) issueOne() {
 		return
 	}
 	w.inflight++
-	w.q.Submit(&bio.Bio{
-		Op:    w.op,
-		Flags: bio.Sync,
-		Off:   w.reg.offset(w.pat, w.sz),
-		Size:  w.sz,
-		CG:    w.cg,
-		OnDone: func(b *bio.Bio) {
-			w.inflight--
-			w.Stats.observe(b)
-			w.winLat.Observe(int64(b.Latency()))
-		},
-	})
+	b := w.q.BioPool().Get()
+	b.Op = w.op
+	b.Flags = bio.Sync
+	b.Off = w.reg.offset(w.pat, w.sz)
+	b.Size = w.sz
+	b.CG = w.cg
+	b.OnDone = w.onDone
+	w.q.Submit(b)
 }
 
 func (w *LoadShedder) adjust() {

@@ -84,6 +84,9 @@ type Saturator struct {
 
 	Stats   *Stats
 	stopped bool
+	// onDone is the completion callback, built once: with bios drawn from
+	// the queue's pool, the steady-state issue loop allocates nothing.
+	onDone func(*bio.Bio)
 }
 
 // SaturatorConfig configures a Saturator.
@@ -109,11 +112,16 @@ func NewSaturator(q *blk.Queue, cfg SaturatorConfig) *Saturator {
 	if cfg.Span <= 0 {
 		cfg.Span = 16 << 30
 	}
-	return &Saturator{
+	w := &Saturator{
 		q: q, cg: cfg.CG, op: cfg.Op, pat: cfg.Pattern, sz: cfg.Size, dep: cfg.Depth,
 		reg:   region{base: cfg.Region, size: cfg.Span, rnd: rng.Derive(cfg.Seed, 0x5a7)},
 		Stats: newStats(),
 	}
+	w.onDone = func(b *bio.Bio) {
+		w.Stats.observe(b)
+		w.issue()
+	}
+	return w
 }
 
 // Start begins issuing.
@@ -130,16 +138,13 @@ func (w *Saturator) issue() {
 	if w.stopped {
 		return
 	}
-	w.q.Submit(&bio.Bio{
-		Op:   w.op,
-		Off:  w.reg.offset(w.pat, w.sz),
-		Size: w.sz,
-		CG:   w.cg,
-		OnDone: func(b *bio.Bio) {
-			w.Stats.observe(b)
-			w.issue()
-		},
-	})
+	b := w.q.BioPool().Get()
+	b.Op = w.op
+	b.Off = w.reg.offset(w.pat, w.sz)
+	b.Size = w.sz
+	b.CG = w.cg
+	b.OnDone = w.onDone
+	w.q.Submit(b)
 }
 
 // ThinkTime issues one request, waits Think after its completion, then
@@ -156,6 +161,10 @@ type ThinkTime struct {
 
 	Stats   *Stats
 	stopped bool
+	// onDone/issueFn are built once so the issue → think → issue cycle
+	// does not allocate closures.
+	onDone  func(*bio.Bio)
+	issueFn func()
 }
 
 // ThinkTimeConfig configures a ThinkTime workload.
@@ -178,11 +187,17 @@ func NewThinkTime(q *blk.Queue, cfg ThinkTimeConfig) *ThinkTime {
 	if cfg.Span <= 0 {
 		cfg.Span = 16 << 30
 	}
-	return &ThinkTime{
+	w := &ThinkTime{
 		q: q, cg: cfg.CG, op: cfg.Op, pat: cfg.Pattern, sz: cfg.Size, think: cfg.Think,
 		reg:   region{base: cfg.Region, size: cfg.Span, rnd: rng.Derive(cfg.Seed, 0x71417)},
 		Stats: newStats(),
 	}
+	w.issueFn = w.issue
+	w.onDone = func(b *bio.Bio) {
+		w.Stats.observe(b)
+		w.q.Engine().After(w.think, w.issueFn)
+	}
+	return w
 }
 
 // Start begins the issue loop.
@@ -195,14 +210,11 @@ func (w *ThinkTime) issue() {
 	if w.stopped {
 		return
 	}
-	w.q.Submit(&bio.Bio{
-		Op:   w.op,
-		Off:  w.reg.offset(w.pat, w.sz),
-		Size: w.sz,
-		CG:   w.cg,
-		OnDone: func(b *bio.Bio) {
-			w.Stats.observe(b)
-			w.q.Engine().After(w.think, w.issue)
-		},
-	})
+	b := w.q.BioPool().Get()
+	b.Op = w.op
+	b.Off = w.reg.offset(w.pat, w.sz)
+	b.Size = w.sz
+	b.CG = w.cg
+	b.OnDone = w.onDone
+	w.q.Submit(b)
 }

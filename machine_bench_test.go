@@ -1,0 +1,79 @@
+// Whole-stack bio-throughput benchmarks: bios/sec through the full
+// submit → controller throttle → blk dispatch → device completion path.
+// This is the number that gates fuzzing depth, sweep width and fleet
+// scale, so it is tracked per PR in BENCH_N.json and budget-checked by
+// `make bench-check` (see TESTING.md).
+package iocost_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+// machineBios drives one machine with saturating readers and a writer for
+// simDur of virtual time and reports bios/sec of wall-clock time. wSize is
+// the writer's transfer size: the SSD/HDD rows use 64KiB to mix
+// bandwidth-limited writes in with IOPS-limited reads, while the null rows
+// use 4KiB (the canonical fio-on-null_blk shape) so every request costs the
+// device the same fixed service time and the number isolates per-bio
+// software overhead.
+func machineBios(b *testing.B, controller string, dev exp.DeviceChoice, wSize int64, simDur sim.Time) {
+	b.ReportAllocs()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		m := exp.MustNewMachine(exp.MachineConfig{
+			Device:     dev,
+			Controller: controller,
+			Seed:       42,
+		})
+		a := m.Workload.NewChild("a", 100)
+		c := m.Workload.NewChild("b", 200)
+		wa := workload.NewSaturator(m.Q, workload.SaturatorConfig{
+			CG: a, Op: bio.Read, Pattern: workload.Random, Size: 4096, Depth: 32, Seed: 1,
+		})
+		wc := workload.NewSaturator(m.Q, workload.SaturatorConfig{
+			CG: c, Op: bio.Write, Pattern: workload.Sequential, Size: wSize, Depth: 8,
+			Region: 32 << 30, Seed: 2,
+		})
+		wa.Start()
+		wc.Start()
+		m.Run(simDur)
+		total += wa.Stats.Done + wc.Stats.Done
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "bios/sec")
+}
+
+// benchSSD runs the whole-stack throughput benchmark for one controller on
+// the newer-generation evaluation SSD.
+func benchSSD(b *testing.B, controller string) {
+	spec := device.NewerGenSSD()
+	machineBios(b, controller, exp.DeviceChoice{SSD: &spec}, 65536, sim.Second)
+}
+
+// benchNull runs it on the null device (fixed service time, no noise), so
+// the number is pure software overhead of the bio path.
+func benchNull(b *testing.B, controller string) {
+	spec := device.NullSSD()
+	machineBios(b, controller, exp.DeviceChoice{SSD: &spec}, 4096, sim.Second)
+}
+
+func BenchmarkMachineNoneSSD(b *testing.B)       { benchSSD(b, exp.KindNone) }
+func BenchmarkMachineMQDeadlineSSD(b *testing.B) { benchSSD(b, exp.KindMQDL) }
+func BenchmarkMachineKyberSSD(b *testing.B)      { benchSSD(b, exp.KindKyber) }
+func BenchmarkMachineThrottleSSD(b *testing.B)   { benchSSD(b, exp.KindThrottle) }
+func BenchmarkMachineBFQSSD(b *testing.B)        { benchSSD(b, exp.KindBFQ) }
+func BenchmarkMachineIOLatencySSD(b *testing.B)  { benchSSD(b, exp.KindIOLatency) }
+func BenchmarkMachineIOCostSSD(b *testing.B)     { benchSSD(b, exp.KindIOCost) }
+
+func BenchmarkMachineNoneNull(b *testing.B)   { benchNull(b, exp.KindNone) }
+func BenchmarkMachineIOCostNull(b *testing.B) { benchNull(b, exp.KindIOCost) }
+
+func BenchmarkMachineIOCostHDD(b *testing.B) {
+	spec := device.EvalHDD()
+	machineBios(b, exp.KindIOCost, exp.DeviceChoice{HDD: &spec}, 65536, sim.Second)
+}

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Bench budget gate: re-runs the whole-stack BenchmarkMachine suite and
+# compares each row's bios/sec against the committed reference
+# (BENCH_6.json). A row more than TOLERANCE below its reference fails the
+# script — per-bio fast-path regressions show up here loudly instead of
+# surfacing months later as a fuzzing budget mysteriously buying less
+# coverage.
+#
+# Shared-runner noise is real, so the fresh number is the best of REPS
+# repetitions; raise REPS (or re-run) before believing a marginal failure,
+# and regenerate the reference with `make bench-json` on a quiet machine
+# when a legitimate change moves the budget.
+#
+# Usage: ./scripts/bench-check.sh [reference.json]
+#   REPS=5 TOLERANCE=0.20 ./scripts/bench-check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ref="${1:-BENCH_6.json}"
+tolerance="${TOLERANCE:-0.15}"
+reps="${REPS:-3}"
+machinetime="${MACHINE_BENCHTIME:-20x}"
+
+[ -f "$ref" ] || { echo "bench-check: reference $ref not found"; exit 1; }
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "bench-check: running BenchmarkMachine ($reps reps at $machinetime) against $ref (tolerance ${tolerance})"
+go test -run '^$' -bench 'BenchmarkMachine' -benchtime "$machinetime" -count "$reps" . >"$tmp"
+
+awk -v ref="$ref" -v tol="$tolerance" '
+# Pass 1: reference bios/sec per row from the committed JSON.
+BEGIN {
+	while ((getline line < ref) > 0) {
+		if (line !~ /"bios_per_sec"/) continue
+		name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+		v = line; sub(/.*"bios_per_sec": /, "", v); sub(/[,}].*/, "", v)
+		want[name] = v + 0
+	}
+	close(ref)
+}
+# Pass 2: best fresh bios/sec per row.
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	for (i = 3; i < NF; i++) if ($(i+1) == "bios/sec" && $i + 0 > got[name]) got[name] = $i + 0
+}
+END {
+	fail = 0
+	for (name in want) {
+		if (!(name in got)) {
+			printf "MISSING  %-32s reference has it, fresh run does not\n", name
+			fail = 1
+			continue
+		}
+		floor = want[name] * (1 - tol)
+		verdict = "ok"
+		if (got[name] < floor) { verdict = "FAIL"; fail = 1 }
+		printf "%-4s %-32s %12.0f bios/sec vs %12.0f reference (floor %.0f)\n", \
+			verdict, name, got[name], want[name], floor
+	}
+	exit fail
+}' "$tmp"
+
+echo "bench-check OK"

@@ -1,33 +1,50 @@
 #!/bin/sh
-# Runs the hot-path benchmark suites (the event-engine scheduler and the
-# trace recorder — the two per-bio-adjacent paths the observability work
-# must not slow down) and writes the results as structured JSON.
+# Runs the hot-path benchmark suites — the event-engine scheduler, the trace
+# recorder, and the whole-stack BenchmarkMachine bios/sec matrix (controller
+# × device profile through the full submit → throttle → dispatch → complete
+# path) — and writes the results as structured JSON.
 #
 # Usage: ./scripts/bench-json.sh [output.json]
 #   BENCHTIME=10x ./scripts/bench-json.sh /tmp/quick.json   # CI smoke
 #
-# The committed BENCH_4.json is the PR-4 reference run; regenerate it with
-# the default 1s benchtime on a quiet machine when the hot paths change.
+# The committed BENCH_6.json is the PR-6 reference run; regenerate it with
+# the default benchtime on a quiet machine when the hot paths change.
+# `make bench-check` compares a fresh run's bios/sec rows against it and
+# fails on >15% regressions.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-1s}"
+# The whole-stack rows simulate a full second per iteration; cap them at a
+# fixed iteration count so a reference run stays minutes, not hours.
+machinetime="${MACHINE_BENCHTIME:-20x}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkEngine' -benchmem -benchtime "$benchtime" ./internal/sim >"$tmp"
 go test -run '^$' -bench 'BenchmarkTraceRecord' -benchmem -benchtime "$benchtime" ./internal/trace >>"$tmp"
+go test -run '^$' -bench 'BenchmarkMachine' -benchmem -benchtime "$machinetime" . >>"$tmp"
 
 awk -v benchtime="$benchtime" '
 BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime }
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = bios = bytes = allocs = ""
+	# Columns are (value, unit) pairs; match on units so rows with and
+	# without custom metrics both parse.
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		else if ($(i+1) == "bios/sec") bios = $i
+		else if ($(i+1) == "B/op") bytes = $i
+		else if ($(i+1) == "allocs/op") allocs = $i
+	}
 	if (sep) printf ",\n"
-	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-		name, $2, $3, $5, $7
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+	if (bios != "") printf ", \"bios_per_sec\": %s", bios
+	printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s}", bytes, allocs
 	sep = 1
 }
 END { printf "\n  ]\n}\n" }' "$tmp" >"$out"

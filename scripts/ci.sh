@@ -61,10 +61,15 @@ for bad in \
 	fi
 done
 
-echo "== bench json (engine + trace hot paths, quick pass)"
+echo "== bench json (engine + trace + whole-stack hot paths, quick pass)"
 # A 10x pass proves the benchmark-to-JSON pipeline; the committed
-# BENCH_4.json reference comes from a full 1s run of make bench-json.
-BENCHTIME=10x ./scripts/bench-json.sh "$(mktemp)"
+# BENCH_6.json reference comes from a full run of make bench-json.
+BENCHTIME=10x MACHINE_BENCHTIME=1x ./scripts/bench-json.sh "$(mktemp)"
+
+echo "== bench budget (BenchmarkMachine bios/sec vs BENCH_6.json)"
+# Whole-stack throughput is the number that gates fuzzing depth and sweep
+# width; a >15% bios/sec regression on any row fails tier-2 loudly.
+REPS=2 ./scripts/bench-check.sh
 
 if $tier3; then
 	echo "== fuzz smoke (30s)"
