@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke
+.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke fleet-smoke
 
 all: build test
 
@@ -91,3 +91,23 @@ fault-smoke:
 	grep -q 'injected errors' "$$dir/a.out"; \
 	go run ./cmd/iocost-monitor -check "$$dir/a.json" >/dev/null; \
 	echo "fault-smoke OK: faulted runs deterministic, failures injected, metrics valid"
+
+# Cluster-scale smoke: the full 100k-host sharded fleet run at three worker
+# counts (serial, 4, 16) must produce byte-identical summaries — the
+# worker-count-invariance contract of internal/fleet, end to end through the
+# CLI — and the streaming aggregation must hold retained memory bounded
+# (TestClusterBoundedMemory compares 2k- vs 32k-host retained heap). Part of
+# tier-2 CI.
+fleet-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	go build -o "$$dir/iocost-fleet" ./cmd/iocost-fleet; \
+	"$$dir/iocost-fleet" -hosts 100000 -seed 7 -push -storm-racks 0,1 -storm 'slow:at=4s,dur=2s,factor=10' -workers 1 -o "$$dir/w1.txt"; \
+	"$$dir/iocost-fleet" -hosts 100000 -seed 7 -push -storm-racks 0,1 -storm 'slow:at=4s,dur=2s,factor=10' -workers 4 -o "$$dir/w4.txt"; \
+	"$$dir/iocost-fleet" -hosts 100000 -seed 7 -push -storm-racks 0,1 -storm 'slow:at=4s,dur=2s,factor=10' -workers 16 -o "$$dir/w16.txt"; \
+	cmp "$$dir/w1.txt" "$$dir/w4.txt"; \
+	cmp "$$dir/w1.txt" "$$dir/w16.txt"; \
+	"$$dir/iocost-fleet" -hosts 100000 -seed 7 -workers 4 -mode openmetrics -o "$$dir/w4.om"; \
+	"$$dir/iocost-fleet" -hosts 100000 -seed 7 -workers 16 -mode openmetrics -o "$$dir/w16.om"; \
+	cmp "$$dir/w4.om" "$$dir/w16.om"; \
+	go test ./internal/fleet -run TestClusterBoundedMemory -count=1 >/dev/null; \
+	echo "fleet-smoke OK: 100k hosts byte-identical at workers 1/4/16, memory bounded"

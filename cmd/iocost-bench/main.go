@@ -7,8 +7,8 @@
 //	iocost-bench [-run table1,fig3,...|all] [-short] [-parallel] [-json]
 //
 // Experiment ids: table1, fig3, fig4, fig6, fig8, fig9, fig10, fig11,
-// fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19, ext-degradation,
-// ablations.
+// fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fleet,
+// ext-degradation, ext-faults, ablations.
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 
 	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/fleet"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
 
@@ -81,6 +82,9 @@ var experiments = []experiment{
 	{"fig19", "Figure 19: container-cleanup failures across migration",
 		func(short bool) string { return exp.FormatFleet(exp.Fig19(fleetOpts(short))) },
 		func(short bool) any { return exp.Fig19(fleetOpts(short)) }},
+	{"fleet", "Fleet: cluster-scale sharded migration with canary push and rack fault storm",
+		func(short bool) string { return exp.FormatFleetScale(fleetScale(short)) },
+		func(short bool) any { return fleetScale(short).Export() }},
 	{"ext-degradation", "Extension: QoS under a mid-run device degradation episode (§5)",
 		func(short bool) string { return exp.FormatExtDegradation(exp.ExtDegradation(extDegOpts(short))) },
 		func(short bool) any { return exp.ExtDegradation(extDegOpts(short)) }},
@@ -165,6 +169,18 @@ func fleetOpts(short bool) exp.FigFleetOptions {
 		return exp.FigFleetOptions{Trials: 3, Hosts: 500}
 	}
 	return exp.FigFleetOptions{}
+}
+
+// fleetScale runs the cluster-scale experiment; the config is valid by
+// construction, so an error here is a programming bug.
+func fleetScale(short bool) *fleet.Summary {
+	s, err := exp.FleetScale(fleet.PackageFetch, exp.FleetScaleOptions{
+		Push: true, Storm: true, Short: short,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func extFaultsOpts(short bool) exp.ExtFaultsOptions {

@@ -1,64 +1,31 @@
 package exp
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "github.com/iocost-sim/iocost/internal/fanout"
 
 // Experiment fan-out: every figure is a grid of independent cells (device ×
 // workload × controller), each built on its own *sim.Engine with fixed
-// seeds. ForEach runs such a grid either serially or across GOMAXPROCS
-// goroutines; because cells share no state and results are collected in
-// index order, serial and parallel runs produce identical output.
+// seeds. The fan-out primitive itself lives in internal/fanout (the fleet
+// simulator shards over it too); exp re-exports it under the names the
+// figure harnesses grew up with. Because cells share no state and results
+// are collected in index order, serial and parallel runs produce identical
+// output.
 //
 // Fan-out is off by default so plain `go test` and iocost-bench stay
 // single-threaded and directly comparable run to run; iocost-bench
 // -parallel and `go test -exp.parallel` enable it.
 
-var parallelOn atomic.Bool
-
 // SetParallel toggles parallel experiment fan-out.
-func SetParallel(on bool) { parallelOn.Store(on) }
+func SetParallel(on bool) { fanout.SetParallel(on) }
 
 // ParallelEnabled reports whether experiment cells currently fan out.
-func ParallelEnabled() bool { return parallelOn.Load() }
+func ParallelEnabled() bool { return fanout.ParallelEnabled() }
 
 // ForEach evaluates cell(0..n-1) and returns the results in index order.
 // Each cell must be self-contained: its own engine, machine, and workloads,
 // with no writes to shared state (checked by the -race tier-2 CI pass).
 func ForEach[T any](n int, cell func(i int) T) []T {
-	out := make([]T, n)
-	if !parallelOn.Load() || n < 2 {
-		for i := 0; i < n; i++ {
-			out[i] = cell(i)
-		}
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = cell(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return fanout.ForEach(n, cell)
 }
 
 // Parallel runs heterogeneous independent cells, in parallel when enabled.
-func Parallel(cells ...func()) {
-	ForEach(len(cells), func(i int) struct{} { cells[i](); return struct{}{} })
-}
+func Parallel(cells ...func()) { fanout.Parallel(cells...) }

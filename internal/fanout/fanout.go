@@ -1,0 +1,82 @@
+// Package fanout runs grids of independent simulation cells across worker
+// goroutines. It is the one fan-out primitive in the tree: the experiment
+// harnesses (internal/exp) use it to spread figure cells over GOMAXPROCS,
+// and the fleet simulator (internal/fleet) uses it to shard per-host
+// machines across an explicit worker count.
+//
+// Results are always collected in index order and every cell must be
+// self-contained (its own engine, RNG streams, accumulators), so serial and
+// parallel runs — and runs at *any* worker count — produce identical
+// output. That property is what lets the fleet determinism tests demand
+// byte-identical summaries at 1, 4, and 16 workers.
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var parallelOn atomic.Bool
+
+// SetParallel toggles the default fan-out used by ForEach.
+func SetParallel(on bool) { parallelOn.Store(on) }
+
+// ParallelEnabled reports whether ForEach currently fans out.
+func ParallelEnabled() bool { return parallelOn.Load() }
+
+// DefaultWorkers returns the worker count ForEach uses when parallelism is
+// enabled: GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach evaluates cell(0..n-1) and returns the results in index order,
+// fanning out over GOMAXPROCS workers when SetParallel(true) has been
+// called and running serially otherwise.
+func ForEach[T any](n int, cell func(i int) T) []T {
+	workers := 1
+	if parallelOn.Load() {
+		workers = DefaultWorkers()
+	}
+	return ForEachN(n, workers, cell)
+}
+
+// ForEachN evaluates cell(0..n-1) across exactly the given number of worker
+// goroutines (<= 1 means serial) and returns the results in index order.
+// Cells are claimed from a shared counter, so which worker runs which cell
+// is scheduling-dependent — but because each cell is self-contained and
+// results land at their own index, the returned slice is identical for
+// every worker count.
+func ForEachN[T any](n, workers int, cell func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			out[i] = cell(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Parallel runs heterogeneous independent cells, in parallel when enabled.
+func Parallel(cells ...func()) {
+	ForEach(len(cells), func(i int) struct{} { cells[i](); return struct{}{} })
+}

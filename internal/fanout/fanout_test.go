@@ -1,0 +1,76 @@
+package fanout_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/fanout"
+	"github.com/iocost-sim/iocost/internal/rng"
+)
+
+// TestForEachNIndexOrder: results land at their cell's index for every
+// worker count, including counts far above the cell count.
+func TestForEachNIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		got := fanout.ForEachN(33, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d produced %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachNWorkerCountInvariance: a deterministic per-cell computation
+// (its own derived RNG stream, like fleet shards) yields identical results
+// at every worker count.
+func TestForEachNWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []uint64 {
+		return fanout.ForEachN(64, workers, func(i int) uint64 {
+			r := rng.Derive(42, uint64(i))
+			var acc uint64
+			for k := 0; k < 100; k++ {
+				acc ^= r.Uint64()
+			}
+			return acc
+		})
+	}
+	want := run(1)
+	for _, workers := range []int{4, 16} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: cell %d differs from serial run", workers, i)
+			}
+		}
+	}
+}
+
+// TestForEachNRunsEveryCellOnce guards the claim counter against skipping
+// or double-running cells under contention.
+func TestForEachNRunsEveryCellOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	fanout.ForEachN(n, 8, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachRespectsToggle(t *testing.T) {
+	fanout.SetParallel(false)
+	if fanout.ParallelEnabled() {
+		t.Fatal("parallel should be off")
+	}
+	got := fanout.ForEach(10, func(i int) int { return i })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("cell %d produced %d", i, v)
+		}
+	}
+}

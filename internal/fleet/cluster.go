@@ -1,0 +1,639 @@
+// Cluster-scale fleet simulation: the datacenter the paper deployed to,
+// not just the 2000-host Monte-Carlo region of Figs 18/19.
+//
+// The design scales three ways at once:
+//
+//   - Sharding. Hosts are grouped into racks and racks into fixed-size
+//     shards; shards run across workers via fanout.ForEachN. The shard
+//     layout depends only on the topology — never on the worker count — and
+//     every shard merges into the running summary in shard-index order, so
+//     a run is byte-identical at 1, 4, or 16 workers.
+//
+//   - Seed derivation. Every random decision derives from (fleet seed,
+//     host ID) or (fleet seed, rack ID, tick) through its own tagged
+//     stream: host workload draws, migration/push selection, and storm
+//     severity never share a stream. Scheduling order therefore cannot
+//     perturb results, and disabling a behavior (a fault storm) cannot
+//     perturb the streams of the behaviors that remain.
+//
+//   - Streaming aggregation. No per-host state survives a shard: each
+//     shard folds its hosts into one Summary (per-tick counters plus one
+//     mergeable latency sketch, see stats.Histogram.Merge) and shards merge
+//     into the accumulator in bounded batches. Memory is O(batch × summary
+//     size), independent of host count — the property TestClusterBoundedMemory
+//     and the fleet-smoke CI gate assert.
+//
+// On top of the sharded substrate sit the cluster behaviors the paper only
+// gestures at: migration waves (IOLatency→IOCost, the Figs 18/19 sweep at
+// datacenter scale), rolling config pushes with a canary fraction, and
+// correlated fault storms sharing one fault.Plan across a rack.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/fanout"
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/rng"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/stats"
+)
+
+// Topology lays hosts out into racks. Host IDs are 0..Hosts-1; rack r
+// contains the contiguous ID range [r*RackSize, (r+1)*RackSize) clipped to
+// the host count. All enumeration is by ascending ID — creation order by
+// construction, never map iteration (the nondeterminism class PRs 1–4 kept
+// finding elsewhere; TestRackEnumerationOrder pins it here).
+type Topology struct {
+	Hosts    int
+	RackSize int
+}
+
+// Racks returns the number of racks.
+func (t Topology) Racks() int { return (t.Hosts + t.RackSize - 1) / t.RackSize }
+
+// RackOf returns the rack containing host h.
+func (t Topology) RackOf(h int) int { return h / t.RackSize }
+
+// RackHosts returns rack r's host ID range [lo, hi).
+func (t Topology) RackHosts(r int) (lo, hi int) {
+	lo = r * t.RackSize
+	hi = min(lo+t.RackSize, t.Hosts)
+	return lo, hi
+}
+
+// MigrationWave rolls the fleet from the old controller's failure curve to
+// the new one: the migrated fraction ramps linearly from 0 at StartTick to
+// 1 after Ticks ticks. Which hosts migrate first is a fixed per-host draw
+// from the fleet seed, so membership is monotone (a migrated host never
+// reverts) and independent of sharding.
+type MigrationWave struct {
+	StartTick int
+	Ticks     int
+}
+
+// frac returns the migrated fraction at tick t.
+func (w MigrationWave) frac(t int) float64 {
+	if t < w.StartTick {
+		return 0
+	}
+	if w.Ticks <= 1 {
+		return 1
+	}
+	f := float64(t-w.StartTick+1) / float64(w.Ticks)
+	return math.Min(f, 1)
+}
+
+// ConfigPush is a rolling QoS/config push: a canary fraction adopts the new
+// configuration at StartTick, then the remainder ramps in over RampTicks.
+// The new configuration multiplies IO-failure probability by FailFactor and
+// op latency by LatFactor (a better-tuned QoS has factors < 1; a bad push
+// has factors > 1 — the canary stage is how the fleet notices before the
+// ramp).
+type ConfigPush struct {
+	StartTick  int
+	CanaryFrac float64
+	RampTicks  int
+	FailFactor float64
+	LatFactor  float64
+}
+
+// frac returns the pushed fraction at tick t: the canary at StartTick, then
+// a linear ramp of the remainder.
+func (p ConfigPush) frac(t int) float64 {
+	if t < p.StartTick {
+		return 0
+	}
+	if t == p.StartTick || p.RampTicks <= 0 {
+		return p.CanaryFrac
+	}
+	ramp := math.Min(float64(t-p.StartTick)/float64(p.RampTicks), 1)
+	return p.CanaryFrac + (1-p.CanaryFrac)*ramp
+}
+
+// FaultStorm applies one fault.Plan to every host of the listed racks: the
+// correlated failure the paper's fleet maintenance stories describe (a bad
+// firmware batch, a top-of-rack switch brownout). All hosts of a rack
+// observe identical episode windows and identical rack-level severity;
+// per-op failure draws come from each host's dedicated storm stream, which
+// is separate from its healthy stream — disabling a storm (Disabled, or
+// removing it) reproduces the healthy fleet byte-exactly.
+type FaultStorm struct {
+	// Racks lists affected racks in declaration order (a slice, not a
+	// set: enumeration order is part of the determinism contract).
+	Racks []int
+	Plan  fault.Plan
+	// Disabled keeps the storm in the config but injects nothing; the
+	// stream-separation tests pin that this is byte-identical to the
+	// storm never existing.
+	Disabled bool
+}
+
+// ClusterConfig parameterizes a cluster run.
+type ClusterConfig struct {
+	Hosts    int // default 1000
+	RackSize int // default 32
+	// ShardRacks is how many racks one shard simulates (default 8). The
+	// shard layout is part of the result only through float-summation
+	// order; it must never be derived from the worker count.
+	ShardRacks int
+	Ticks      int      // default 8
+	TickDur    sim.Time // default 1 simulated hour
+	// OpsPerHostTick is how many system-slice operations each host
+	// performs per tick (default 20).
+	OpsPerHostTick int
+	Seed           uint64
+	// Workers is the fan-out width (0 or 1 = serial). Summaries are
+	// byte-identical for every value.
+	Workers int
+
+	Kind OpKind
+	// Old and New are the failure-probability curves of the pre- and
+	// post-migration controllers. Empty curves select DefaultCurves(Kind).
+	Old, New Curve
+
+	Migration *MigrationWave
+	Push      *ConfigPush
+	Storms    []FaultStorm
+}
+
+// clusterBatch is how many shards are in flight (results retained) at
+// once. Fixed: the batch size bounds memory, it must not change results or
+// depend on the worker count.
+const clusterBatch = 64
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Hosts == 0 {
+		c.Hosts = 1000
+	}
+	if c.RackSize == 0 {
+		c.RackSize = 32
+	}
+	if c.ShardRacks == 0 {
+		c.ShardRacks = 8
+	}
+	if c.Ticks == 0 {
+		c.Ticks = 8
+	}
+	if c.TickDur == 0 {
+		c.TickDur = 3600 * sim.Second
+	}
+	if c.OpsPerHostTick == 0 {
+		c.OpsPerHostTick = 20
+	}
+	if len(c.Old.Pressures) == 0 {
+		c.Old, _ = DefaultCurves(c.Kind)
+	}
+	if len(c.New.Pressures) == 0 {
+		_, c.New = DefaultCurves(c.Kind)
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting) without running it.
+func (c ClusterConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Hosts < 0 || c.RackSize < 0 || c.ShardRacks < 0 || c.Ticks < 0 {
+		return fmt.Errorf("fleet: negative cluster dimensions: hosts=%d rack=%d shardracks=%d ticks=%d",
+			c.Hosts, c.RackSize, c.ShardRacks, c.Ticks)
+	}
+	if c.TickDur <= 0 {
+		return fmt.Errorf("fleet: TickDur must be positive, got %v", c.TickDur)
+	}
+	if p := c.Push; p != nil {
+		if p.CanaryFrac < 0 || p.CanaryFrac > 1 {
+			return fmt.Errorf("fleet: push canary fraction %v outside [0,1]", p.CanaryFrac)
+		}
+		if p.FailFactor < 0 || p.LatFactor < 0 {
+			return fmt.Errorf("fleet: push factors must be non-negative: fail=%v lat=%v", p.FailFactor, p.LatFactor)
+		}
+	}
+	topo := Topology{Hosts: c.Hosts, RackSize: c.RackSize}
+	for i, s := range c.Storms {
+		if err := s.Plan.Validate(); err != nil {
+			return fmt.Errorf("fleet: storm %d: %w", i, err)
+		}
+		for _, r := range s.Racks {
+			if r < 0 || r >= topo.Racks() {
+				return fmt.Errorf("fleet: storm %d targets rack %d, topology has %d racks", i, r, topo.Racks())
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultCurves returns canned failure-probability curves for the old
+// (io.latency) and new (iocost) controllers, calibrated against the
+// micro-simulation sweeps of Figs 18/19 (see EXPERIMENTS.md): io.latency
+// starves the system slice once the main workload saturates the device, so
+// its curve jumps toward 1 above ~90% pressure, while iocost's guaranteed
+// hierarchy share keeps operations inside their deadlines at every
+// pressure. The non-IO failure floor (network flakes, bad packages) is
+// folded in. MeasureCurve regenerates these from live micro-sims.
+func DefaultCurves(kind OpKind) (old, new_ Curve) {
+	pressures := []float64{0.3, 0.6, 0.8, 0.88, 0.95, 1.02, 1.1}
+	switch kind {
+	case PackageFetch:
+		old = Curve{Kind: kind, Pressures: pressures,
+			FailProb: []float64{0.010, 0.013, 0.035, 0.13, 0.62, 0.97, 1.0}}
+		new_ = Curve{Kind: kind, Pressures: pressures,
+			FailProb: []float64{0.009, 0.0095, 0.010, 0.012, 0.015, 0.022, 0.04}}
+	default:
+		old = Curve{Kind: kind, Pressures: pressures,
+			FailProb: []float64{0.058, 0.07, 0.12, 0.27, 0.71, 0.97, 1.0}}
+		new_ = Curve{Kind: kind, Pressures: pressures,
+			FailProb: []float64{0.055, 0.057, 0.061, 0.07, 0.085, 0.11, 0.16}}
+	}
+	return old, new_
+}
+
+// Stream tags: every per-host and per-rack stream derives from the fleet
+// seed through its own tag so that streams never collide and behaviors stay
+// separable (see rng.Derive).
+const (
+	hostStreamTag  = 0x705714c857_000001 // per-host workload draws
+	hostMigrateTag = 0x705714c857_000002 // per-host migration order
+	hostPushTag    = 0x705714c857_000003 // per-host push order
+	stormRackTag   = 0x705714c857_000004 // per-(rack,tick) storm severity
+	stormHostTag   = 0x705714c857_000005 // per-host storm outcome draws
+)
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche that turns
+// small sequential IDs into well-spread stream tags.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hostStream returns host h's healthy workload stream.
+func hostStream(seed uint64, h int) *rng.Source {
+	return rng.Derive(seed, hostStreamTag^mix64(uint64(h)+1))
+}
+
+// stormStream returns host h's storm outcome stream — consumed only while a
+// storm covers h's rack, so enabling a storm never advances healthy streams.
+func stormStream(seed uint64, h int) *rng.Source {
+	return rng.Derive(seed, stormHostTag^mix64(uint64(h)+1))
+}
+
+// hostU returns host h's fixed uniform draw in [0,1) for the given
+// selection tag (migration order, push order): a pure function of (seed,
+// tag, h), so membership is identical regardless of sharding or scheduling.
+func hostU(seed, tag uint64, h int) float64 {
+	v := mix64(rng.DeriveSeed(seed, tag) ^ mix64(uint64(h)+0x9e3779b97f4a7c15))
+	return float64(v>>11) / (1 << 53)
+}
+
+// stormEffect is the rack-level view of the storms active during one tick:
+// every host of the rack observes the same windows and severity.
+type stormEffect struct {
+	Active   bool
+	FailProb float64 // extra per-op failure probability
+	LatMult  float64 // service-time multiplier
+}
+
+// stormEffects computes rack r's per-tick effects. Severity randomness (GC
+// storm tails) derives from (seed, rack, tick) alone — a pure function, so
+// every shard containing the rack computes identical values and worker
+// scheduling cannot matter. Storms and their rack lists are slices walked
+// in declaration order; effects compose additively (failure probability)
+// and multiplicatively (latency), so composition is order-insensitive too.
+func stormEffects(cfg ClusterConfig, rack int) []stormEffect {
+	effs := make([]stormEffect, cfg.Ticks)
+	for i := range effs {
+		effs[i].LatMult = 1
+	}
+	for _, storm := range cfg.Storms {
+		if storm.Disabled {
+			continue
+		}
+		hit := false
+		for _, r := range storm.Racks {
+			if r == rack {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		for t := 0; t < cfg.Ticks; t++ {
+			lo := sim.Time(t) * cfg.TickDur
+			hi := lo + cfg.TickDur
+			var sev *rng.Source // lazily derived per (rack, tick)
+			for _, e := range storm.Plan.Episodes {
+				ov := min(e.End(), hi) - max(e.At, lo)
+				if ov <= 0 {
+					continue
+				}
+				frac := float64(ov) / float64(cfg.TickDur)
+				if sev == nil {
+					sev = rng.Derive(cfg.Seed, stormRackTag^mix64(uint64(rack)<<20|uint64(t)+1))
+				}
+				eff := &effs[t]
+				eff.Active = true
+				switch e.Kind {
+				case fault.Error:
+					eff.FailProb += e.Rate * frac
+				case fault.Stall:
+					// Nothing completes during the stall: ops landing in
+					// the window miss their deadlines outright.
+					eff.FailProb += frac
+				case fault.Slow:
+					eff.LatMult *= 1 + (e.Factor-1)*frac
+				case fault.GCStorm:
+					// Rack-correlated severity: one Pareto draw shared by
+					// the whole rack scales both the latency tail and the
+					// deadline-miss probability.
+					s := sev.Pareto(1, 1.5)
+					eff.LatMult *= 1 + frac*e.Rate*s*float64(e.Stall)/float64(sim.Millisecond)*0.01
+					eff.FailProb += 0.5 * e.Rate * frac
+				case fault.IOPSCap:
+					// A collapsed provisioned-IOPS floor queues everything;
+					// penalty grows as the cap shrinks below ~10k IOPS.
+					pen := math.Min(10, 10000/e.Rate)
+					eff.LatMult *= 1 + frac*pen
+				}
+			}
+			if effs[t].FailProb > 1 {
+				effs[t].FailProb = 1
+			}
+		}
+	}
+	return effs
+}
+
+// TickStats aggregates one tick across all merged hosts.
+type TickStats struct {
+	Ops        uint64 `json:"ops"`
+	Fails      uint64 `json:"fails"`       // deadline misses, healthy + storm
+	StormFails uint64 `json:"storm_fails"` // the subset caused by storm injection
+	Migrated   int    `json:"migrated"`    // hosts on the new controller this tick
+	Pushed     int    `json:"pushed"`      // hosts on the pushed config this tick
+	StormHosts int    `json:"storm_hosts"` // hosts under an active storm this tick
+}
+
+// Summary is the streaming aggregate of a cluster run: bounded state
+// (per-tick counters plus one mergeable latency sketch), no per-host
+// retention. Shard summaries and the cluster total are the same type;
+// Merge folds one into another.
+type Summary struct {
+	Kind    OpKind
+	Hosts   int
+	Racks   int
+	Shards  int
+	Ticks   int
+	TickDur sim.Time
+	PerTick []TickStats
+	// Latency sketches effective op completion latency (ns) across every
+	// host and tick; failed ops record their 3×deadline timeout. Merged
+	// shard sketches answer fleet percentiles within
+	// stats.QuantileRelError of the unsharded population (pinned by the
+	// stats merge property tests).
+	Latency *stats.Histogram
+}
+
+func newSummary(cfg ClusterConfig) *Summary {
+	return &Summary{
+		Kind:    cfg.Kind,
+		Ticks:   cfg.Ticks,
+		TickDur: cfg.TickDur,
+		PerTick: make([]TickStats, cfg.Ticks),
+		Latency: stats.NewHistogram(),
+	}
+}
+
+// Merge folds o into s. Merging in shard-index order (which RunCluster
+// guarantees) makes even the float moment sums byte-stable.
+func (s *Summary) Merge(o *Summary) {
+	if s.Ticks != o.Ticks {
+		panic("fleet: merging summaries with different tick counts")
+	}
+	s.Hosts += o.Hosts
+	s.Racks += o.Racks
+	s.Shards += o.Shards
+	for i := range s.PerTick {
+		a, b := &s.PerTick[i], &o.PerTick[i]
+		a.Ops += b.Ops
+		a.Fails += b.Fails
+		a.StormFails += b.StormFails
+		a.Migrated += b.Migrated
+		a.Pushed += b.Pushed
+		a.StormHosts += b.StormHosts
+	}
+	s.Latency.Merge(o.Latency)
+}
+
+// HostTickView is one host-tick as the per-host debug/test API reports it.
+type HostTickView struct {
+	Tick          int
+	Pressure      float64
+	Migrated      bool
+	Pushed        bool
+	StormActive   bool
+	StormFailProb float64
+	StormLatMult  float64
+	Ops           int
+	HealthyFails  int
+	StormFails    int
+}
+
+// runHost simulates host h for every tick, folding results into acc and,
+// when view is non-nil, reporting each tick through it. This is the one
+// per-host code path: RunCluster's shards and SimulateHost both use it, so
+// what the tests inspect is exactly what the fleet aggregates.
+func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view func(HostTickView)) {
+	hr := hostStream(cfg.Seed, h)
+	sr := stormStream(cfg.Seed, h)
+	spec := specFor(cfg.Kind)
+	timeoutNS := int64(3 * spec.deadline)
+	baseLat := float64(spec.deadline) / 6
+	migU := hostU(cfg.Seed, hostMigrateTag, h)
+	pushU := hostU(cfg.Seed, hostPushTag, h)
+
+	for t := 0; t < cfg.Ticks; t++ {
+		p := drawPressure(hr)
+
+		migrated := cfg.Migration != nil && migU < cfg.Migration.frac(t)
+		curve := cfg.Old
+		if migrated {
+			curve = cfg.New
+		}
+		ioFail := curve.At(p)
+		latFactor := 1.0
+		pushed := cfg.Push != nil && pushU < cfg.Push.frac(t)
+		if pushed {
+			ioFail *= cfg.Push.FailFactor
+			latFactor = cfg.Push.LatFactor
+		}
+		if ioFail > 1 {
+			ioFail = 1
+		}
+		eff := stormEffect{LatMult: 1}
+		if effs != nil {
+			eff = effs[t]
+		}
+
+		healthyFails, stormFails := 0, 0
+		for op := 0; op < cfg.OpsPerHostTick; op++ {
+			// Healthy draws always come — and only come — from hr, in a
+			// fixed order, so storm and push configuration can never
+			// perturb the healthy stream.
+			fail := hr.Bool(ioFail)
+			lat := baseLat * (0.6 + 2.4*p) * hr.LogNormal(0, 0.3)
+
+			sFail := false
+			if eff.Active {
+				sFail = sr.Bool(eff.FailProb)
+			}
+			switch {
+			case fail:
+				healthyFails++
+			case sFail:
+				stormFails++
+			}
+			effLat := int64(lat * latFactor * eff.LatMult)
+			if fail || sFail || effLat > timeoutNS {
+				effLat = timeoutNS
+			}
+			acc.Latency.Observe(effLat)
+		}
+
+		ts := &acc.PerTick[t]
+		ts.Ops += uint64(cfg.OpsPerHostTick)
+		ts.Fails += uint64(healthyFails + stormFails)
+		ts.StormFails += uint64(stormFails)
+		if migrated {
+			ts.Migrated++
+		}
+		if pushed {
+			ts.Pushed++
+		}
+		if eff.Active {
+			ts.StormHosts++
+		}
+
+		if view != nil {
+			view(HostTickView{
+				Tick: t, Pressure: p, Migrated: migrated, Pushed: pushed,
+				StormActive: eff.Active, StormFailProb: eff.FailProb,
+				StormLatMult: eff.LatMult, Ops: cfg.OpsPerHostTick,
+				HealthyFails: healthyFails, StormFails: stormFails,
+			})
+		}
+	}
+}
+
+// runShard simulates one shard — a contiguous group of racks — into a fresh
+// Summary. Racks and hosts are walked in ascending ID order.
+func runShard(cfg ClusterConfig, topo Topology, shard int) *Summary {
+	acc := newSummary(cfg)
+	acc.Shards = 1
+	rackLo := shard * cfg.ShardRacks
+	rackHi := min(rackLo+cfg.ShardRacks, topo.Racks())
+	for rack := rackLo; rack < rackHi; rack++ {
+		var effs []stormEffect
+		if len(cfg.Storms) > 0 {
+			effs = stormEffects(cfg, rack)
+		}
+		lo, hi := topo.RackHosts(rack)
+		for h := lo; h < hi; h++ {
+			runHost(cfg, h, effs, acc, nil)
+		}
+		acc.Racks++
+		acc.Hosts += hi - lo
+	}
+	return acc
+}
+
+// RunCluster simulates the fleet and returns its merged summary.
+//
+// Shards fan out across cfg.Workers goroutines but merge strictly in
+// shard-index order, in batches of clusterBatch, so results are
+// byte-identical for every worker count and memory stays bounded by the
+// batch — not the host count.
+func RunCluster(cfg ClusterConfig) (*Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	topo := Topology{Hosts: cfg.Hosts, RackSize: cfg.RackSize}
+	shards := (topo.Racks() + cfg.ShardRacks - 1) / cfg.ShardRacks
+
+	total := newSummary(cfg)
+	for batchLo := 0; batchLo < shards; batchLo += clusterBatch {
+		batchHi := min(batchLo+clusterBatch, shards)
+		batch := fanout.ForEachN(batchHi-batchLo, cfg.Workers, func(i int) *Summary {
+			return runShard(cfg, topo, batchLo+i)
+		})
+		for _, s := range batch {
+			total.Merge(s)
+		}
+	}
+	return total, nil
+}
+
+// SimulateHost replays one host of the cluster through exactly the code
+// path RunCluster uses and returns its per-tick views: the debug/test
+// window into a fleet whose aggregate retains no per-host state.
+func SimulateHost(cfg ClusterConfig, h int) ([]HostTickView, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if h < 0 || h >= cfg.Hosts {
+		return nil, fmt.Errorf("fleet: host %d outside topology of %d hosts", h, cfg.Hosts)
+	}
+	topo := Topology{Hosts: cfg.Hosts, RackSize: cfg.RackSize}
+	var effs []stormEffect
+	if len(cfg.Storms) > 0 {
+		effs = stormEffects(cfg, topo.RackOf(h))
+	}
+	views := make([]HostTickView, 0, cfg.Ticks)
+	scratch := newSummary(cfg)
+	runHost(cfg, h, effs, scratch, func(v HostTickView) { views = append(views, v) })
+	return views, nil
+}
+
+// Reduction returns first-tick failures divided by last-tick failures — the
+// headline number of Figs 18/19.
+func (s *Summary) Reduction() float64 {
+	if len(s.PerTick) == 0 {
+		return 0
+	}
+	first := float64(s.PerTick[0].Fails)
+	last := float64(s.PerTick[len(s.PerTick)-1].Fails)
+	if last == 0 {
+		return first
+	}
+	return first / last
+}
+
+// ms renders a nanosecond latency in milliseconds.
+func ms(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+// Format renders the summary deterministically: identical summaries produce
+// identical bytes (the fleet determinism golden pins this output).
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet %s: hosts=%d racks=%d shards=%d ticks=%d tick=%ds\n",
+		s.Kind, s.Hosts, s.Racks, s.Shards, s.Ticks, int64(s.TickDur/sim.Second))
+	fmt.Fprintf(&b, "%4s %12s %10s %12s %9s %8s %8s\n",
+		"tick", "ops", "fails", "storm_fails", "migrated", "pushed", "stormy")
+	for t, ts := range s.PerTick {
+		fmt.Fprintf(&b, "%4d %12d %10d %12d %9d %8d %8d\n",
+			t, ts.Ops, ts.Fails, ts.StormFails, ts.Migrated, ts.Pushed, ts.StormHosts)
+	}
+	fmt.Fprintf(&b, "latency: p50=%s p90=%s p99=%s max=%s n=%d\n",
+		ms(s.Latency.Quantile(0.5)), ms(s.Latency.Quantile(0.9)),
+		ms(s.Latency.Quantile(0.99)), ms(s.Latency.Max()), s.Latency.Count())
+	fmt.Fprintf(&b, "failures: first=%d last=%d reduction=%.1fx\n",
+		s.PerTick[0].Fails, s.PerTick[len(s.PerTick)-1].Fails, s.Reduction())
+	return b.String()
+}

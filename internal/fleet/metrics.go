@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/iocost-sim/iocost/internal/registry"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// RegisterMetrics contributes the fleet-wide roll-ups to a registry: the
+// same counter/gauge/summary surface every per-host layer uses, but
+// aggregated over the whole cluster. Per-tick families emit one series per
+// tick (label tick="N", in tick order), so the export stays bounded by the
+// tick count, never the host count.
+func (s *Summary) RegisterMetrics(r *registry.Registry) {
+	r.GaugeFunc("fleet_hosts", "hosts simulated", registry.L("kind", s.Kind.String()),
+		func() float64 { return float64(s.Hosts) })
+	r.GaugeFunc("fleet_racks", "racks simulated", registry.L("kind", s.Kind.String()),
+		func() float64 { return float64(s.Racks) })
+	r.GaugeFunc("fleet_shards", "shards merged", registry.L("kind", s.Kind.String()),
+		func() float64 { return float64(s.Shards) })
+
+	tickLabel := func(t int) []registry.Label {
+		return registry.L("kind", s.Kind.String(), "tick", strconv.Itoa(t))
+	}
+	perTick := func(name, help string, get func(TickStats) float64) {
+		r.Collector(name, registry.Counter, help, func(emit func([]registry.Label, float64)) {
+			for t, ts := range s.PerTick {
+				emit(tickLabel(t), get(ts))
+			}
+		})
+	}
+	perTick("fleet_ops_total", "system-slice operations per tick",
+		func(ts TickStats) float64 { return float64(ts.Ops) })
+	perTick("fleet_failures_total", "operation deadline misses per tick",
+		func(ts TickStats) float64 { return float64(ts.Fails) })
+	perTick("fleet_storm_failures_total", "failures caused by fault storms per tick",
+		func(ts TickStats) float64 { return float64(ts.StormFails) })
+
+	perTickGauge := func(name, help string, get func(TickStats) float64) {
+		r.Collector(name, registry.Gauge, help, func(emit func([]registry.Label, float64)) {
+			for t, ts := range s.PerTick {
+				emit(tickLabel(t), get(ts))
+			}
+		})
+	}
+	perTickGauge("fleet_migrated_hosts", "hosts on the new controller per tick",
+		func(ts TickStats) float64 { return float64(ts.Migrated) })
+	perTickGauge("fleet_pushed_hosts", "hosts on the pushed config per tick",
+		func(ts TickStats) float64 { return float64(ts.Pushed) })
+	perTickGauge("fleet_storm_hosts", "hosts under an active fault storm per tick",
+		func(ts TickStats) float64 { return float64(ts.StormHosts) })
+
+	r.Histogram("fleet_op_latency_ns", "effective operation latency across the fleet",
+		registry.L("kind", s.Kind.String()), s.Latency)
+}
+
+// WriteOpenMetrics renders the fleet roll-ups as one deterministic
+// OpenMetrics scrape: families in registration order, series in emission
+// order — identical summaries produce identical bytes.
+func (s *Summary) WriteOpenMetrics(w io.Writer) error {
+	r := registry.New()
+	s.RegisterMetrics(r)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, fam.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+			return err
+		}
+		for _, smp := range fam.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", smp.Name, smp.Labels,
+				strconv.FormatFloat(smp.Value, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// JSONSummaryVersion identifies the fleet JSON export schema.
+const JSONSummaryVersion = 1
+
+// JSONSummary is the structured export of a cluster run.
+type JSONSummary struct {
+	Version   int         `json:"version"`
+	Kind      string      `json:"kind"`
+	Hosts     int         `json:"hosts"`
+	Racks     int         `json:"racks"`
+	Shards    int         `json:"shards"`
+	Ticks     int         `json:"ticks"`
+	TickSec   float64     `json:"tick_sec"`
+	PerTick   []TickStats `json:"per_tick"`
+	LatP50NS  int64       `json:"lat_p50_ns"`
+	LatP90NS  int64       `json:"lat_p90_ns"`
+	LatP99NS  int64       `json:"lat_p99_ns"`
+	LatMaxNS  int64       `json:"lat_max_ns"`
+	LatCount  uint64      `json:"lat_count"`
+	Reduction float64     `json:"reduction"`
+}
+
+// Export returns the structured form of the summary.
+func (s *Summary) Export() JSONSummary {
+	return JSONSummary{
+		Version:   JSONSummaryVersion,
+		Kind:      s.Kind.String(),
+		Hosts:     s.Hosts,
+		Racks:     s.Racks,
+		Shards:    s.Shards,
+		Ticks:     s.Ticks,
+		TickSec:   float64(s.TickDur) / float64(sim.Second),
+		PerTick:   s.PerTick,
+		LatP50NS:  s.Latency.Quantile(0.5),
+		LatP90NS:  s.Latency.Quantile(0.9),
+		LatP99NS:  s.Latency.Quantile(0.99),
+		LatMaxNS:  s.Latency.Max(),
+		LatCount:  s.Latency.Count(),
+		Reduction: s.Reduction(),
+	}
+}
+
+// WriteJSON writes the indented JSON export.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s.Export(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

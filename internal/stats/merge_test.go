@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/rng"
+)
+
+// quantiles checked by the merge property tests.
+var mergeQs = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+
+// drawSkewed produces the heavy-tailed sample shapes fleet latency
+// aggregation actually sees: lognormal service times, Pareto GC tails, and
+// near-constant steady states, selected per distribution index.
+func drawSkewed(r *rng.Source, dist int) int64 {
+	switch dist % 4 {
+	case 0: // lognormal, moderate skew
+		return int64(r.LogNormal(13, 0.8)) // ~0.4ms median
+	case 1: // Pareto tail, alpha 1.2: the GC-storm shape
+		return int64(r.Pareto(50_000, 1.2))
+	case 2: // near-constant with occasional spikes
+		if r.Bool(0.01) {
+			return 80_000_000
+		}
+		return 250_000
+	default: // uniform across five decades
+		return 1 + r.Int63n(1_000_000_000)
+	}
+}
+
+// TestMergePerShardEqualsWhole: splitting a population across a randomized
+// shard count, sketching each shard independently and merging must yield
+// exactly the same bucket state — hence exactly the same quantiles, count,
+// and extrema — as sketching the whole population into one histogram. This
+// is the merge-correctness property the sharded fleet aggregation rests on.
+func TestMergePerShardEqualsWhole(t *testing.T) {
+	r := rng.New(0x5ade)
+	for round := 0; round < 20; round++ {
+		shards := 1 + r.Intn(32)
+		n := 1000 + r.Intn(20000)
+		dist := r.Intn(4)
+
+		whole := NewHistogram()
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = NewHistogram()
+		}
+		for i := 0; i < n; i++ {
+			v := drawSkewed(r, dist)
+			whole.Observe(v)
+			// Skewed shard assignment too: shard sizes differ wildly.
+			s := r.Intn(shards*2) % shards
+			parts[s].Observe(v)
+		}
+		merged := NewHistogram()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+
+		if merged.Count() != whole.Count() {
+			t.Fatalf("round %d: merged count %d != whole %d", round, merged.Count(), whole.Count())
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("round %d: merged extrema [%d,%d] != whole [%d,%d]",
+				round, merged.Min(), merged.Max(), whole.Min(), whole.Max())
+		}
+		for _, q := range mergeQs {
+			if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+				t.Fatalf("round %d (shards=%d dist=%d): merged q%.3f=%d != whole %d",
+					round, shards, dist, q, m, w)
+			}
+		}
+		if m, w := merged.Mean(), whole.Mean(); math.Abs(m-w) > 1e-6*math.Abs(w)+1e-9 {
+			t.Fatalf("round %d: merged mean %g vs whole %g", round, m, w)
+		}
+	}
+}
+
+// TestMergedQuantilesWithinDocumentedBound: merged-sketch quantiles must sit
+// within QuantileRelError of the exact sample quantiles — the bound the
+// sketch documents and the fleet summary relies on when it reports fleet
+// p50/p99 from merged shards.
+func TestMergedQuantilesWithinDocumentedBound(t *testing.T) {
+	r := rng.New(0xb0dd)
+	for round := 0; round < 10; round++ {
+		shards := 2 + r.Intn(16)
+		n := 5000 + r.Intn(5000)
+		dist := r.Intn(4)
+
+		values := make([]int64, 0, n)
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = NewHistogram()
+		}
+		for i := 0; i < n; i++ {
+			v := drawSkewed(r, dist)
+			values = append(values, v)
+			parts[i%shards].Observe(v)
+		}
+		merged := NewHistogram()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+
+		for _, q := range mergeQs {
+			idx := int(q * float64(n))
+			if idx >= n {
+				idx = n - 1
+			}
+			exact := values[idx]
+			got := merged.Quantile(q)
+			// Quantile answers the bucket's lower edge: it may undershoot
+			// the exact sample by the bucket width (QuantileRelError,
+			// plus integer-edge slack for tiny values) but never overshoot.
+			lo := float64(exact) * (1 - QuantileRelError)
+			if float64(got) < lo-1 || got > exact {
+				t.Fatalf("round %d (shards=%d dist=%d): q%.3f merged=%d exact=%d outside [%g,%d]",
+					round, shards, dist, q, got, exact, lo, exact)
+			}
+		}
+	}
+}
+
+// TestMergeIntoEmptyAndFromEmpty covers the degenerate merge directions the
+// streaming aggregator hits on its first and last shard.
+func TestMergeIntoEmptyAndFromEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{5, 10, 10, 20} {
+		h.Observe(v)
+	}
+	acc := NewHistogram()
+	acc.Merge(h)              // into empty
+	acc.Merge(NewHistogram()) // from empty
+	if acc.Count() != 4 || acc.Min() != 5 || acc.Max() != 20 {
+		t.Fatalf("merge through empties corrupted state: n=%d min=%d max=%d",
+			acc.Count(), acc.Min(), acc.Max())
+	}
+	if acc.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatalf("median changed across merge: %d != %d", acc.Quantile(0.5), h.Quantile(0.5))
+	}
+}

@@ -38,6 +38,15 @@ const (
 	histBuckets    = histSubBuckets * histMaxPow
 )
 
+// QuantileRelError is the histogram's documented quantile error bound: a
+// bucket spans at most a 1/histSubBuckets relative slice of its power of
+// two, and Quantile answers with the bucket's lower edge, so the reported
+// quantile underestimates the true sample quantile by at most this relative
+// fraction. Merging histograms (Merge) is lossless at the bucket level, so
+// merged quantiles carry exactly the same bound — the property the shard
+// merge tests pin.
+const QuantileRelError = 1.0 / histSubBuckets
+
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
@@ -59,7 +68,6 @@ func bucketOf(v int64) int {
 	}
 	return b
 }
-
 
 func bucketLow(b int) int64 {
 	pow := b / histSubBuckets
@@ -169,7 +177,18 @@ func (h *Histogram) Reset() {
 	h.min = math.MaxInt64
 }
 
-// AddTo merges h into dst.
+// Merge folds src into h. Histograms are mergeable sketches: bucket counts
+// and moment sums are additive, so merging per-shard histograms in any
+// grouping yields bucket-identical state to observing the whole population
+// into one histogram — percentile queries on the merged sketch equal the
+// unsharded ones exactly (and both carry the QuantileRelError bound vs the
+// true sample quantiles). Extrema merge exactly too. The one caveat is
+// float addition order on sum/sumsq: callers that need byte-identical
+// Mean/Stddev across runs must merge shards in a fixed order, which the
+// fleet aggregator does (shard-index order).
+func (h *Histogram) Merge(src *Histogram) { src.AddTo(h) }
+
+// AddTo merges h into dst (Merge with the receiver roles swapped).
 func (h *Histogram) AddTo(dst *Histogram) {
 	for i, c := range h.counts {
 		dst.counts[i] += c

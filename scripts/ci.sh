@@ -44,6 +44,11 @@ echo "== fault smoke (deterministic fault injection, end to end)"
 # traces and metrics: enabling faults must not cost determinism.
 make fault-smoke
 
+echo "== fleet smoke (100k hosts, byte-identical across worker counts)"
+# The sharded cluster simulation must produce the same bytes at workers
+# 1/4/16 and hold retained memory bounded regardless of host count.
+make fleet-smoke
+
 echo "== cmd exit codes (errors must exit non-zero)"
 # Every tool must fail loudly on bad input; a zero exit here is a
 # regression that silently greenlights broken CI pipelines.
@@ -54,6 +59,9 @@ for bad in \
 	"./cmd/iocost-trace analyze /nonexistent.trace" \
 	"./cmd/iocost-fuzz -replay /nonexistent.json" \
 	"./cmd/iocost-bench -run nosuch" \
+	"./cmd/iocost-fleet -kind nosuch" \
+	"./cmd/iocost-fleet -storm bogus -storm-racks 0" \
+	"./cmd/iocost-fleet -storm-racks 0" \
 	"./cmd/iocost-profile -device nosuch"; do
 	if go run $bad >/dev/null 2>&1; then
 		echo "FAIL: 'go run $bad' exited zero"
