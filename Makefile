@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke fleet-smoke
+.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke fleet-smoke tune-smoke
 
 all: build test
 
@@ -111,3 +111,20 @@ fleet-smoke:
 	cmp "$$dir/w4.om" "$$dir/w16.om"; \
 	go test ./internal/fleet -run TestClusterBoundedMemory -count=1 >/dev/null; \
 	echo "fleet-smoke OK: 100k hosts byte-identical at workers 1/4/16, memory bounded"
+
+# Auto-tuner smoke: the same (seed, scenario, objective) must produce
+# byte-identical recommendations — JSON and table — at workers 1 and 4,
+# and the emitted JSON must pass its own schema check. The recommendation
+# being a pure function of the seed is the contract that makes tuning
+# results citable. Part of tier-2 CI.
+tune-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	go build -o "$$dir/iocost-tune" ./cmd/iocost-tune; \
+	"$$dir/iocost-tune" -scenario fleet-a -seed 7 -candidates 8 -window 250 -warmup 150 -hill 1 -q -json -workers 1 -o "$$dir/w1.json"; \
+	"$$dir/iocost-tune" -scenario fleet-a -seed 7 -candidates 8 -window 250 -warmup 150 -hill 1 -q -json -workers 4 -o "$$dir/w4.json"; \
+	cmp "$$dir/w1.json" "$$dir/w4.json"; \
+	"$$dir/iocost-tune" -scenario fleet-a -seed 7 -candidates 8 -window 250 -warmup 150 -hill 1 -q -workers 1 -o "$$dir/w1.txt"; \
+	"$$dir/iocost-tune" -scenario fleet-a -seed 7 -candidates 8 -window 250 -warmup 150 -hill 1 -q -workers 4 -o "$$dir/w4.txt"; \
+	cmp "$$dir/w1.txt" "$$dir/w4.txt"; \
+	"$$dir/iocost-tune" -check "$$dir/w1.json" >/dev/null; \
+	echo "tune-smoke OK: recommendation byte-identical at workers 1/4, JSON schema valid"

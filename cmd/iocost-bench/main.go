@@ -8,7 +8,7 @@
 //
 // Experiment ids: table1, fig3, fig4, fig6, fig8, fig9, fig10, fig11,
 // fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fleet,
-// ext-degradation, ext-faults, ablations.
+// ext-degradation, ext-faults, tune, ablations.
 package main
 
 import (
@@ -91,6 +91,9 @@ var experiments = []experiment{
 	{"ext-faults", "Extension: failure semantics under a 10x latency + 1% error storm",
 		func(short bool) string { return exp.FormatExtFaults(exp.ExtFaults(extFaultsOpts(short))) },
 		func(short bool) any { return exp.ExtFaults(extFaultsOpts(short)) }},
+	{"tune", "Extension: closed-loop QoS auto-tuning vs hand-tuned (internal/tune)",
+		func(short bool) string { return exp.FormatAutoTune(exp.AutoTune(autoTuneOpts(short))) },
+		func(short bool) any { return exp.AutoTune(autoTuneOpts(short)) }},
 	{"ablations", "Ablations: donation, merging, planning period, cost model",
 		func(short bool) string {
 			d := ablationDur(short)
@@ -188,6 +191,10 @@ func extFaultsOpts(short bool) exp.ExtFaultsOptions {
 		return exp.ExtFaultsOptions{Phase: 4 * sim.Second}
 	}
 	return exp.ExtFaultsOptions{}
+}
+
+func autoTuneOpts(short bool) exp.AutoTuneOptions {
+	return exp.AutoTuneOptions{Seed: 42, Short: short, Workers: 4}
 }
 
 func extDegOpts(short bool) exp.ExtDegradationOptions {

@@ -1,0 +1,140 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+// RateLimiter is a token-bucket rate limiter keyed per message class, in the
+// spirit of the kernel's printk_ratelimited and cri-resource-manager's
+// rate-limited logger: each key gets Burst tokens that refill at one per
+// Interval, and messages arriving with an empty bucket are suppressed and
+// counted. The clock is injected as a nanosecond function so the limiter is
+// exactly as deterministic as its caller — under simulated time the same
+// event sequence always logs the same lines (the tune daemon runs it on sim
+// time; real tools can pass time.Now().UnixNano).
+type RateLimiter struct {
+	interval int64 // ns per token refill
+	burst    int64 // bucket capacity
+	now      func() int64
+
+	buckets map[string]*rlBucket
+	keys    []string // registration order, for deterministic reporting
+}
+
+type rlBucket struct {
+	tokens     int64
+	last       int64 // clock reading at the last refill
+	suppressed uint64
+}
+
+// NewRateLimiter returns a limiter allowing burst messages per key
+// immediately and one per interval (in ns) thereafter. burst < 1 is treated
+// as 1; interval < 1 disables limiting (every message passes).
+func NewRateLimiter(interval int64, burst int, now func() int64) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		interval: interval,
+		burst:    int64(burst),
+		now:      now,
+		buckets:  make(map[string]*rlBucket),
+	}
+}
+
+// Allow reports whether a message with the given key may be emitted now,
+// consuming a token if so. Denied calls increment the key's suppressed count
+// (drained by TakeSuppressed).
+func (rl *RateLimiter) Allow(key string) bool {
+	if rl.interval < 1 {
+		return true
+	}
+	t := rl.now()
+	b := rl.buckets[key]
+	if b == nil {
+		b = &rlBucket{tokens: rl.burst, last: t}
+		rl.buckets[key] = b
+		rl.keys = append(rl.keys, key)
+	} else if t > b.last {
+		refill := (t - b.last) / rl.interval
+		if refill > 0 {
+			b.tokens += refill
+			if b.tokens > rl.burst {
+				b.tokens = rl.burst
+			}
+			b.last += refill * rl.interval
+		}
+	}
+	if b.tokens > 0 {
+		b.tokens--
+		return true
+	}
+	b.suppressed++
+	return false
+}
+
+// TakeSuppressed returns and clears the number of messages suppressed for
+// key since the last call.
+func (rl *RateLimiter) TakeSuppressed(key string) uint64 {
+	b := rl.buckets[key]
+	if b == nil {
+		return 0
+	}
+	n := b.suppressed
+	b.suppressed = 0
+	return n
+}
+
+// Suppressed returns the total currently-pending suppressed count across all
+// keys without clearing it.
+func (rl *RateLimiter) Suppressed() uint64 {
+	var n uint64
+	for _, key := range rl.keys {
+		n += rl.buckets[key].suppressed
+	}
+	return n
+}
+
+// RateLimitedLogger writes formatted lines to an io.Writer through a
+// RateLimiter. Suppressed lines are counted per key and surfaced the next
+// time that key is allowed through ("... [suppressed N]"), so bursty
+// progress loops stay readable without losing the fact that output was
+// dropped.
+type RateLimitedLogger struct {
+	W      io.Writer
+	Prefix string
+	rl     *RateLimiter
+}
+
+// NewRateLimitedLogger wraps w with per-key rate limiting. interval is ns
+// per message per key after the initial burst.
+func NewRateLimitedLogger(w io.Writer, prefix string, interval int64, burst int, now func() int64) *RateLimitedLogger {
+	return &RateLimitedLogger{W: w, Prefix: prefix, rl: NewRateLimiter(interval, burst, now)}
+}
+
+// Logf emits one formatted line under key's budget. It returns true if the
+// line was written. A line that follows suppressed ones carries a
+// "[suppressed N]" suffix accounting for them.
+func (l *RateLimitedLogger) Logf(key, format string, args ...any) bool {
+	if !l.rl.Allow(key) {
+		return false
+	}
+	line := fmt.Sprintf(format, args...)
+	if n := l.rl.TakeSuppressed(key); n > 0 {
+		line = fmt.Sprintf("%s [suppressed %d]", line, n)
+	}
+	fmt.Fprintf(l.W, "%s%s\n", l.Prefix, line)
+	return true
+}
+
+// Flush reports any still-suppressed counts, one line per key in first-use
+// order, and clears them. Call once at shutdown so the tail of a bursty run
+// is accounted for.
+func (l *RateLimitedLogger) Flush() {
+	for _, key := range l.rl.keys {
+		if n := l.rl.TakeSuppressed(key); n > 0 {
+			fmt.Fprintf(l.W, "%s%s: %d messages suppressed\n", l.Prefix, key, n)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock is a manually advanced nanosecond clock.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64      { return c.t }
+func (c *fakeClock) advance(d int64) { c.t += d }
+
+func TestRateLimiterBucket(t *testing.T) {
+	clk := &fakeClock{}
+	rl := NewRateLimiter(1000, 2, clk.now)
+
+	// Burst of 2 passes, third is suppressed.
+	if !rl.Allow("a") || !rl.Allow("a") {
+		t.Fatal("burst denied")
+	}
+	if rl.Allow("a") {
+		t.Fatal("over-burst allowed")
+	}
+	if rl.Allow("a") {
+		t.Fatal("over-burst allowed again")
+	}
+	if n := rl.TakeSuppressed("a"); n != 2 {
+		t.Fatalf("suppressed = %d, want 2", n)
+	}
+	if n := rl.TakeSuppressed("a"); n != 0 {
+		t.Fatalf("TakeSuppressed did not clear: %d", n)
+	}
+
+	// Keys are independent buckets.
+	if !rl.Allow("b") {
+		t.Fatal("fresh key denied")
+	}
+
+	// One token refills per interval; partial intervals give nothing.
+	clk.advance(999)
+	if rl.Allow("a") {
+		t.Fatal("allowed before a full interval elapsed")
+	}
+	clk.advance(1)
+	if !rl.Allow("a") {
+		t.Fatal("denied after refill")
+	}
+	if rl.Allow("a") {
+		t.Fatal("single refill granted more than one token")
+	}
+
+	// A long idle refills at most up to the burst size.
+	clk.advance(100 * 1000)
+	if !rl.Allow("a") || !rl.Allow("a") {
+		t.Fatal("bucket did not refill to burst")
+	}
+	if rl.Allow("a") {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestRateLimiterRefillPhase(t *testing.T) {
+	clk := &fakeClock{}
+	rl := NewRateLimiter(1000, 1, clk.now)
+
+	if !rl.Allow("k") {
+		t.Fatal("first denied")
+	}
+	// 1.5 intervals: one token, and the leftover half-interval must carry
+	// over (bucket time advances by whole intervals only).
+	clk.advance(1500)
+	if !rl.Allow("k") {
+		t.Fatal("denied after 1.5 intervals")
+	}
+	clk.advance(500)
+	if !rl.Allow("k") {
+		t.Fatal("carry-over half interval lost")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	clk := &fakeClock{}
+	rl := NewRateLimiter(0, 1, clk.now)
+	for i := 0; i < 100; i++ {
+		if !rl.Allow("x") {
+			t.Fatal("disabled limiter suppressed a message")
+		}
+	}
+	if n := rl.Suppressed(); n != 0 {
+		t.Fatalf("disabled limiter counted %d suppressed", n)
+	}
+}
+
+// TestRateLimitedLoggerDeterministic pins that the same event sequence on
+// the same (simulated) clock produces byte-identical output — the property
+// the tune daemon's progress stream relies on.
+func TestRateLimitedLoggerDeterministic(t *testing.T) {
+	run := func() string {
+		clk := &fakeClock{}
+		var sb strings.Builder
+		lg := NewRateLimitedLogger(&sb, "tune: ", 1000, 1, clk.now)
+		for i := 0; i < 10; i++ {
+			lg.Logf("round", "round %d", i)
+			lg.Logf("score", "score %d", i*i)
+			clk.advance(250)
+		}
+		lg.Flush()
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("output differs across identical runs:\n%q\n%q", a, b)
+	}
+
+	// 10 events, 250ns apart, 1 token per 1000ns with burst 1: events at
+	// t=0, 1000, 2000 pass (i = 0, 4, 8), the rest are suppressed and the
+	// passing lines carry the counts.
+	want := "tune: round 0\n" +
+		"tune: score 0\n" +
+		"tune: round 4 [suppressed 3]\n" +
+		"tune: score 16 [suppressed 3]\n" +
+		"tune: round 8 [suppressed 3]\n" +
+		"tune: score 64 [suppressed 3]\n" +
+		"tune: round: 1 messages suppressed\n" +
+		"tune: score: 1 messages suppressed\n"
+	if a != want {
+		t.Fatalf("output = %q\nwant     %q", a, want)
+	}
+}
+
+func TestRateLimitedLoggerPassthrough(t *testing.T) {
+	clk := &fakeClock{}
+	var sb strings.Builder
+	lg := NewRateLimitedLogger(&sb, "", 1000, 3, clk.now)
+	for i := 0; i < 3; i++ {
+		if !lg.Logf("k", "line %d", i) {
+			t.Fatalf("line %d suppressed within burst", i)
+		}
+	}
+	if lg.Logf("k", "line 3") {
+		t.Fatal("line 3 passed over burst")
+	}
+	lg.Flush()
+	got := sb.String()
+	want := "line 0\nline 1\nline 2\nk: 1 messages suppressed\n"
+	if got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}

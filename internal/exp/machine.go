@@ -22,6 +22,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
+	"github.com/iocost-sim/iocost/internal/tune"
 )
 
 // Controller kinds under comparison.
@@ -170,66 +171,27 @@ type Machine struct {
 	Workload     *cgroup.Node
 }
 
+// Parameter derivation lives in internal/tune (the auto-tuner races its
+// candidates against exactly these configs); the aliases below keep exp's
+// historical names working.
+
 // IdealParams derives linear cost-model parameters analytically from an SSD
 // spec — what a perfect profiling run measures. Experiments that care about
 // profiling fidelity use the profiler package instead.
-func IdealParams(spec device.SSDSpec) core.LinearParams {
-	p := float64(spec.Parallelism)
-	return core.LinearParams{
-		RBps:      spec.ReadBps,
-		RSeqIOPS:  p / spec.SeqReadNS * 1e9,
-		RRandIOPS: p / spec.RandReadNS * 1e9,
-		WBps:      spec.SustainedWBp,
-		WSeqIOPS:  p / spec.SeqWriteNS * 1e9,
-		WRandIOPS: p / spec.RandWriteNS * 1e9,
-	}
-}
+func IdealParams(spec device.SSDSpec) core.LinearParams { return tune.IdealSSDParams(spec) }
 
 // IdealHDDParams derives cost-model parameters for the spinning disk.
-func IdealHDDParams(spec device.HDDSpec) core.LinearParams {
-	randNS := spec.MinSeekNS + (spec.FullSeekNS-spec.MinSeekNS)*0.45 + 0.5*60e9/spec.RPM
-	seqNS := spec.SeqOverheadNS + 4096/spec.MediaBps*1e9
-	return core.LinearParams{
-		RBps:      spec.MediaBps,
-		RSeqIOPS:  1e9 / seqNS,
-		RRandIOPS: 1e9 / randNS,
-		WBps:      spec.MediaBps,
-		WSeqIOPS:  1e9 / seqNS,
-		WRandIOPS: 1e9 / randNS,
-	}
-}
+func IdealHDDParams(spec device.HDDSpec) core.LinearParams { return tune.IdealHDDParams(spec) }
 
 // IdealRemoteParams derives cost-model parameters for a cloud volume: the
 // provisioned IOPS and throughput are the capability.
 func IdealRemoteParams(spec device.RemoteSpec) core.LinearParams {
-	iops := spec.IOPS
-	if iops == 0 {
-		iops = 100000
-	}
-	return core.LinearParams{
-		RBps: spec.Bps, RSeqIOPS: iops, RRandIOPS: iops,
-		WBps: spec.Bps, WSeqIOPS: iops, WRandIOPS: iops,
-	}
+	return tune.IdealRemoteParams(spec)
 }
 
-// TunedQoS returns §3.4-style QoS parameters for an SSD spec: latency
-// targets a small multiple of the device's loaded operating point in each
-// direction, vrate free within a moderate band. The write target must be
-// derived from the device's sustained (buffer-exhausted) write service
-// time, or it is unachievable under any write load and pins vrate at the
-// minimum.
-func TunedQoS(spec device.SSDSpec) core.QoS {
-	unloadedR := device.New4kLatencyHint(spec)
-	wService := spec.RandWriteNS
-	if sustained := 128 << 10 * float64(spec.Parallelism) / spec.SustainedWBp * 1e9; sustained > wService {
-		wService = sustained
-	}
-	return core.QoS{
-		RPct: 90, RLat: 5 * unloadedR,
-		WPct: 90, WLat: 8 * sim.Time(wService),
-		VrateMin: 0.5, VrateMax: 1.5,
-	}
-}
+// TunedQoS returns §3.4-style QoS parameters for an SSD spec; see
+// tune.HandTunedSSD.
+func TunedQoS(spec device.SSDSpec) core.QoS { return tune.HandTunedSSD(spec) }
 
 // newIOCostController builds a standalone IOCost controller for an SSD with
 // ideal model parameters and tuned QoS, for experiments that assemble
@@ -266,18 +228,9 @@ func iocostConfig(cfg MachineConfig, ssdSpec *device.SSDSpec) core.Config {
 		case ssdSpec != nil:
 			c.QoS = TunedQoS(*ssdSpec)
 		case cfg.Device.HDD != nil:
-			c.QoS = core.QoS{
-				RPct: 90, RLat: 15 * sim.Millisecond,
-				WPct: 90, WLat: 40 * sim.Millisecond,
-				VrateMin: 0.1, VrateMax: 1.2,
-			}
+			c.QoS = tune.HandTunedHDD()
 		default:
-			rtt := sim.Time(cfg.Device.Remote.RTTNS)
-			c.QoS = core.QoS{
-				RPct: 90, RLat: 6 * rtt,
-				WPct: 90, WLat: 10 * rtt,
-				VrateMin: 0.25, VrateMax: 1.5,
-			}
+			c.QoS = tune.HandTunedRemote(*cfg.Device.Remote)
 		}
 	}
 	return c

@@ -1,0 +1,111 @@
+package mem_test
+
+import (
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/mem"
+	"github.com/iocost-sim/iocost/internal/registry"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Edge cases around the dirty threshold and cgroup writeback charging.
+
+func TestFsyncCompletesWhileWritersThrottled(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 256 << 20, SwapCapacity: 1 << 30, Seed: 1})
+	r.pool.StartWriteback(0)
+	svc := r.hier.Root().NewChild("svc", 100)
+	hog := r.hier.Root().NewChild("hog", 100)
+
+	// The service dirties a little, then the hog blows through the dirty
+	// threshold (10% of 256MiB) and its writer stalls.
+	r.pool.WriteBuffered(svc, 4<<20, nil)
+	hogStalled := true
+	r.pool.WriteBuffered(hog, 100<<20, func() { hogStalled = false })
+	if !hogStalled {
+		t.Fatal("over-threshold write completed synchronously")
+	}
+
+	// An fsync issued while another cgroup's writer is dirty-throttled must
+	// still make progress: it flushes the service's own dirty pages and
+	// completes without waiting for the hog's backlog to clear.
+	synced := false
+	syncedAt := sim.Time(0)
+	r.pool.Fsync(svc, func() { synced = true; syncedAt = r.eng.Now() })
+	if synced {
+		t.Fatal("fsync of dirty data returned synchronously")
+	}
+	r.eng.RunUntil(10 * sim.Second)
+	if !synced {
+		t.Fatal("fsync never completed while a writer was throttled")
+	}
+	if !hogStalled && syncedAt == 0 {
+		t.Fatal("cannot order fsync against writer release")
+	}
+	if r.pool.Dirty(svc) != 0 {
+		t.Errorf("service dirty pages remain after fsync: %d", r.pool.Dirty(svc))
+	}
+	if hogStalled {
+		t.Error("throttled writer never released after writeback drained")
+	}
+}
+
+func TestDirtyLimitBoundaryExact(t *testing.T) {
+	const capacity = 256 << 20
+	r := newRig(t, mem.Config{Capacity: capacity, SwapCapacity: 1 << 30, Seed: 1})
+	cg := r.hier.Root().NewChild("w", 100)
+	capBytes := int64(capacity)
+	limit := int64(0.10 * float64(capBytes)) // must match writeback.go's dirtyRatio
+
+	// Dirtying exactly up to the limit is free: the threshold is inclusive,
+	// as in balance_dirty_pages' "<= thresh" fast path.
+	atLimit := false
+	r.pool.WriteBuffered(cg, limit, func() { atLimit = true })
+	if !atLimit {
+		t.Fatalf("write of exactly the dirty limit (%d bytes) stalled", limit)
+	}
+	if r.pool.TotalDirty() != limit {
+		t.Fatalf("TotalDirty = %d, want %d", r.pool.TotalDirty(), limit)
+	}
+
+	// One more byte crosses it and the writer throttles.
+	over := false
+	r.pool.WriteBuffered(cg, 1, func() { over = true })
+	if over {
+		t.Fatal("write one byte past the dirty limit completed synchronously")
+	}
+	r.eng.RunUntil(5 * sim.Second)
+	if !over {
+		t.Error("writer throttled at the boundary never released")
+	}
+}
+
+func TestWritebackChargesEachDirtier(t *testing.T) {
+	r := newRig(t, mem.Config{Capacity: 1 << 30, SwapCapacity: 1 << 30, Seed: 1})
+	r.pool.StartWriteback(0)
+	reg := registry.New()
+	r.q.RegisterMetrics(reg)
+	a := r.hier.Root().NewChild("a", 100)
+	b := r.hier.Root().NewChild("b", 100)
+
+	// Two cgroups dirty different amounts; all writeback IO in this test
+	// comes from the flusher, so per-cgroup write bytes must land on each
+	// dirtier exactly — not on a flusher thread or the other cgroup.
+	r.pool.WriteBuffered(a, 8<<20, nil)
+	r.pool.WriteBuffered(b, 3<<20, nil)
+	r.pool.Fsync(a, nil)
+	r.pool.Fsync(b, nil)
+	r.eng.RunUntil(2 * sim.Second)
+
+	for _, tc := range []struct {
+		path string
+		want float64
+	}{{"/a", 8 << 20}, {"/b", 3 << 20}} {
+		got, ok := reg.CounterValue("blk_cg_wbytes_total", registry.L("cgroup", tc.path))
+		if !ok {
+			t.Fatalf("no blk_cg_wbytes_total series for %s", tc.path)
+		}
+		if got != tc.want {
+			t.Errorf("writeback bytes charged to %s = %.0f, want %.0f", tc.path, got, tc.want)
+		}
+	}
+}

@@ -113,11 +113,20 @@ type Family struct {
 type Registry struct {
 	fams   []*Family
 	byName map[string]*Family
+
+	// Typed-lookup state (access.go): one reusable filter plus Emit
+	// closures built once here, so per-lookup cost is zero allocations.
+	scratch       filter
+	filterEmit    Emit
+	sumFilterEmit Emit
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{byName: make(map[string]*Family)}
+	r := &Registry{byName: make(map[string]*Family)}
+	r.filterEmit = r.emitFn
+	r.sumFilterEmit = r.sumEmit
+	return r
 }
 
 // validName enforces the Prometheus/OpenMetrics metric-name charset.
@@ -175,26 +184,38 @@ var summaryQuantiles = []struct {
 }
 
 // Histogram registers h as a quantile summary: one series per quantile
-// (label quantile="0.5" etc.) plus <name>_count and <name>_sum.
+// (label quantile="0.5" etc.) plus <name>_count and <name>_sum. The
+// per-quantile label slices are fixed at registration, so collecting the
+// family allocates nothing.
 func (r *Registry) Histogram(name, help string, labels []Label, h *stats.Histogram) {
+	qls := make([][]Label, len(summaryQuantiles))
+	for i, sq := range summaryQuantiles {
+		ql := make([]Label, 0, len(labels)+1)
+		ql = append(ql, labels...)
+		qls[i] = append(ql, Label{Key: "quantile", Value: sq.label})
+	}
+	countName, sumName := name+"_count", name+"_sum"
 	r.Register(name, Summary, help, func(emit Emit) {
-		for _, sq := range summaryQuantiles {
-			ql := make([]Label, 0, len(labels)+1)
-			ql = append(ql, labels...)
-			ql = append(ql, Label{Key: "quantile", Value: sq.label})
-			emit(name, ql, float64(h.Quantile(sq.q)))
+		for i, sq := range summaryQuantiles {
+			emit(name, qls[i], float64(h.Quantile(sq.q)))
 		}
-		emit(name+"_count", labels, float64(h.Count()))
-		emit(name+"_sum", labels, h.Mean()*float64(h.Count()))
+		emit(countName, labels, float64(h.Count()))
+		emit(sumName, labels, h.Mean()*float64(h.Count()))
 	})
 }
 
 // Collector registers a family with a dynamic series set (per-cgroup
 // metrics, per-direction breakdowns): fn is called at gather time and emits
-// one sample per series, in a deterministic order of fn's choosing.
+// one sample per series, in a deterministic order of fn's choosing. The
+// emit adapter is built once here (collects never nest), so the registry
+// adds no per-collect allocations on top of fn's own.
 func (r *Registry) Collector(name string, kind Kind, help string, fn func(emit func(labels []Label, v float64))) {
+	var cur Emit
+	adapter := func(labels []Label, v float64) { cur(name, labels, v) }
 	r.Register(name, kind, help, func(emit Emit) {
-		fn(func(labels []Label, v float64) { emit(name, labels, v) })
+		cur = emit
+		fn(adapter)
+		cur = nil
 	})
 }
 

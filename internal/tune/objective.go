@@ -1,0 +1,91 @@
+package tune
+
+import (
+	"fmt"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// Objective scores a branch measurement. Higher is better. Score must be a
+// pure function of its inputs — the determinism contract extends through
+// scoring, since candidate ranking decides which configs survive halving.
+type Objective struct {
+	Name        string
+	Description string
+	// Score maps a measurement to a scalar given the scenario's protected
+	// p99 target.
+	Score func(target sim.Time, m Measure) float64
+}
+
+// sloFactor maps a p99 against its target onto (0, 1]: 1 while the target
+// holds, decaying polynomially as it is exceeded. A branch where the
+// protected workload completed nothing scores zero — total starvation
+// must never look like a win.
+func sloFactor(target sim.Time, m Measure, pow int) float64 {
+	if m.ProtIOPS <= 0 || m.P99 <= 0 {
+		return 0
+	}
+	if m.P99 <= target {
+		return 1
+	}
+	f := float64(target) / float64(m.P99)
+	out := 1.0
+	for i := 0; i < pow; i++ {
+		out *= f
+	}
+	return out
+}
+
+// objectives holds the built-in objectives in a fixed order.
+var objectives = []Objective{
+	{
+		Name:        "bulk-slo",
+		Description: "maximize best-effort throughput subject to protected p99 <= target",
+		Score: func(target sim.Time, m Measure) float64 {
+			return m.BulkBps / 1e6 * sloFactor(target, m, 4)
+		},
+	},
+	{
+		Name:        "prot-iops",
+		Description: "maximize protected IOPS subject to its own p99 <= target",
+		Score: func(target sim.Time, m Measure) float64 {
+			return m.ProtIOPS * sloFactor(target, m, 2)
+		},
+	},
+	{
+		Name:        "low-pressure",
+		Description: "best-effort throughput discounted by PSI full-stall time",
+		Score: func(target sim.Time, m Measure) float64 {
+			p := m.PressurePct / 100
+			if p > 1 {
+				p = 1
+			}
+			return m.BulkBps / 1e6 * sloFactor(target, m, 4) * (1 - p)
+		},
+	},
+}
+
+// Objectives returns the built-in objectives in registration order.
+func Objectives() []Objective { return objectives }
+
+// ObjectiveNames lists the built-in objective names.
+func ObjectiveNames() []string {
+	names := make([]string, len(objectives))
+	for i, o := range objectives {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// ObjectiveByName resolves a built-in objective; "" selects bulk-slo.
+func ObjectiveByName(name string) (Objective, error) {
+	if name == "" {
+		return objectives[0], nil
+	}
+	for _, o := range objectives {
+		if o.Name == name {
+			return o, nil
+		}
+	}
+	return Objective{}, fmt.Errorf("tune: unknown objective %q", name)
+}

@@ -1,0 +1,212 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/core"
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// ReportVersion is the current recommended-config JSON schema version.
+// Bump it when the schema changes shape; Validate pins it so stale tooling
+// fails loudly instead of misreading fields.
+const ReportVersion = 1
+
+// Report is the versioned, serializable form of a search result — what
+// iocost-tune emits and `-check` validates. QoS and model lines use the
+// kernel's io.cost.qos / io.cost.model text formats so a recommendation can
+// be applied to a real cgroup2 mount verbatim.
+type Report struct {
+	Version   int     `json:"version"`
+	Scenario  string  `json:"scenario"`
+	Objective string  `json:"objective"`
+	TargetMs  float64 `json:"target_ms"`
+	Seed      uint64  `json:"seed"`
+	Model     string  `json:"model"`
+
+	Best      ReportConfig `json:"best"`
+	Baseline  ReportConfig `json:"baseline"`
+	HandTuned ReportConfig `json:"hand_tuned"`
+
+	Rounds []ReportRound `json:"rounds"`
+	Evals  int           `json:"evals"`
+}
+
+// ReportConfig is one scored configuration.
+type ReportConfig struct {
+	QoS         string  `json:"qos"`
+	Origin      string  `json:"origin"`
+	Score       float64 `json:"score"`
+	P99Ms       float64 `json:"p99_ms"`
+	BulkMBps    float64 `json:"bulk_mbps"`
+	ProtIOPS    float64 `json:"prot_iops"`
+	VrateMean   float64 `json:"vrate_mean"`
+	PressurePct float64 `json:"pressure_pct"`
+}
+
+// ReportRound is one evaluation round's summary.
+type ReportRound struct {
+	Stage      string  `json:"stage"`
+	WindowMs   float64 `json:"window_ms"`
+	Candidates int     `json:"candidates"`
+	BestScore  float64 `json:"best_score"`
+	BestOrigin string  `json:"best_origin"`
+}
+
+func toMs(t sim.Time) float64 { return float64(t) / float64(sim.Millisecond) }
+
+func reportConfig(c Candidate) ReportConfig {
+	return ReportConfig{
+		QoS:         c.QoS.String(),
+		Origin:      c.Origin,
+		Score:       c.Score,
+		P99Ms:       toMs(c.Meas.P99),
+		BulkMBps:    c.Meas.BulkBps / 1e6,
+		ProtIOPS:    c.Meas.ProtIOPS,
+		VrateMean:   c.Meas.VrateMean,
+		PressurePct: c.Meas.PressurePct,
+	}
+}
+
+// Report converts a search result to its serializable form.
+func (r *Result) Report() Report {
+	rep := Report{
+		Version:   ReportVersion,
+		Scenario:  r.Scenario,
+		Objective: r.Objective,
+		TargetMs:  toMs(r.Target),
+		Seed:      r.Seed,
+		Model:     r.Model.String(),
+		Best:      reportConfig(r.Best),
+		Baseline:  reportConfig(r.Baseline),
+		HandTuned: reportConfig(r.HandTuned),
+		Evals:     r.Evals,
+	}
+	for _, rd := range r.Rounds {
+		rep.Rounds = append(rep.Rounds, ReportRound{
+			Stage: rd.Stage, WindowMs: toMs(rd.Window), Candidates: rd.Candidates,
+			BestScore: rd.BestScore, BestOrigin: rd.BestOrigin,
+		})
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON. Field order is fixed by the
+// struct, so identical results marshal to identical bytes.
+func (r Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseReport decodes and validates a report.
+func ParseReport(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("tune: report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func validConfig(name string, c ReportConfig) error {
+	if c.Origin == "" {
+		return fmt.Errorf("tune: report: %s.origin is empty", name)
+	}
+	if _, err := core.ParseQoS(c.QoS, core.QoS{}); err != nil {
+		return fmt.Errorf("tune: report: %s.qos: %w", name, err)
+	}
+	for _, v := range []struct {
+		field string
+		val   float64
+	}{
+		{"score", c.Score}, {"p99_ms", c.P99Ms}, {"bulk_mbps", c.BulkMBps},
+		{"prot_iops", c.ProtIOPS}, {"vrate_mean", c.VrateMean}, {"pressure_pct", c.PressurePct},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+			return fmt.Errorf("tune: report: %s.%s = %v is not a finite non-negative number",
+				name, v.field, v.val)
+		}
+	}
+	return nil
+}
+
+// Validate checks the report's schema: version, required fields, parseable
+// kernel-format config lines, finite metrics, and well-formed rounds.
+func (r Report) Validate() error {
+	if r.Version != ReportVersion {
+		return fmt.Errorf("tune: report version %d, want %d", r.Version, ReportVersion)
+	}
+	if r.Scenario == "" {
+		return fmt.Errorf("tune: report: scenario is empty")
+	}
+	if r.Objective == "" {
+		return fmt.Errorf("tune: report: objective is empty")
+	}
+	if r.TargetMs <= 0 {
+		return fmt.Errorf("tune: report: target_ms = %v, want > 0", r.TargetMs)
+	}
+	if _, err := core.ParseLinearParams(r.Model); err != nil {
+		return fmt.Errorf("tune: report: model: %w", err)
+	}
+	for _, c := range []struct {
+		name string
+		cfg  ReportConfig
+	}{{"best", r.Best}, {"baseline", r.Baseline}, {"hand_tuned", r.HandTuned}} {
+		if err := validConfig(c.name, c.cfg); err != nil {
+			return err
+		}
+	}
+	if len(r.Rounds) == 0 {
+		return fmt.Errorf("tune: report: no rounds")
+	}
+	for i, rd := range r.Rounds {
+		switch rd.Stage {
+		case "halving", "hill", "final":
+		default:
+			return fmt.Errorf("tune: report: rounds[%d] has unknown stage %q", i, rd.Stage)
+		}
+		if rd.WindowMs <= 0 || rd.Candidates <= 0 {
+			return fmt.Errorf("tune: report: rounds[%d] window/candidates must be positive", i)
+		}
+	}
+	if r.Rounds[len(r.Rounds)-1].Stage != "final" {
+		return fmt.Errorf("tune: report: last round is %q, want final", r.Rounds[len(r.Rounds)-1].Stage)
+	}
+	if r.Evals <= 0 {
+		return fmt.Errorf("tune: report: evals = %d, want > 0", r.Evals)
+	}
+	return nil
+}
+
+// Table renders the report as the human-readable comparison iocost-tune
+// prints: one row per reference config plus the winner, then the round
+// history.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# iocost-tune  scenario=%s objective=%s target=%.2fms seed=%d evals=%d\n",
+		r.Scenario, r.Objective, r.TargetMs, r.Seed, r.Evals)
+	fmt.Fprintf(&b, "# io.cost.model: %s\n", r.Model)
+	fmt.Fprintf(&b, "%-10s %10s %9s %11s %11s %7s %6s  %s\n",
+		"config", "score", "p99(ms)", "bulk(MB/s)", "prot(iops)", "vrate", "psi%", "io.cost.qos")
+	row := func(name string, c ReportConfig) {
+		fmt.Fprintf(&b, "%-10s %10.3f %9.3f %11.1f %11.1f %7.3f %6.2f  %s\n",
+			name, c.Score, c.P99Ms, c.BulkMBps, c.ProtIOPS, c.VrateMean, c.PressurePct, c.QoS)
+	}
+	row("auto", r.Best)
+	row("hand", r.HandTuned)
+	row("default", r.Baseline)
+	b.WriteString("# rounds:")
+	for _, rd := range r.Rounds {
+		fmt.Fprintf(&b, " %s(%d@%.0fms %.3f)", rd.Stage, rd.Candidates, rd.WindowMs, rd.BestScore)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -40,6 +40,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/registry"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
+	"github.com/iocost-sim/iocost/internal/tune"
 	"github.com/iocost-sim/iocost/internal/workload"
 	"github.com/iocost-sim/iocost/internal/zk"
 )
@@ -410,6 +411,35 @@ type (
 
 // Tune runs the §3.4 QoS tuning procedure for an SSD spec.
 var Tune = rcb.Tune
+
+// Closed-loop QoS auto-tuning (internal/tune): race candidate configs as
+// forked deterministic simulation branches against a pluggable objective.
+// The recommendation is a pure function of (seed, scenario, objective).
+type (
+	// AutoTuneScenario is one tuning situation: a device plus the
+	// protected workload's latency contract.
+	AutoTuneScenario = tune.Scenario
+	// AutoTuneOptions parameterizes a search.
+	AutoTuneOptions = tune.Options
+	// AutoTuneResult is a completed search.
+	AutoTuneResult = tune.Result
+	// AutoTuneReport is the versioned JSON form iocost-tune emits.
+	AutoTuneReport = tune.Report
+	// AutoTuneObjective scores a candidate's measurement.
+	AutoTuneObjective = tune.Objective
+	// TunePolicy configures the re-tune daemon's triggers.
+	TunePolicy = tune.Policy
+	// TuneDaemon watches live registry metrics and re-tunes on breach.
+	TuneDaemon = tune.Daemon
+)
+
+// AutoTune searches QoS configs for a scenario; AutoTuneScenarios lists the
+// built-in scenarios and NewTuneDaemon builds the closed-loop watcher.
+var (
+	AutoTune          = tune.Search
+	AutoTuneScenarios = tune.Scenarios
+	NewTuneDaemon     = tune.NewDaemon
+)
 
 // Device is a simulated block device.
 type Device = device.Device

@@ -49,6 +49,11 @@ echo "== fleet smoke (100k hosts, byte-identical across worker counts)"
 # 1/4/16 and hold retained memory bounded regardless of host count.
 make fleet-smoke
 
+echo "== tune smoke (auto-tuner byte-identical across worker counts)"
+# The recommended QoS config must be a pure function of (seed, scenario,
+# objective): same bytes at workers 1 and 4, JSON passes -check.
+make tune-smoke
+
 echo "== cmd exit codes (errors must exit non-zero)"
 # Every tool must fail loudly on bad input; a zero exit here is a
 # regression that silently greenlights broken CI pipelines.
@@ -62,7 +67,10 @@ for bad in \
 	"./cmd/iocost-fleet -kind nosuch" \
 	"./cmd/iocost-fleet -storm bogus -storm-racks 0" \
 	"./cmd/iocost-fleet -storm-racks 0" \
-	"./cmd/iocost-profile -device nosuch"; do
+	"./cmd/iocost-profile -device nosuch" \
+	"./cmd/iocost-tune -scenario nosuch" \
+	"./cmd/iocost-tune -objective nosuch" \
+	"./cmd/iocost-tune -check /nonexistent.json"; do
 	if go run $bad >/dev/null 2>&1; then
 		echo "FAIL: 'go run $bad' exited zero"
 		exit 1
