@@ -1,6 +1,6 @@
 # Tier-1: the checks every change must keep green. See TESTING.md for the
 # full tier ladder.
-.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke fleet-smoke tune-smoke
+.PHONY: all build test bench bench-json bench-check ci ci-full fuzz-smoke fuzz-smoke-faults trace-smoke monitor-smoke fault-smoke fleet-smoke tune-smoke incident-smoke
 
 all: build test
 
@@ -111,6 +111,31 @@ fleet-smoke:
 	cmp "$$dir/w4.om" "$$dir/w16.om"; \
 	go test ./internal/fleet -run TestClusterBoundedMemory -count=1 >/dev/null; \
 	echo "fleet-smoke OK: 100k hosts byte-identical at workers 1/4/16, memory bounded"
+
+# Incident-observability smoke: the flight recorder and Perfetto export are
+# part of the determinism contract. The same storm run armed with -flight
+# twice must produce byte-identical incident bundles (and at least one must
+# fire — a storm with a silent black box is a regression); the bundles must
+# pass `iocost-trace bundle -check`; and exporting the same capture to
+# Perfetto twice must be byte-identical so timeline JSON can be golden-
+# tested. Part of tier-2 CI.
+incident-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	go run ./cmd/iocost-sim -seconds 8 -seed 7 -faults storm -flight "$$dir/a" > "$$dir/a.out"; \
+	go run ./cmd/iocost-sim -seconds 8 -seed 7 -faults storm -flight "$$dir/b" >/dev/null; \
+	ls "$$dir/a" | grep -q 'incident-000'; \
+	for f in "$$dir"/a/incident-*.json; do \
+		cmp "$$f" "$$dir/b/$$(basename $$f)"; \
+		go run ./cmd/iocost-trace bundle -check "$$f" >/dev/null; \
+	done; \
+	grep -q 'fault-blame' "$$dir/a.out"; \
+	go run ./cmd/iocost-trace capture -seed 7 -o "$$dir/a.trace" >/dev/null; \
+	go run ./cmd/iocost-trace export-perfetto -o "$$dir/a.pftrace.json" "$$dir/a.trace" >/dev/null; \
+	go run ./cmd/iocost-trace export-perfetto -o "$$dir/b.pftrace.json" "$$dir/a.trace" >/dev/null; \
+	cmp "$$dir/a.pftrace.json" "$$dir/b.pftrace.json"; \
+	go run ./cmd/iocost-trace export-perfetto -o "$$dir/i.pftrace.json" "$$dir"/a/incident-000-*.json >/dev/null; \
+	grep -q 'traceEvents' "$$dir/i.pftrace.json"; \
+	echo "incident-smoke OK: bundles byte-identical and valid, Perfetto export deterministic"
 
 # Auto-tuner smoke: the same (seed, scenario, objective) must produce
 # byte-identical recommendations — JSON and table — at workers 1 and 4,

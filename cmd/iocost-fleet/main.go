@@ -53,6 +53,8 @@ func main() {
 	stormRacks := flag.String("storm-racks", "", "comma-separated racks sharing the -storm fault plan")
 	stormSpec := flag.String("storm", "", "fault plan for the stormed racks: a preset ("+
 		strings.Join(fault.PresetNames(), ", ")+") or kind:at=2s,dur=3s,... episodes")
+	flightSample := flag.Float64("flight-sample", 0, "sample this fraction of hosts with flight recorders (seed-derived subset; 0 disables)")
+	flightFail := flag.Float64("flight-fail", 0, "per-host per-tick failure fraction that files an incident (0 = default 0.5)")
 	measure := flag.Bool("measure", false, "measure failure curves with live per-host micro-simulations instead of canned curves")
 	trials := flag.Int("trials", 3, "micro-simulation trials per pressure point for -measure")
 	mode := flag.String("mode", "text", "output: text summary, openmetrics roll-ups, or json export")
@@ -104,6 +106,14 @@ func main() {
 			cli.Fatalf(tool, "%v", err)
 		}
 		cfg.Storms = []fleet.FaultStorm{{Racks: racks, Plan: plan}}
+	}
+	if *flightSample < 0 || *flightSample > 1 {
+		cli.Fatalf(tool, "-flight-sample %v outside [0,1]", *flightSample)
+	}
+	if *flightSample > 0 {
+		cfg.Flight = &fleet.FleetFlight{SampleFrac: *flightSample, FailCeil: *flightFail}
+	} else if *flightFail != 0 {
+		cli.Fatalf(tool, "-flight-fail requires -flight-sample > 0")
 	}
 	if *measure {
 		cfg.Old, cfg.New = exp.MeasuredFleetCurves(kind, *trials)

@@ -57,6 +57,7 @@ func main() {
 	out := flag.String("o", "", "write export to this file instead of stdout")
 	checkFile := flag.String("check", "", "validate a JSON export file and exit")
 	faults := flag.String("faults", "", "inject device faults: a preset (storm, flaky, hang, gcstorm, capcollapse) or kind:at=2s,dur=3s,rate=0.01;... episodes")
+	alerts := flag.Bool("alerts", false, "evaluate SLO burn-rate rules against the registry and print alert state each interval (live mode)")
 	fleetView := flag.Bool("fleet", false, "monitor a sharded fleet instead of one host (see internal/fleet)")
 	fleetHosts := flag.Int("fleet-hosts", 1000, "hosts in the -fleet cluster")
 	fleetWorkers := flag.Int("fleet-workers", 0, "shard fan-out width for -fleet (0 = serial; output identical for every value)")
@@ -122,9 +123,19 @@ func main() {
 	mk(hi, 0, *seed+1)
 	mk(lo, 1<<40, *seed+2)
 
+	var ev *iocost.SLOEvaluator
+	if *alerts {
+		ev, err = iocost.NewSLOEvaluator(m.Eng, iocost.SLORegistrySource{Reg: m.Registry},
+			iocost.DefaultSLORules(), 0)
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+		ev.Start()
+	}
+
 	switch *mode {
 	case "live":
-		live(m, *seconds, *interval)
+		live(m, ev, *seconds, *interval)
 	case "openmetrics", "json":
 		m.Run(iocost.Time(*seconds) * iocost.Second)
 		w, closer := output(*out)
@@ -208,8 +219,9 @@ func check(path string) {
 	fmt.Printf("%s: ok (%d metrics, %d scrapes)\n", path, len(exp.Metrics), exp.Samples)
 }
 
-// live renders registry-driven tables every display interval.
-func live(m *iocost.Machine, seconds, interval int) {
+// live renders registry-driven tables every display interval; with -alerts
+// the SLO burn-rate state rides along under each table.
+func live(m *iocost.Machine, ev *iocost.SLOEvaluator, seconds, interval int) {
 	if interval < 1 {
 		interval = 1
 	}
@@ -225,11 +237,17 @@ func live(m *iocost.Machine, seconds, interval int) {
 		}
 		fmt.Print(m.Q.FormatIOStat())
 		fmt.Print(m.Pressure.Format())
+		if ev != nil {
+			fmt.Print(ev.Format())
+		}
 		for _, f := range fams {
 			for _, s := range f.Samples {
 				prev[s.Name+s.Labels] = s.Value
 			}
 		}
+	}
+	if ev != nil {
+		fmt.Printf("slo: %d alert transitions\n", ev.Transitions())
 	}
 }
 

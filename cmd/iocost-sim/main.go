@@ -40,6 +40,7 @@ func main() {
 	pressure := flag.Bool("pressure", false, "print per-cgroup io.pressure at the end of the run")
 	metricsOut := flag.String("metrics", "", "export sampled metrics of the run to this file (OpenMetrics text, or JSON with a .json suffix)")
 	faults := flag.String("faults", "", "inject device faults: a preset (storm, flaky, hang, gcstorm, capcollapse) or kind:at=2s,dur=3s,rate=0.01;... episodes")
+	flightDir := flag.String("flight", "", "arm the flight recorder and write incident bundles to this directory (inspect with iocost-trace bundle)")
 	cli.Parse(tool)
 
 	var dev iocost.DeviceChoice
@@ -65,6 +66,22 @@ func main() {
 		}
 	}
 
+	var fc *iocost.FlightConfig
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+		fc = &iocost.FlightConfig{
+			Dir:          *flightDir,
+			Rules:        iocost.DefaultSLORules(),
+			VrateFloor:   0.25,
+			PressureCeil: 0.9,
+			// A short cooldown so a burst fault episode yields both an
+			// onset bundle and an in-episode bundle before it ends.
+			Cooldown: 2 * iocost.Second,
+		}
+	}
+
 	m, err := iocost.NewMachine(iocost.MachineConfig{
 		Device:     dev,
 		Controller: *controller,
@@ -73,6 +90,7 @@ func main() {
 		Pressure:   *pressure,
 		Metrics:    *metricsOut != "",
 		Faults:     plan,
+		Flight:     fc,
 	})
 	if err != nil {
 		cli.Fatalf(tool, "%v", err)
@@ -152,6 +170,20 @@ func main() {
 	}
 	if *pressure {
 		fmt.Print(m.Pressure.Format())
+	}
+	if m.Flight != nil {
+		inc := m.Flight.Incidents()
+		fmt.Printf("flight: %d incidents (%d trigger checks) -> %s\n",
+			len(inc), m.Flight.Checks, *flightDir)
+		for i, b := range inc {
+			fmt.Printf("  incident %03d: %s at %v (%d events", i, b.Reason,
+				iocost.Time(b.AtNS), b.Events)
+			if b.Blame != nil {
+				fmt.Printf(", p99 %v, fault-blame %.0f%%",
+					iocost.Time(b.Blame.System.P99NS), 100*b.Blame.System.FaultFrac)
+			}
+			fmt.Println(")")
+		}
 	}
 	if *traceOut != "" {
 		tr := m.Trace.Trace()

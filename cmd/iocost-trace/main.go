@@ -13,18 +13,28 @@
 //	iocost-trace analyze run.trace                   # latency/pressure report
 //	iocost-trace diff a.trace b.trace                # first divergence + summary
 //	iocost-trace export -o run.txt run.trace         # workload text format
+//	iocost-trace export-perfetto -o run.json run.trace   # Perfetto/Chrome timeline
+//	iocost-trace export-perfetto incident-000.json   # works on bundles too
+//	iocost-trace bundle -check incident-000.json     # incident bundle inspect/validate
 //
 // Captures are deterministic: the same seed and controller always produce a
-// byte-identical trace, so diff doubles as a regression check.
+// byte-identical trace, so diff doubles as a regression check — and the
+// Perfetto export is byte-identical too, so rendered timelines are
+// reproducible artifacts.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/iocost-sim/iocost/internal/cli"
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/flight"
 	"github.com/iocost-sim/iocost/internal/simfuzz"
+	"github.com/iocost-sim/iocost/internal/span"
 	"github.com/iocost-sim/iocost/internal/trace"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
@@ -45,6 +55,10 @@ func main() {
 		diff(args)
 	case "export":
 		export(args)
+	case "export-perfetto":
+		exportPerfetto(args)
+	case "bundle":
+		bundle(args)
 	case "version", "-version", "--version":
 		cli.PrintVersion("iocost-trace")
 	case "help", "-h", "-help", "--help":
@@ -56,12 +70,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: iocost-trace capture|dump|analyze|diff|export [args]\n"+
+	fmt.Fprintln(os.Stderr, "usage: iocost-trace capture|dump|analyze|diff|export|export-perfetto|bundle [args]\n"+
 		"  capture -seed N [-controller iocost] [-o file.trace]\n"+
 		"  dump    [-n events] file.trace\n"+
 		"  analyze file.trace\n"+
 		"  diff    a.trace b.trace\n"+
-		"  export  [-o file.txt] file.trace")
+		"  export  [-o file.txt] file.trace\n"+
+		"  export-perfetto [-o file.json] [-faults plan] file.trace|bundle.json\n"+
+		"  bundle  [-check] [-blame] bundle.json")
 	os.Exit(2)
 }
 
@@ -132,6 +148,120 @@ func diff(args []string) {
 	fmt.Print(d.Report)
 	if !d.Identical {
 		os.Exit(1)
+	}
+}
+
+// loadAny reads either a binary trace or an incident bundle (detected by a
+// leading '{'), returning the trace and the fault plan to attribute with.
+func loadAny(path string) (*trace.Trace, fault.Plan) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) > 0 && data[0] == '{' {
+		b, err := flight.DecodeBundle(data)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := b.Trace()
+		if err != nil {
+			fatal(err)
+		}
+		var plan fault.Plan
+		if b.Plan != "" {
+			if plan, err = fault.ParsePlan(b.Plan); err != nil {
+				fatal(err)
+			}
+		}
+		return tr, plan
+	}
+	tr, err := trace.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	return tr, fault.Plan{}
+}
+
+func exportPerfetto(args []string) {
+	fs := flag.NewFlagSet("export-perfetto", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	faults := fs.String("faults", "", "fault plan or preset for episode attribution (bundles carry their own)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr, plan := loadAny(fs.Arg(0))
+	if *faults != "" {
+		p, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
+	}
+	set := span.Build(tr, plan)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := span.WritePerfetto(bw, set); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("exported %d spans (%d incomplete) -> %s (load in ui.perfetto.dev)\n",
+			len(set.Spans), set.Incomplete, *out)
+	}
+}
+
+func bundle(args []string) {
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	check := fs.Bool("check", false, "validate the bundle schema and exit")
+	blame := fs.Bool("blame", false, "print the span blame table")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	b, err := flight.ReadBundle(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		fmt.Printf("%s: valid v%d bundle (%s, %d events)\n", fs.Arg(0), b.Version, b.Reason, b.Events)
+		return
+	}
+	fmt.Printf("incident: %s at %d ns (window %d ns)\n", b.Reason, b.AtNS, b.WindowNS)
+	fmt.Printf("events: %d (%d dropped before window)\n", b.Events, b.DroppedBefore)
+	if b.Plan != "" {
+		fmt.Printf("faults: %s\n", b.Plan)
+	}
+	if len(b.Meta) > 0 {
+		keys := make([]string, 0, len(b.Meta))
+		for k := range b.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Print("meta:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%s", k, b.Meta[k])
+		}
+		fmt.Println()
+	}
+	if len(b.Alerts) > 0 {
+		fmt.Printf("alert transitions: %d\n", len(b.Alerts))
+	}
+	if b.Blame != nil && *blame {
+		fmt.Print(b.Blame.Format())
+	} else if b.Blame != nil {
+		fmt.Printf("blame: %d spans, system p99 %dns (re-run with -blame for the table)\n",
+			b.Blame.Spans, b.Blame.System.P99NS)
 	}
 }
 

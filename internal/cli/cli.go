@@ -12,7 +12,7 @@ import (
 )
 
 // Version is the toolchain version reported by every command's -version.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 var versionFlag *bool
 

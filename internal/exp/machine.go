@@ -16,6 +16,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/flight"
 	"github.com/iocost-sim/iocost/internal/mem"
 	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/registry"
@@ -81,6 +82,15 @@ type MachineConfig struct {
 	// Pressure attaches a live PSI collector (Machine.Pressure).
 	Pressure bool
 
+	// Flight, if non-nil, attaches an always-on flight recorder
+	// (Machine.Flight): a bounded black-box trace ring with
+	// dump-on-trigger incident bundles. A registry is built even when
+	// Metrics is false (triggers read it), but the Sampler only runs
+	// under Metrics. When the flight config carries no fault plan, the
+	// machine's Faults plan is used for storm triggers and blame
+	// attribution.
+	Flight *flight.Config
+
 	// Metrics attaches a metrics registry spanning every layer
 	// (Machine.Registry) and a virtual-time sampler scraping it into
 	// bounded time-series (Machine.Sampler). MetricsInterval overrides
@@ -133,6 +143,11 @@ func (cfg MachineConfig) Validate() error {
 	if err := cfg.Faults.Validate(); err != nil {
 		return fmt.Errorf("exp: MachineConfig.Faults: %w", err)
 	}
+	if cfg.Flight != nil {
+		if err := cfg.Flight.Validate(); err != nil {
+			return fmt.Errorf("exp: MachineConfig.Flight: %w", err)
+		}
+	}
 	if p := cfg.Retry; p != nil {
 		if p.MaxRetries < 0 || p.Backoff < 0 || p.Deadline < 0 {
 			return fmt.Errorf("exp: MachineConfig.Retry fields must be non-negative: %+v", *p)
@@ -158,6 +173,8 @@ type Machine struct {
 
 	// Trace is the telemetry recorder when MachineConfig.Trace is set.
 	Trace *trace.Recorder
+	// Flight is the black-box recorder when MachineConfig.Flight is set.
+	Flight *flight.Recorder
 	// Pressure is the PSI collector when MachineConfig.Pressure is set.
 	Pressure *metrics.IOPressure
 	// Registry and Sampler are the metrics surface when
@@ -323,8 +340,40 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if cfg.Trace {
 		m.Trace = trace.NewRecorder(eng, cfg.TraceCap)
 		m.Trace.Attach(m.Q)
-		if m.IOCost != nil {
-			m.IOCost.SetEventSink(m.Trace)
+	}
+	if cfg.Flight != nil {
+		fc := *cfg.Flight
+		if fc.Plan.Empty() {
+			fc.Plan = cfg.Faults
+		}
+		if fc.Meta == nil {
+			fc.Meta = map[string]string{
+				"seed":       fmt.Sprintf("%d", cfg.Seed),
+				"controller": name,
+			}
+		}
+		fl, err := flight.New(eng, fc)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
+		}
+		m.Flight = fl
+		fl.Attach(m.Q)
+	}
+	// The controller has a single event sink; tee when both the main
+	// trace and the black box want controller events.
+	if m.IOCost != nil {
+		var sinks []core.EventSink
+		if m.Trace != nil {
+			sinks = append(sinks, m.Trace)
+		}
+		if m.Flight != nil {
+			sinks = append(sinks, m.Flight.TraceRecorder())
+		}
+		switch len(sinks) {
+		case 1:
+			m.IOCost.SetEventSink(sinks[0])
+		case 2:
+			m.IOCost.SetEventSink(multiSink(sinks))
 		}
 	}
 
@@ -344,8 +393,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	// The metrics registry registers last so it can see every component.
 	// Registration order fixes export order; collectors are pull-based,
 	// so an enabled registry adds no per-bio work — cost is paid only
-	// when the sampler scrapes.
-	if cfg.Metrics {
+	// when the sampler scrapes. Flight triggers read the registry, so a
+	// flight recorder forces one into existence even without Metrics.
+	if cfg.Metrics || cfg.Flight != nil {
 		m.Registry = registry.New()
 		m.Q.RegisterMetrics(m.Registry)
 		dev := m.Dev
@@ -368,12 +418,40 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		if m.Pressure != nil {
 			m.Pressure.RegisterMetrics(m.Registry)
 		}
-		m.Sampler = metrics.NewSampler(eng, m.Registry, metrics.SamplerConfig{
-			Interval: cfg.MetricsInterval,
-		})
-		m.Sampler.Start()
+		var streams []trace.RecorderStream
+		if m.Trace != nil {
+			streams = append(streams, trace.RecorderStream{Stream: "trace", Rec: m.Trace})
+		}
+		if m.Flight != nil {
+			streams = append(streams, trace.RecorderStream{Stream: "flight", Rec: m.Flight.TraceRecorder()})
+		}
+		trace.RegisterRecorderMetrics(m.Registry, streams)
+		if cfg.Metrics {
+			m.Sampler = metrics.NewSampler(eng, m.Registry, metrics.SamplerConfig{
+				Interval: cfg.MetricsInterval,
+			})
+			m.Sampler.Start()
+		}
+	}
+	if m.Flight != nil {
+		if err := m.Flight.BindRegistry(m.Registry); err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
+		}
+		if err := m.Flight.Start(); err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
+		}
 	}
 	return m, nil
+}
+
+// multiSink fans controller events out to several recorders (the main
+// trace and the flight recorder's black box observe independently).
+type multiSink []core.EventSink
+
+func (m multiSink) ControllerEvent(at sim.Time, kind core.CtlEventKind, cg *cgroup.Node, value float64) {
+	for _, s := range m {
+		s.ControllerEvent(at, kind, cg, value)
+	}
 }
 
 // MustNewMachine is NewMachine for code-authored configurations that are

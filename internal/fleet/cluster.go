@@ -131,6 +131,47 @@ type FaultStorm struct {
 	Disabled bool
 }
 
+// FleetFlight samples a seed-derived subset of hosts with lightweight
+// flight recorders: each sampled host watches its own per-tick outcomes and
+// files a bounded FleetIncident when a storm first covers its rack or its
+// failure fraction spikes. Sampling membership is a pure function of (fleet
+// seed, host ID) — like migration order — so the sampled set, and therefore
+// the incident list, is identical at every worker count.
+type FleetFlight struct {
+	// SampleFrac is the fraction of hosts sampled (0 disables).
+	SampleFrac float64
+	// FailCeil is the per-host per-tick failure fraction that triggers a
+	// fail-spike incident (0 selects 0.5).
+	FailCeil float64
+	// MaxIncidents bounds retained incidents fleet-wide (0 selects 32);
+	// further triggers count as dropped.
+	MaxIncidents int
+}
+
+func (f *FleetFlight) withDefaults() *FleetFlight {
+	d := *f
+	if d.FailCeil == 0 {
+		d.FailCeil = 0.5
+	}
+	if d.MaxIncidents == 0 {
+		d.MaxIncidents = 32
+	}
+	return &d
+}
+
+// FleetIncident is one sampled-host trigger: the fleet-scale analogue of an
+// incident bundle, bounded to what a 100k-host run can afford to retain.
+type FleetIncident struct {
+	Host     int     `json:"host"`
+	Rack     int     `json:"rack"`
+	Tick     int     `json:"tick"`
+	Reason   string  `json:"reason"` // "storm-onset" or "fail-spike"
+	FailFrac float64 `json:"fail_frac"`
+	LatMult  float64 `json:"lat_mult"`
+	Migrated bool    `json:"migrated"`
+	Pushed   bool    `json:"pushed"`
+}
+
 // ClusterConfig parameterizes a cluster run.
 type ClusterConfig struct {
 	Hosts    int // default 1000
@@ -157,6 +198,10 @@ type ClusterConfig struct {
 	Migration *MigrationWave
 	Push      *ConfigPush
 	Storms    []FaultStorm
+
+	// Flight, if non-nil with SampleFrac > 0, arms per-host sampled flight
+	// recorders on a seed-derived subset of the fleet.
+	Flight *FleetFlight
 }
 
 // clusterBatch is how many shards are in flight (results retained) at
@@ -189,6 +234,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if len(c.New.Pressures) == 0 {
 		_, c.New = DefaultCurves(c.Kind)
 	}
+	if c.Flight != nil {
+		c.Flight = c.Flight.withDefaults()
+	}
 	return c
 }
 
@@ -208,6 +256,15 @@ func (c ClusterConfig) Validate() error {
 		}
 		if p.FailFactor < 0 || p.LatFactor < 0 {
 			return fmt.Errorf("fleet: push factors must be non-negative: fail=%v lat=%v", p.FailFactor, p.LatFactor)
+		}
+	}
+	if f := c.Flight; f != nil {
+		if f.SampleFrac < 0 || f.SampleFrac > 1 {
+			return fmt.Errorf("fleet: flight sample fraction %v outside [0,1]", f.SampleFrac)
+		}
+		if f.FailCeil < 0 || f.MaxIncidents < 0 {
+			return fmt.Errorf("fleet: flight thresholds must be non-negative: fail=%v max=%d",
+				f.FailCeil, f.MaxIncidents)
 		}
 	}
 	topo := Topology{Hosts: c.Hosts, RackSize: c.RackSize}
@@ -258,6 +315,7 @@ const (
 	hostPushTag    = 0x705714c857_000003 // per-host push order
 	stormRackTag   = 0x705714c857_000004 // per-(rack,tick) storm severity
 	stormHostTag   = 0x705714c857_000005 // per-host storm outcome draws
+	hostFlightTag  = 0x705714c857_000006 // per-host flight-recorder sampling
 )
 
 // mix64 is the splitmix64 finalizer: a cheap bijective avalanche that turns
@@ -397,16 +455,38 @@ type Summary struct {
 	// stats.QuantileRelError of the unsharded population (pinned by the
 	// stats merge property tests).
 	Latency *stats.Histogram
+
+	// Flight-recorder roll-up (zero unless ClusterConfig.Flight sampled
+	// hosts): how many hosts carried recorders, the retained incidents in
+	// (shard, host, tick) order, and how many triggers the MaxIncidents
+	// bound dropped. flightMax carries the bound through Merge.
+	FlightSampled   int
+	FlightIncidents []FleetIncident
+	FlightDropped   int
+	flightMax       int
+}
+
+// addIncident retains inc under the MaxIncidents bound.
+func (s *Summary) addIncident(inc FleetIncident) {
+	if s.flightMax > 0 && len(s.FlightIncidents) >= s.flightMax {
+		s.FlightDropped++
+		return
+	}
+	s.FlightIncidents = append(s.FlightIncidents, inc)
 }
 
 func newSummary(cfg ClusterConfig) *Summary {
-	return &Summary{
+	s := &Summary{
 		Kind:    cfg.Kind,
 		Ticks:   cfg.Ticks,
 		TickDur: cfg.TickDur,
 		PerTick: make([]TickStats, cfg.Ticks),
 		Latency: stats.NewHistogram(),
 	}
+	if cfg.Flight != nil {
+		s.flightMax = cfg.Flight.MaxIncidents
+	}
+	return s
 }
 
 // Merge folds o into s. Merging in shard-index order (which RunCluster
@@ -428,6 +508,11 @@ func (s *Summary) Merge(o *Summary) {
 		a.StormHosts += b.StormHosts
 	}
 	s.Latency.Merge(o.Latency)
+	s.FlightSampled += o.FlightSampled
+	s.FlightDropped += o.FlightDropped
+	for _, inc := range o.FlightIncidents {
+		s.addIncident(inc)
+	}
 }
 
 // HostTickView is one host-tick as the per-host debug/test API reports it.
@@ -456,6 +541,13 @@ func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view fu
 	baseLat := float64(spec.deadline) / 6
 	migU := hostU(cfg.Seed, hostMigrateTag, h)
 	pushU := hostU(cfg.Seed, hostPushTag, h)
+
+	fl := cfg.Flight
+	sampled := fl != nil && fl.SampleFrac > 0 && hostU(cfg.Seed, hostFlightTag, h) < fl.SampleFrac
+	if sampled {
+		acc.FlightSampled++
+	}
+	prevStorm := false
 
 	for t := 0; t < cfg.Ticks; t++ {
 		p := drawPressure(hr)
@@ -518,6 +610,28 @@ func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view fu
 		if eff.Active {
 			ts.StormHosts++
 		}
+
+		// The sampled black box: storm onset is always an incident (the
+		// fleet analogue of the fault-storm-start trigger), a failure
+		// spike past the ceiling is one too.
+		if sampled {
+			failFrac := float64(healthyFails+stormFails) / float64(cfg.OpsPerHostTick)
+			reason := ""
+			switch {
+			case eff.Active && !prevStorm:
+				reason = "storm-onset"
+			case failFrac >= fl.FailCeil:
+				reason = "fail-spike"
+			}
+			if reason != "" {
+				acc.addIncident(FleetIncident{
+					Host: h, Rack: h / cfg.RackSize, Tick: t, Reason: reason,
+					FailFrac: failFrac, LatMult: eff.LatMult,
+					Migrated: migrated, Pushed: pushed,
+				})
+			}
+		}
+		prevStorm = eff.Active
 
 		if view != nil {
 			view(HostTickView{
@@ -635,5 +749,16 @@ func (s *Summary) Format() string {
 		ms(s.Latency.Quantile(0.99)), ms(s.Latency.Max()), s.Latency.Count())
 	fmt.Fprintf(&b, "failures: first=%d last=%d reduction=%.1fx\n",
 		s.PerTick[0].Fails, s.PerTick[len(s.PerTick)-1].Fails, s.Reduction())
+	// The flight section appears only when recorders were sampled, so
+	// unsampled runs keep their historical bytes.
+	if s.FlightSampled > 0 {
+		fmt.Fprintf(&b, "flight: sampled=%d incidents=%d dropped=%d\n",
+			s.FlightSampled, len(s.FlightIncidents), s.FlightDropped)
+		for _, inc := range s.FlightIncidents {
+			fmt.Fprintf(&b, "  host %d (rack %d) tick %d: %s fail=%.2f latx=%.2f migrated=%t pushed=%t\n",
+				inc.Host, inc.Rack, inc.Tick, inc.Reason, inc.FailFrac, inc.LatMult,
+				inc.Migrated, inc.Pushed)
+		}
+	}
 	return b.String()
 }

@@ -56,6 +56,17 @@ func (s *Summary) RegisterMetrics(r *registry.Registry) {
 
 	r.Histogram("fleet_op_latency_ns", "effective operation latency across the fleet",
 		registry.L("kind", s.Kind.String()), s.Latency)
+
+	// Flight families exist only when recorders were sampled, keeping
+	// unsampled exports byte-identical to their historical goldens.
+	if s.FlightSampled > 0 {
+		r.GaugeFunc("fleet_flight_sampled_hosts", "hosts carrying sampled flight recorders",
+			registry.L("kind", s.Kind.String()), func() float64 { return float64(s.FlightSampled) })
+		r.GaugeFunc("fleet_flight_incidents", "retained flight incidents",
+			registry.L("kind", s.Kind.String()), func() float64 { return float64(len(s.FlightIncidents)) })
+		r.GaugeFunc("fleet_flight_dropped", "flight incidents dropped by the retention bound",
+			registry.L("kind", s.Kind.String()), func() float64 { return float64(s.FlightDropped) })
+	}
 }
 
 // WriteOpenMetrics renders the fleet roll-ups as one deterministic
@@ -103,6 +114,16 @@ type JSONSummary struct {
 	LatMaxNS  int64       `json:"lat_max_ns"`
 	LatCount  uint64      `json:"lat_count"`
 	Reduction float64     `json:"reduction"`
+	// Flight appears only when recorders were sampled (omitted otherwise,
+	// preserving historical export bytes).
+	Flight *FlightExport `json:"flight,omitempty"`
+}
+
+// FlightExport is the sampled-recorder section of the JSON export.
+type FlightExport struct {
+	Sampled   int             `json:"sampled"`
+	Dropped   int             `json:"dropped"`
+	Incidents []FleetIncident `json:"incidents"`
 }
 
 // Export returns the structured form of the summary.
@@ -122,6 +143,18 @@ func (s *Summary) Export() JSONSummary {
 		LatMaxNS:  s.Latency.Max(),
 		LatCount:  s.Latency.Count(),
 		Reduction: s.Reduction(),
+		Flight:    s.flightExport(),
+	}
+}
+
+func (s *Summary) flightExport() *FlightExport {
+	if s.FlightSampled == 0 {
+		return nil
+	}
+	return &FlightExport{
+		Sampled:   s.FlightSampled,
+		Dropped:   s.FlightDropped,
+		Incidents: s.FlightIncidents,
 	}
 }
 

@@ -1,0 +1,190 @@
+package flight
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/registry"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/slo"
+	"github.com/iocost-sim/iocost/internal/span"
+	"github.com/iocost-sim/iocost/internal/trace"
+)
+
+// BundleVersion is the incident-bundle schema version. Bump it whenever a
+// field changes meaning; readers reject versions they don't know.
+const BundleVersion = 1
+
+// RegSample is one flattened registry sample in the bundle.
+type RegSample struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Bundle is one incident: the last-window trace, a registry scrape, the
+// span blame report and the SLO alert history, all frozen at trigger time.
+// It is a self-contained JSON document — everything a post-mortem needs to
+// replay and render the incident without the run that produced it.
+type Bundle struct {
+	Version int    `json:"version"`
+	Reason  string `json:"reason"`
+	// AtNS is the virtual-time trigger instant; WindowNS how far back the
+	// trace snapshot reaches.
+	AtNS     int64             `json:"at_ns"`
+	WindowNS int64             `json:"window_ns"`
+	Meta     map[string]string `json:"meta,omitempty"`
+
+	// Events counts trace events in the snapshot; DroppedBefore how many
+	// the ring had already shed before the window (context for gaps).
+	Events        int    `json:"events"`
+	DroppedBefore uint64 `json:"dropped_before"`
+	// TraceB64 is the base64 of the window trace in the versioned binary
+	// format — `iocost-trace analyze` and `export-perfetto` accept it.
+	TraceB64 string `json:"trace_b64"`
+
+	// Plan is the fault plan in force (episode attribution context).
+	Plan string `json:"plan,omitempty"`
+
+	Registry []RegSample  `json:"registry,omitempty"`
+	Blame    *span.Report `json:"blame,omitempty"`
+	Alerts   []slo.Alert  `json:"alerts,omitempty"`
+}
+
+// windowTrace copies the events of t with At >= cut (controller tables are
+// shared; the snapshot is read-only).
+func windowTrace(t *trace.Trace, cut sim.Time) *trace.Trace {
+	w := &trace.Trace{CGroups: t.CGroups, Dropped: t.Dropped}
+	for i := range t.Events {
+		if t.Events[i].At >= cut {
+			w.Events = append(w.Events, t.Events[i])
+		}
+	}
+	return w
+}
+
+// BundleFromTrace freezes an incident bundle from an existing capture —
+// the path simfuzz uses to bundle failing seeds without a live recorder.
+// window 0 keeps the whole trace.
+func BundleFromTrace(t *trace.Trace, reason string, at sim.Time, window sim.Time,
+	plan fault.Plan, meta map[string]string) *Bundle {
+	w := t
+	if window > 0 {
+		cut := at - window
+		if cut > 0 {
+			w = windowTrace(t, cut)
+		}
+	}
+	b := &Bundle{
+		Version:       BundleVersion,
+		Reason:        reason,
+		AtNS:          int64(at),
+		WindowNS:      int64(window),
+		Meta:          meta,
+		Events:        len(w.Events),
+		DroppedBefore: t.Dropped,
+		TraceB64:      base64.StdEncoding.EncodeToString(trace.Encode(w)),
+	}
+	if !plan.Empty() {
+		b.Plan = plan.String()
+	}
+	if len(w.Events) > 0 {
+		b.Blame = span.Build(w, plan).Blame()
+	}
+	return b
+}
+
+// scrape flattens a registry into bundle samples (registration order, so
+// the output is deterministic).
+func scrape(reg *registry.Registry) []RegSample {
+	if reg == nil {
+		return nil
+	}
+	var out []RegSample
+	for _, fam := range reg.Gather() {
+		for _, s := range fam.Samples {
+			out = append(out, RegSample{Name: s.Name, Labels: s.Labels, Value: s.Value})
+		}
+	}
+	return out
+}
+
+// Trace decodes the embedded window trace.
+func (b *Bundle) Trace() (*trace.Trace, error) {
+	raw, err := base64.StdEncoding.DecodeString(b.TraceB64)
+	if err != nil {
+		return nil, fmt.Errorf("flight: bundle trace is not base64: %w", err)
+	}
+	return trace.Decode(raw)
+}
+
+// Validate checks the bundle's schema: version, required fields, a
+// decodable embedded trace whose event count matches, and well-formed
+// blame fractions.
+func (b *Bundle) Validate() error {
+	if b.Version != BundleVersion {
+		return fmt.Errorf("flight: bundle version %d, support %d", b.Version, BundleVersion)
+	}
+	if b.Reason == "" {
+		return fmt.Errorf("flight: bundle has no trigger reason")
+	}
+	if b.AtNS < 0 || b.WindowNS < 0 || b.Events < 0 {
+		return fmt.Errorf("flight: bundle has negative counts")
+	}
+	t, err := b.Trace()
+	if err != nil {
+		return err
+	}
+	if len(t.Events) != b.Events {
+		return fmt.Errorf("flight: bundle says %d events, trace holds %d", b.Events, len(t.Events))
+	}
+	if b.Blame != nil {
+		if err := b.Blame.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode renders the bundle as deterministic JSON (struct field order;
+// map keys sorted by encoding/json).
+func (b *Bundle) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteFile writes the bundle to path.
+func (b *Bundle) WriteFile(path string) error {
+	data, err := b.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadBundle loads and validates a bundle file.
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBundle(data)
+}
+
+// DecodeBundle parses and validates bundle JSON.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("flight: malformed bundle: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

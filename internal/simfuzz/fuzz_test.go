@@ -2,6 +2,7 @@ package simfuzz
 
 import (
 	"flag"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/bio"
 	"github.com/iocost-sim/iocost/internal/blk"
 	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/flight"
 )
 
 var (
@@ -229,6 +231,41 @@ func TestInjectedViolationReproducesFromSeed(t *testing.T) {
 			t.Errorf("replay failure %d differs:\n  first:  %s\n  second: %s",
 				k, first[k], second[k])
 		}
+	}
+}
+
+// TestFailureDumpsIncidentBundle pins the auto-dump artifacts: a failing
+// scenario leaves both a telemetry trace and a validating incident bundle
+// next to it, and the failure text points at the trace.
+func TestFailureDumpsIncidentBundle(t *testing.T) {
+	mutateCtl = func(c blk.Controller) blk.Controller {
+		return &dropEvery{inner: c, n: 7}
+	}
+	defer func() { mutateCtl = nil }()
+	old := TraceDumpDir
+	TraceDumpDir = t.TempDir()
+	defer func() { TraceDumpDir = old }()
+
+	failures := Check(Generate(99))
+	if len(failures) == 0 {
+		t.Fatal("injected bug produced no failures")
+	}
+	if !strings.Contains(failures[0], "trace: ") || !strings.Contains(failures[0], "bundle: ") {
+		t.Fatalf("failure text missing dump paths:\n%s", failures[0])
+	}
+	bundles, err := filepath.Glob(filepath.Join(TraceDumpDir, "*-incident.json"))
+	if err != nil || len(bundles) == 0 {
+		t.Fatalf("no incident bundles dumped (err=%v)", err)
+	}
+	b, err := flight.ReadBundle(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "simfuzz-failure" || b.Meta["seed"] != "99" {
+		t.Fatalf("bundle reason=%q meta=%v, want simfuzz-failure with seed 99", b.Reason, b.Meta)
+	}
+	if b.Blame == nil || b.Blame.Spans == 0 {
+		t.Fatal("dumped bundle carries no span blame")
 	}
 }
 

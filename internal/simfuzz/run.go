@@ -14,6 +14,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/flight"
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
@@ -361,17 +362,32 @@ func Check(scn Scenario) []string {
 
 	// Auto-dump one telemetry trace per failing controller: re-run it with
 	// the recorder attached (deterministic, so the trace shows exactly the
-	// failing schedule) and point every matching failure at the file.
+	// failing schedule) and point every matching failure at the file. An
+	// incident bundle rides along beside it — the same artifact a flight
+	// recorder would have captured, with span blame pre-built, so
+	// `iocost-trace bundle` works on fuzz failures out of the box.
 	if len(failures) > 0 && TraceDumpDir != "" {
 		dumped := make(map[string]string)
 		for i, kind := range failedKinds {
 			path, ok := dumped[kind]
 			if !ok {
-				_, tr := Capture(scn, kind)
+				res, tr := Capture(scn, kind)
 				path = filepath.Join(TraceDumpDir,
 					fmt.Sprintf("simfuzz-seed%d-%s.trace", scn.Seed, kind))
 				if err := trace.WriteFile(path, tr); err != nil {
 					path = ""
+				}
+				if path != "" {
+					b := flight.BundleFromTrace(tr, "simfuzz-failure", res.Makespan, 0,
+						scn.FaultPlan(), map[string]string{
+							"seed":       fmt.Sprint(scn.Seed),
+							"controller": kind,
+						})
+					bpath := filepath.Join(TraceDumpDir,
+						fmt.Sprintf("simfuzz-seed%d-%s-incident.json", scn.Seed, kind))
+					if err := b.WriteFile(bpath); err == nil {
+						path += "\n  bundle: " + bpath
+					}
 				}
 				dumped[kind] = path
 			}

@@ -1,0 +1,200 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/sim"
+)
+
+// fakeSource is a programmable cumulative counter pair.
+type fakeSource struct{ bad, total float64 }
+
+func (s *fakeSource) Counts() (float64, float64) { return s.bad, s.total }
+
+func TestRuleValidate(t *testing.T) {
+	good := Rule{Name: "r", Target: 0.99, Short: sim.Second, Long: 10 * sim.Second, Burn: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Rule{
+		{Target: 0.99, Short: 1, Long: 2, Burn: 1},                              // no name
+		{Name: "r", Target: 0, Short: 1, Long: 2, Burn: 1},                      // target out of range
+		{Name: "r", Target: 1, Short: 1, Long: 2, Burn: 1},                      // target out of range
+		{Name: "r", Target: 0.9, Short: 2, Long: 1, Burn: 1},                    // long < short
+		{Name: "r", Target: 0.9, Short: 0, Long: 1, Burn: 1},                    // zero window
+		{Name: "r", Target: 0.9, Short: 1, Long: 2, Burn: 0},                    // zero burn
+		{Name: "r", Target: 0.9, Short: -1, Long: 2, Burn: 1},                   // negative
+		{Name: "r", Target: 0.9, Short: 1, Long: 2, Burn: -3},                   // negative burn
+		{Name: "", Target: 0.999, Short: sim.Second, Long: sim.Second, Burn: 1}, // no name again
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("rule %+v validated", bad)
+		}
+	}
+	for _, r := range DefaultRules() {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBurnRateAlert drives a synthetic error ramp through both windows and
+// pins fire + resolve transitions.
+func TestBurnRateAlert(t *testing.T) {
+	eng := sim.New()
+	src := &fakeSource{}
+	rules := []Rule{{
+		Name: "page", Target: 0.99, // 1% budget
+		Short: sim.Second, Long: 4 * sim.Second, Burn: 5, // fires at >= 5% bad
+	}}
+	ev, err := NewEvaluator(eng, src, rules, 250*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Start()
+
+	// Healthy phase: plenty of traffic, no errors.
+	eng.NewTicker(250*sim.Millisecond, func() { src.total += 100 })
+	eng.RunUntil(5 * sim.Second)
+	if ev.AnyActive() {
+		t.Fatalf("alert active on a healthy run: %v", ev.Active())
+	}
+
+	// Outage: 50% of events bad — burn 50 against a threshold of 5. The
+	// short window sees it almost immediately; the long window needs the
+	// bad fraction over 4s to cross 5%, i.e. after ~0.5s of outage.
+	eng.NewTicker(250*sim.Millisecond, func() { src.bad += 50 })
+	eng.RunUntil(8 * sim.Second)
+	if !ev.AnyActive() {
+		t.Fatal("alert did not fire during outage")
+	}
+	if got := ev.Active(); len(got) != 1 || got[0] != "page" {
+		t.Fatalf("active rules %v, want [page]", got)
+	}
+
+	if ev.Transitions() == 0 || len(ev.Alerts()) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	first := ev.Alerts()[0]
+	if first.Rule != "page" || !first.Active || first.ShortBurn < 5 {
+		t.Fatalf("first transition %+v, want active page with burn >= 5", first)
+	}
+	if !strings.Contains(ev.Format(), "FIRING") {
+		t.Fatalf("Format missing FIRING:\n%s", ev.Format())
+	}
+}
+
+// TestBurnRateResolve pins that an alert resolves once the windows drain.
+func TestBurnRateResolve(t *testing.T) {
+	eng := sim.New()
+	src := &fakeSource{}
+	ev, err := NewEvaluator(eng, src, []Rule{{
+		Name: "page", Target: 0.99, Short: sim.Second, Long: 2 * sim.Second, Burn: 5,
+	}}, 250*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Start()
+	outage := true
+	eng.NewTicker(250*sim.Millisecond, func() {
+		src.total += 100
+		if outage {
+			src.bad += 50
+		}
+	})
+	eng.RunUntil(3 * sim.Second)
+	if !ev.AnyActive() {
+		t.Fatal("alert did not fire")
+	}
+	outage = false
+	eng.RunUntil(8 * sim.Second)
+	if ev.AnyActive() {
+		t.Fatalf("alert still active %v after recovery", ev.Active())
+	}
+	al := ev.Alerts()
+	last := al[len(al)-1]
+	if last.Active {
+		t.Fatalf("last transition %+v, want resolve", last)
+	}
+	if !strings.Contains(ev.Format(), "resolved") {
+		t.Fatalf("Format missing resolve line:\n%s", ev.Format())
+	}
+}
+
+// TestEvaluatorDeterminism pins that two identical drives produce identical
+// transition histories.
+func TestEvaluatorDeterminism(t *testing.T) {
+	run := func() []Alert {
+		eng := sim.New()
+		src := &fakeSource{}
+		ev, err := NewEvaluator(eng, src, DefaultRules(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Start()
+		tick := 0
+		eng.NewTicker(100*sim.Millisecond, func() {
+			tick++
+			src.total += 40
+			if tick > 30 && tick < 90 {
+				src.bad += 10
+			}
+		})
+		eng.RunUntil(15 * sim.Second)
+		return append([]Alert(nil), ev.Alerts()...)
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("scenario produced no transitions")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("histories differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transition %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEvaluatorErrors pins constructor validation.
+func TestEvaluatorErrors(t *testing.T) {
+	eng := sim.New()
+	if _, err := NewEvaluator(eng, nil, DefaultRules(), 0); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewEvaluator(eng, &fakeSource{}, nil, 0); err == nil {
+		t.Fatal("empty rules accepted")
+	}
+	if _, err := NewEvaluator(eng, &fakeSource{}, DefaultRules(), -1); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, err := NewEvaluator(eng, &fakeSource{}, []Rule{{Name: "x"}}, 0); err == nil {
+		t.Fatal("invalid rule accepted")
+	}
+}
+
+// TestCheckAllocFree pins that steady-state checks allocate nothing — the
+// property that lets the flight recorder evaluate rules on the hot path's
+// clock without breaking the whole-stack 0-alloc test.
+func TestCheckAllocFree(t *testing.T) {
+	eng := sim.New()
+	src := &fakeSource{total: 1000}
+	ev, err := NewEvaluator(eng, src, DefaultRules(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the ring past every window.
+	for i := 0; i < 300; i++ {
+		src.total += 10
+		ev.Check()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		src.total += 10
+		ev.Check()
+	})
+	if avg != 0 {
+		t.Fatalf("Check allocates %v per call in steady state", avg)
+	}
+}

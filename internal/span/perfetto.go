@@ -1,0 +1,206 @@
+package span
+
+// Perfetto / Chrome trace_event JSON export. The output loads directly in
+// ui.perfetto.dev (or chrome://tracing): one "process" per cgroup with one
+// thread lane per phase, plus a controller process carrying the vrate
+// counter track, debt/donation instants and injected fault episodes.
+//
+// The JSON is written by hand, not via encoding/json, so the byte stream is
+// fully under our control: field order, number formatting and event order
+// are all deterministic functions of the trace, which is what lets CI cmp
+// two exports of the same seed. Timestamps are microseconds (the
+// trace_event unit) printed as <µs>.<ns%1000 zero-padded> so no precision
+// is lost going through the 1000× unit change.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/trace"
+)
+
+const (
+	pidController = 0
+	// Cgroup processes are pid = CG + 2 so the NoCG sentinel (-1) lands on
+	// a valid pid of its own.
+	pidNoCG = 1
+
+	tidFaults    = 1
+	tidDebt      = 2
+	tidDonation  = 3
+	tidSpan      = 1
+	tidPhaseBase = 2 // tid = tidPhaseBase + Phase
+)
+
+// pw is a print-to-writer helper that latches the first error.
+type pw struct {
+	w     io.Writer
+	err   error
+	first bool
+}
+
+func (p *pw) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// event emits one trace_event object, comma-separated from its predecessor.
+func (p *pw) event(body string) {
+	if p.err != nil {
+		return
+	}
+	sep := ",\n"
+	if p.first {
+		sep = "\n"
+		p.first = false
+	}
+	_, p.err = io.WriteString(p.w, sep+body)
+}
+
+// jsonStr escapes s as a JSON string literal (quotes included).
+func jsonStr(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, "\\u%04x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// usec renders a virtual-time instant as trace_event microseconds with the
+// sub-microsecond remainder as three decimal digits.
+func usec(t sim.Time) string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, int64(t)/1000, int64(t)%1000)
+}
+
+func spanPid(cg int32) int32 {
+	if cg < 0 {
+		return pidNoCG
+	}
+	return cg + 2
+}
+
+var phaseLaneNames = [...]string{
+	PhaseThrottle: "throttle",
+	PhaseQueue:    "queue",
+	PhaseDevWait:  "devwait",
+	PhaseDevice:   "device",
+	PhaseRetry:    "retry",
+}
+
+// WritePerfetto writes the span set as Chrome trace_event JSON. Output is
+// byte-identical for identical traces.
+func WritePerfetto(w io.Writer, set *Set) error {
+	p := &pw{w: w, first: true}
+	p.printf(`{"displayTimeUnit":"ns","traceEvents":[`)
+
+	meta := func(pid int32, tid int, kind, name string) {
+		tidPart := ""
+		if kind == "thread_name" {
+			tidPart = fmt.Sprintf(`"tid":%d,`, tid)
+		}
+		p.event(fmt.Sprintf(`{"ph":"M","pid":%d,%s"name":%q,"args":{"name":%s}}`,
+			pid, tidPart, kind, jsonStr(name)))
+	}
+
+	// Process/thread naming, fixed order: controller first, then cgroups in
+	// table order, then the no-cgroup bucket if any span needs it.
+	meta(pidController, 0, "process_name", "iocost controller")
+	meta(pidController, tidFaults, "thread_name", "fault episodes")
+	meta(pidController, tidDebt, "thread_name", "debt")
+	meta(pidController, tidDonation, "thread_name", "donation")
+	for id, path := range set.Trace.CGroups {
+		pid := spanPid(int32(id))
+		meta(pid, 0, "process_name", path)
+		meta(pid, tidSpan, "thread_name", "bio")
+		for ph, name := range phaseLaneNames {
+			meta(pid, tidPhaseBase+ph, "thread_name", name)
+		}
+	}
+	needNoCG := false
+	for i := range set.Spans {
+		if set.Spans[i].CG < 0 {
+			needNoCG = true
+			break
+		}
+	}
+	if needNoCG {
+		meta(pidNoCG, 0, "process_name", "<none>")
+		meta(pidNoCG, tidSpan, "thread_name", "bio")
+		for ph, name := range phaseLaneNames {
+			meta(pidNoCG, tidPhaseBase+ph, "thread_name", name)
+		}
+	}
+
+	// Injected fault episodes as complete slices on the controller track.
+	for _, ep := range set.Plan.Episodes {
+		p.event(fmt.Sprintf(
+			`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{"kind":%q}}`,
+			pidController, tidFaults, usec(ep.At), usec(ep.Dur),
+			jsonStr("fault:"+ep.Kind.String()), ep.Kind.String()))
+	}
+
+	// Controller event streams in trace order: the vrate counter track and
+	// debt/donation instants.
+	for i := range set.Trace.Events {
+		ev := &set.Trace.Events[i]
+		switch ev.Kind {
+		case trace.KindVrate, trace.KindPeriod:
+			v := strconv.FormatFloat(float64(ev.Aux)/1e6, 'g', -1, 64)
+			p.event(fmt.Sprintf(
+				`{"ph":"C","pid":%d,"ts":%s,"name":"vrate","args":{"vrate":%s}}`,
+				pidController, usec(ev.At), v))
+		case trace.KindDebt:
+			p.event(fmt.Sprintf(
+				`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":"debt","args":{"cgroup":%s}}`,
+				pidController, tidDebt, usec(ev.At), jsonStr(set.Trace.CGPath(ev.CG))))
+		case trace.KindDonation:
+			p.event(fmt.Sprintf(
+				`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":"donation","args":{}}`,
+				pidController, tidDonation, usec(ev.At)))
+		}
+	}
+
+	// Bio spans: one whole-life slice on the bio lane plus one slice per
+	// phase segment, in span (first-submit) order.
+	for i := range set.Spans {
+		s := &set.Spans[i]
+		pid := spanPid(s.CG)
+		p.event(fmt.Sprintf(
+			`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{"seq":%d,"off":%d,"size":%d,"status":%q,"attempts":%d,"vrate_at_submit":%s,"debt":%d,"donations":%d}}`,
+			pid, tidSpan, usec(s.Submit), usec(s.Total()),
+			jsonStr(bio.Op(s.Op).String()), s.Seq, s.Off, s.Size, s.Status,
+			s.Attempts, strconv.FormatFloat(s.VrateAtSubmit, 'g', -1, 64),
+			s.Debt, s.Donations))
+		for _, seg := range s.Segments {
+			p.event(fmt.Sprintf(
+				`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":{"seq":%d,"attempt":%d}}`,
+				pid, tidPhaseBase+int(seg.Phase), usec(seg.Start),
+				usec(seg.End-seg.Start), seg.Phase.String(), s.Seq, seg.Attempt))
+		}
+	}
+
+	p.printf("\n]}\n")
+	return p.err
+}

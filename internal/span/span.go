@@ -1,0 +1,562 @@
+// Package span reconstructs causal per-bio span trees from telemetry
+// traces: submit → throttle-hold → queue → device-wait → device →
+// completion (and, across failed attempts, retry backoff), each span
+// annotated with the controller state that was concurrently in force —
+// vrate at submit, debt and donation events inside the span's window, and
+// any injected fault episodes the bio's device time overlapped.
+//
+// It is a pure analysis pass over internal/trace captures: nothing here
+// runs on the simulation hot path, and the output is a deterministic
+// function of the trace (plus an optional fault plan), so span reports and
+// the Perfetto export are byte-identical for identical seeds.
+//
+// The blame aggregation answers the operator's question ("what fraction of
+// this cgroup's p99 came from throttling vs the device vs retries vs the
+// GC storm?") by decomposing the submit→complete latency of every bio in
+// the p99 tail into exclusive phases that sum exactly to the total.
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/stats"
+	"github.com/iocost-sim/iocost/internal/trace"
+)
+
+// Phase labels one exclusive segment of a bio's life.
+type Phase uint8
+
+const (
+	// PhaseThrottle is controller hold time (submit → issue).
+	PhaseThrottle Phase = iota
+	// PhaseQueue is block-layer queueing (issue → dispatch).
+	PhaseQueue
+	// PhaseDevWait is device-internal queueing (dispatch → device start).
+	PhaseDevWait
+	// PhaseDevice is device service time (device start → complete).
+	PhaseDevice
+	// PhaseRetry is backoff between a failed attempt and its resubmit.
+	PhaseRetry
+
+	phaseCount
+)
+
+var phaseNames = [...]string{
+	PhaseThrottle: "throttle",
+	PhaseQueue:    "queue",
+	PhaseDevWait:  "devwait",
+	PhaseDevice:   "device",
+	PhaseRetry:    "retry",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Segment is one contiguous phase interval inside a span, in wall (virtual)
+// time. Segments are what the Perfetto export renders as nested slices.
+type Segment struct {
+	Phase   Phase
+	Start   sim.Time
+	End     sim.Time
+	Attempt int
+}
+
+// Span is one bio's reconstructed life, possibly spanning several attempts
+// (retries re-enter the block layer under the same sequence number).
+type Span struct {
+	Seq  uint64
+	CG   int32
+	Op   uint8
+	Off  int64
+	Size int64
+
+	// Submit is the first attempt's submission; Complete the final
+	// completion. Total == Complete - Submit.
+	Submit   sim.Time
+	Complete sim.Time
+
+	// Exclusive phase durations; they sum exactly to Total().
+	Throttle sim.Time
+	Queue    sim.Time
+	DevWait  sim.Time
+	Device   sim.Time
+	Retry    sim.Time
+
+	// Fault is the part of device time overlapped by injected fault
+	// episodes (when Build was given the plan): the union of episode
+	// windows, so concurrent episodes never double-count. FaultByKind
+	// splits attribution per failure mode and CAN sum past Fault when
+	// episodes overlap. Fault is attribution, not an extra phase: it
+	// names a cause for time already counted under Device/DevWait.
+	Fault       sim.Time
+	FaultByKind [6]sim.Time // indexed by fault.Kind (1..5)
+
+	// Attempts counts submissions (1 = no retries). Status is the final
+	// completion's status: "ok", "error" or "timeout".
+	Attempts int
+	Status   string
+
+	// VrateAtSubmit is the controller vrate in force when the bio was
+	// submitted (fraction of nominal; -1 when the trace carries no
+	// controller events before the submit).
+	VrateAtSubmit float64
+	// Debt and Donations count controller events for this span's cgroup
+	// (debt) or fleet-wide (donations) inside [Submit, Complete].
+	Debt      int
+	Donations int
+
+	// Segments are the span's phase intervals in time order.
+	Segments []Segment
+}
+
+// Total returns the submit-to-final-complete latency.
+func (s *Span) Total() sim.Time { return s.Complete - s.Submit }
+
+// Set is the reconstructed spans of one trace, in first-submit order, plus
+// the inputs the Perfetto export needs to render controller context.
+type Set struct {
+	Spans []Span
+	// Trace is the capture the spans came from (cgroup table, controller
+	// events).
+	Trace *trace.Trace
+	// Plan is the fault plan used for episode attribution (may be empty).
+	Plan fault.Plan
+	// Incomplete counts bios whose life-cycle was cut off by the ring or
+	// the end of the capture (submitted, never completed in-window).
+	Incomplete int
+}
+
+// pending is the under-construction state for one in-flight bio.
+type pending struct {
+	span       Span
+	issueAt    sim.Time
+	dispatchAt sim.Time
+	devStartAt sim.Time
+	lastFail   sim.Time
+	haveIssue  bool
+	haveDisp   bool
+	haveStart  bool
+	completed  bool
+	order      int
+}
+
+// overlap returns the intersection of [a0,a1) with [b0,b1).
+func overlap(a0, a1, b0, b1 sim.Time) sim.Time {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// unionOverlap returns how much of [w0,w1) is covered by the union of the
+// episode windows — concurrent episodes count once.
+func unionOverlap(w0, w1 sim.Time, eps []fault.Episode) sim.Time {
+	type iv struct{ lo, hi sim.Time }
+	clipped := make([]iv, 0, len(eps))
+	for _, ep := range eps {
+		lo, hi := ep.At, ep.End()
+		if lo < w0 {
+			lo = w0
+		}
+		if hi > w1 {
+			hi = w1
+		}
+		if hi > lo {
+			clipped = append(clipped, iv{lo, hi})
+		}
+	}
+	sort.Slice(clipped, func(i, j int) bool { return clipped[i].lo < clipped[j].lo })
+	var total, end sim.Time
+	for _, c := range clipped {
+		if c.lo > end {
+			total += c.hi - c.lo
+			end = c.hi
+		} else if c.hi > end {
+			total += c.hi - end
+			end = c.hi
+		}
+	}
+	return total
+}
+
+// Build reconstructs the span set of t. plan, when non-empty, drives fault
+// episode attribution (device-phase overlap with active episodes). The
+// result is deterministic: spans appear in first-submit order and every
+// annotation derives from event order alone.
+func Build(t *trace.Trace, plan fault.Plan) *Set {
+	set := &Set{Trace: t, Plan: plan}
+	open := make(map[uint64]*pending)
+	done := make([]*pending, 0)
+	order := 0
+
+	lastVrate := -1.0
+	var debts []cgEvent
+	var donations []sim.Time
+
+	for i := range t.Events {
+		ev := &t.Events[i]
+		switch ev.Kind {
+		case trace.KindVrate, trace.KindPeriod:
+			lastVrate = float64(ev.Aux) / 1e6
+		case trace.KindDebt:
+			debts = append(debts, cgEvent{at: ev.At, cg: ev.CG})
+		case trace.KindDonation:
+			donations = append(donations, ev.At)
+
+		case trace.KindSubmit:
+			p := open[ev.Seq]
+			if p == nil {
+				p = &pending{order: order}
+				order++
+				p.span = Span{
+					Seq: ev.Seq, CG: ev.CG, Op: ev.Op, Off: ev.Off, Size: ev.Size,
+					Submit: ev.At, Attempts: 1, Status: "ok",
+					VrateAtSubmit: lastVrate,
+				}
+				open[ev.Seq] = p
+			} else {
+				// A resubmit after failure: the gap since the failed
+				// completion is retry backoff.
+				p.span.Attempts++
+				if ev.At > p.lastFail {
+					p.span.Retry += ev.At - p.lastFail
+					p.span.Segments = append(p.span.Segments, Segment{
+						Phase: PhaseRetry, Start: p.lastFail, End: ev.At,
+						Attempt: p.span.Attempts,
+					})
+				}
+				p.completed = false
+			}
+			p.haveIssue, p.haveDisp, p.haveStart = false, false, false
+
+		case trace.KindIssue:
+			p := open[ev.Seq]
+			if p == nil {
+				continue
+			}
+			p.issueAt = ev.At
+			p.haveIssue = true
+			if ev.Aux > 0 {
+				p.span.Throttle += sim.Time(ev.Aux)
+				p.span.Segments = append(p.span.Segments, Segment{
+					Phase: PhaseThrottle, Start: ev.At - sim.Time(ev.Aux), End: ev.At,
+					Attempt: p.span.Attempts,
+				})
+			}
+
+		case trace.KindDispatch:
+			p := open[ev.Seq]
+			if p == nil || !p.haveIssue {
+				continue
+			}
+			p.dispatchAt = ev.At
+			p.haveDisp = true
+			if ev.At > p.issueAt {
+				p.span.Queue += ev.At - p.issueAt
+				p.span.Segments = append(p.span.Segments, Segment{
+					Phase: PhaseQueue, Start: p.issueAt, End: ev.At,
+					Attempt: p.span.Attempts,
+				})
+			}
+
+		case trace.KindDeviceStart:
+			p := open[ev.Seq]
+			if p == nil || !p.haveDisp {
+				continue
+			}
+			p.devStartAt = ev.At
+			p.haveStart = true
+			if ev.At > p.dispatchAt {
+				p.span.DevWait += ev.At - p.dispatchAt
+				p.span.Segments = append(p.span.Segments, Segment{
+					Phase: PhaseDevWait, Start: p.dispatchAt, End: ev.At,
+					Attempt: p.span.Attempts,
+				})
+			}
+
+		case trace.KindComplete:
+			p := open[ev.Seq]
+			if p == nil {
+				continue
+			}
+			p.span.Complete = ev.At
+			p.completed = true
+			p.lastFail = ev.At
+			if p.haveStart && ev.At > p.devStartAt {
+				p.span.Device += ev.At - p.devStartAt
+				p.span.Segments = append(p.span.Segments, Segment{
+					Phase: PhaseDevice, Start: p.devStartAt, End: ev.At,
+					Attempt: p.span.Attempts,
+				})
+			}
+			// Attribute injected episodes overlapping the attempt's device
+			// window (dispatch → complete: stalls, slowdowns and GC storms
+			// all land there).
+			if !plan.Empty() && p.haveDisp {
+				for _, ep := range plan.Episodes {
+					if ov := overlap(p.dispatchAt, ev.At, ep.At, ep.End()); ov > 0 {
+						if int(ep.Kind) < len(p.span.FaultByKind) {
+							p.span.FaultByKind[ep.Kind] += ov
+						}
+					}
+				}
+				p.span.Fault += unionOverlap(p.dispatchAt, ev.At, plan.Episodes)
+			}
+			p.span.Status = "ok"
+
+		case trace.KindError:
+			if p := open[ev.Seq]; p != nil {
+				p.span.Status = "error"
+			}
+		case trace.KindTimeout:
+			if p := open[ev.Seq]; p != nil {
+				p.span.Status = "timeout"
+			}
+		}
+	}
+
+	for seq, p := range open {
+		_ = seq
+		if p.completed {
+			done = append(done, p)
+		} else {
+			set.Incomplete++
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].order < done[j].order })
+
+	for _, p := range done {
+		s := p.span
+		// In-window controller-event annotations (event streams are
+		// time-ordered, so binary search bounds the window).
+		s.Debt = countCG(debts, s.Submit, s.Complete, s.CG)
+		s.Donations = countAt(donations, s.Submit, s.Complete)
+		set.Spans = append(set.Spans, s)
+	}
+	return set
+}
+
+func countAt(ats []sim.Time, lo, hi sim.Time) int {
+	i := sort.Search(len(ats), func(i int) bool { return ats[i] >= lo })
+	j := sort.Search(len(ats), func(i int) bool { return ats[i] > hi })
+	return j - i
+}
+
+// cgEvent is a time-ordered controller event tagged with its cgroup.
+type cgEvent struct {
+	at sim.Time
+	cg int32
+}
+
+func countCG(evs []cgEvent, lo, hi sim.Time, cg int32) int {
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].at >= lo })
+	n := 0
+	for ; i < len(evs) && evs[i].at <= hi; i++ {
+		if evs[i].cg == cg {
+			n++
+		}
+	}
+	return n
+}
+
+// Blame is one scope's (cgroup's or the system's) p99-tail latency
+// decomposition: which phases the slowest bios spent their time in, and how
+// much of that time injected fault episodes overlapped.
+type Blame struct {
+	Path  string `json:"path"`
+	Spans int    `json:"spans"`
+	// P99NS is the scope's submit→complete p99; TailSpans counts the spans
+	// at or above it whose time the fractions decompose.
+	P99NS     int64 `json:"p99_ns"`
+	TailSpans int   `json:"tail_spans"`
+	// TailNS is the summed total latency of the tail spans.
+	TailNS int64 `json:"tail_ns"`
+	// Phase fractions of TailNS; they sum to 1 (within float rounding).
+	ThrottleFrac float64 `json:"throttle_frac"`
+	QueueFrac    float64 `json:"queue_frac"`
+	DevWaitFrac  float64 `json:"devwait_frac"`
+	DeviceFrac   float64 `json:"device_frac"`
+	RetryFrac    float64 `json:"retry_frac"`
+	// FaultFrac is the fraction of TailNS overlapped by injected episodes
+	// (attribution over the device window, not an additional phase);
+	// FaultByKind splits it by failure mode, keys in fault.Kind order.
+	FaultFrac   float64            `json:"fault_frac"`
+	FaultByKind map[string]float64 `json:"fault_by_kind,omitempty"`
+	// Retries and Failures count attempts beyond the first and spans whose
+	// final status was not ok, across the whole scope.
+	Retries  int `json:"retries"`
+	Failures int `json:"failures"`
+}
+
+// Report is the blame aggregation of a span set.
+type Report struct {
+	Spans      int     `json:"spans"`
+	Incomplete int     `json:"incomplete"`
+	System     Blame   `json:"system"`
+	ByCGroup   []Blame `json:"by_cgroup"`
+}
+
+// blameScope aggregates one scope.
+func blameScope(path string, spans []*Span) Blame {
+	b := Blame{Path: path, Spans: len(spans)}
+	h := stats.NewHistogram()
+	for _, s := range spans {
+		h.Observe(int64(s.Total()))
+		b.Retries += s.Attempts - 1
+		if s.Status != "ok" {
+			b.Failures++
+		}
+	}
+	if len(spans) == 0 {
+		return b
+	}
+	p99 := h.Quantile(0.99)
+	b.P99NS = p99
+	var total, throttle, queue, devwait, device, retry, flt sim.Time
+	byKind := [6]sim.Time{}
+	for _, s := range spans {
+		if int64(s.Total()) < p99 {
+			continue
+		}
+		b.TailSpans++
+		total += s.Total()
+		throttle += s.Throttle
+		queue += s.Queue
+		devwait += s.DevWait
+		device += s.Device
+		retry += s.Retry
+		flt += s.Fault
+		for k := range byKind {
+			byKind[k] += s.FaultByKind[k]
+		}
+	}
+	b.TailNS = int64(total)
+	if total > 0 {
+		frac := func(v sim.Time) float64 { return float64(v) / float64(total) }
+		b.ThrottleFrac = frac(throttle)
+		b.QueueFrac = frac(queue)
+		b.DevWaitFrac = frac(devwait)
+		b.DeviceFrac = frac(device)
+		b.RetryFrac = frac(retry)
+		b.FaultFrac = frac(flt)
+		for k, v := range byKind {
+			if v > 0 {
+				if b.FaultByKind == nil {
+					b.FaultByKind = make(map[string]float64)
+				}
+				b.FaultByKind[fault.Kind(k).String()] = frac(v)
+			}
+		}
+	}
+	return b
+}
+
+// Blame aggregates the set into per-cgroup (and system-wide) p99
+// decompositions, cgroups sorted by path.
+func (set *Set) Blame() *Report {
+	r := &Report{Spans: len(set.Spans), Incomplete: set.Incomplete}
+	all := make([]*Span, 0, len(set.Spans))
+	byCG := make(map[int32][]*Span)
+	for i := range set.Spans {
+		s := &set.Spans[i]
+		all = append(all, s)
+		byCG[s.CG] = append(byCG[s.CG], s)
+	}
+	r.System = blameScope("<system>", all)
+	ids := make([]int32, 0, len(byCG))
+	for id := range byCG {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return set.Trace.CGPath(ids[i]) < set.Trace.CGPath(ids[j])
+	})
+	for _, id := range ids {
+		r.ByCGroup = append(r.ByCGroup, blameScope(set.Trace.CGPath(id), byCG[id]))
+	}
+	return r
+}
+
+func fmtDur(t sim.Time) string { return time.Duration(t).String() }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Format renders the report as a human-readable blame table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans: %d complete", r.Spans)
+	if r.Incomplete > 0 {
+		fmt.Fprintf(&b, " (%d cut off by the capture window)", r.Incomplete)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-24s %6s %10s %9s %8s %8s %8s %8s %8s %8s\n",
+		"scope", "spans", "p99", "throttle", "queue", "devwait", "device", "retry", "fault", "fails")
+	row := func(bl *Blame) {
+		fmt.Fprintf(&b, "%-24s %6d %10s %9s %8s %8s %8s %8s %8s %8d\n",
+			bl.Path, bl.Spans, fmtDur(sim.Time(bl.P99NS)),
+			pct(bl.ThrottleFrac), pct(bl.QueueFrac), pct(bl.DevWaitFrac),
+			pct(bl.DeviceFrac), pct(bl.RetryFrac), pct(bl.FaultFrac), bl.Failures)
+	}
+	row(&r.System)
+	for i := range r.ByCGroup {
+		row(&r.ByCGroup[i])
+	}
+	kinds := r.System.FaultByKind
+	if len(kinds) > 0 {
+		names := make([]string, 0, len(kinds))
+		for k := range kinds {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("fault kinds (system tail): ")
+		for i, k := range names {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%s", k, pct(kinds[k]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Validate checks a decoded report's invariants: non-negative counts and
+// fractions within [0, 1+ε]. Incident-bundle validation uses it.
+func (r *Report) Validate() error {
+	check := func(b *Blame) error {
+		if b.Spans < 0 || b.TailSpans < 0 || b.P99NS < 0 || b.TailNS < 0 {
+			return fmt.Errorf("span: blame %q has negative counts", b.Path)
+		}
+		for _, f := range []float64{b.ThrottleFrac, b.QueueFrac, b.DevWaitFrac,
+			b.DeviceFrac, b.RetryFrac, b.FaultFrac} {
+			if f < 0 || f > 1.0000001 {
+				return fmt.Errorf("span: blame %q has fraction %v outside [0,1]", b.Path, f)
+			}
+		}
+		return nil
+	}
+	if err := check(&r.System); err != nil {
+		return err
+	}
+	for i := range r.ByCGroup {
+		if err := check(&r.ByCGroup[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

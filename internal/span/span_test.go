@@ -1,0 +1,288 @@
+package span_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/iocost-sim/iocost/internal/bio"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/span"
+	"github.com/iocost-sim/iocost/internal/trace"
+	"github.com/iocost-sim/iocost/internal/workload"
+)
+
+// synthetic builds a hand-authored trace: full control over every timestamp
+// so the phase decomposition can be pinned exactly.
+func synthetic(events []trace.Event) *trace.Trace {
+	return &trace.Trace{CGroups: []string{"/workload/hi", "/workload/lo"}, Events: events}
+}
+
+func TestBuildDecomposition(t *testing.T) {
+	tr := synthetic([]trace.Event{
+		{Kind: trace.KindVrate, At: 50, Aux: 800000, CG: trace.NoCG},
+		{Kind: trace.KindSubmit, At: 100, Seq: 1, CG: 0, Op: uint8(bio.Read), Off: 4096, Size: 512},
+		{Kind: trace.KindIssue, At: 150, Seq: 1, CG: 0, Aux: 50},
+		{Kind: trace.KindDispatch, At: 160, Seq: 1, CG: 0},
+		{Kind: trace.KindDebt, At: 200, CG: 0},
+		{Kind: trace.KindDeviceStart, At: 170, Seq: 1, CG: 0},
+		{Kind: trace.KindDonation, At: 250, CG: trace.NoCG},
+		{Kind: trace.KindComplete, At: 270, Seq: 1, CG: 0, Aux: 170},
+	})
+	set := span.Build(tr, fault.Plan{})
+	if len(set.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(set.Spans))
+	}
+	s := set.Spans[0]
+	if s.Submit != 100 || s.Complete != 270 || s.Total() != 170 {
+		t.Fatalf("span window [%d,%d] total %d, want [100,270] 170", s.Submit, s.Complete, s.Total())
+	}
+	if s.Throttle != 50 || s.Queue != 10 || s.DevWait != 10 || s.Device != 100 || s.Retry != 0 {
+		t.Fatalf("phases throttle=%d queue=%d devwait=%d device=%d retry=%d, want 50/10/10/100/0",
+			s.Throttle, s.Queue, s.DevWait, s.Device, s.Retry)
+	}
+	if sum := s.Throttle + s.Queue + s.DevWait + s.Device + s.Retry; sum != s.Total() {
+		t.Fatalf("phases sum to %d, want total %d", sum, s.Total())
+	}
+	if s.VrateAtSubmit != 0.8 {
+		t.Fatalf("vrate at submit %v, want 0.8", s.VrateAtSubmit)
+	}
+	if s.Debt != 1 || s.Donations != 1 {
+		t.Fatalf("debt=%d donations=%d, want 1/1", s.Debt, s.Donations)
+	}
+	if s.Status != "ok" || s.Attempts != 1 {
+		t.Fatalf("status=%q attempts=%d, want ok/1", s.Status, s.Attempts)
+	}
+	if len(s.Segments) != 4 {
+		t.Fatalf("got %d segments, want 4", len(s.Segments))
+	}
+}
+
+func TestBuildRetry(t *testing.T) {
+	tr := synthetic([]trace.Event{
+		// Attempt 1: fails at t=20.
+		{Kind: trace.KindSubmit, At: 0, Seq: 7, CG: 1, Op: uint8(bio.Write)},
+		{Kind: trace.KindIssue, At: 10, Seq: 7, CG: 1, Aux: 10},
+		{Kind: trace.KindDispatch, At: 10, Seq: 7, CG: 1},
+		{Kind: trace.KindDeviceStart, At: 10, Seq: 7, CG: 1},
+		{Kind: trace.KindComplete, At: 20, Seq: 7, CG: 1, Aux: 20},
+		{Kind: trace.KindError, At: 20, Seq: 7, CG: 1, Aux: 1},
+		// Attempt 2 after 30ns of backoff.
+		{Kind: trace.KindSubmit, At: 50, Seq: 7, CG: 1},
+		{Kind: trace.KindIssue, At: 60, Seq: 7, CG: 1, Aux: 10},
+		{Kind: trace.KindDispatch, At: 60, Seq: 7, CG: 1},
+		{Kind: trace.KindDeviceStart, At: 65, Seq: 7, CG: 1},
+		{Kind: trace.KindComplete, At: 100, Seq: 7, CG: 1, Aux: 100},
+	})
+	set := span.Build(tr, fault.Plan{})
+	if len(set.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(set.Spans))
+	}
+	s := set.Spans[0]
+	if s.Attempts != 2 || s.Status != "ok" {
+		t.Fatalf("attempts=%d status=%q, want 2/ok", s.Attempts, s.Status)
+	}
+	if s.Total() != 100 {
+		t.Fatalf("total %d, want 100", s.Total())
+	}
+	if s.Throttle != 20 || s.Queue != 0 || s.DevWait != 5 || s.Device != 45 || s.Retry != 30 {
+		t.Fatalf("phases throttle=%d queue=%d devwait=%d device=%d retry=%d, want 20/0/5/45/30",
+			s.Throttle, s.Queue, s.DevWait, s.Device, s.Retry)
+	}
+	if sum := s.Throttle + s.Queue + s.DevWait + s.Device + s.Retry; sum != s.Total() {
+		t.Fatalf("phases sum to %d, want total %d", sum, s.Total())
+	}
+}
+
+func TestBuildFinalFailure(t *testing.T) {
+	tr := synthetic([]trace.Event{
+		{Kind: trace.KindSubmit, At: 0, Seq: 3, CG: 0},
+		{Kind: trace.KindIssue, At: 0, Seq: 3, CG: 0},
+		{Kind: trace.KindDispatch, At: 0, Seq: 3, CG: 0},
+		{Kind: trace.KindDeviceStart, At: 0, Seq: 3, CG: 0},
+		{Kind: trace.KindComplete, At: 10, Seq: 3, CG: 0, Aux: 10},
+		{Kind: trace.KindTimeout, At: 10, Seq: 3, CG: 0},
+		// An incomplete bio: cut off by the capture window.
+		{Kind: trace.KindSubmit, At: 5, Seq: 4, CG: 0},
+	})
+	set := span.Build(tr, fault.Plan{})
+	if len(set.Spans) != 1 || set.Incomplete != 1 {
+		t.Fatalf("spans=%d incomplete=%d, want 1/1", len(set.Spans), set.Incomplete)
+	}
+	if set.Spans[0].Status != "timeout" {
+		t.Fatalf("status %q, want timeout", set.Spans[0].Status)
+	}
+}
+
+func TestBuildFaultAttribution(t *testing.T) {
+	plan := fault.Plan{Episodes: []fault.Episode{
+		{Kind: fault.Slow, At: 50, Dur: 100, Factor: 10},
+		{Kind: fault.GCStorm, At: 120, Dur: 30, Rate: 0.5, Stall: 5},
+	}}
+	tr := synthetic([]trace.Event{
+		{Kind: trace.KindSubmit, At: 0, Seq: 1, CG: 0},
+		{Kind: trace.KindIssue, At: 0, Seq: 1, CG: 0},
+		{Kind: trace.KindDispatch, At: 100, Seq: 1, CG: 0},
+		{Kind: trace.KindDeviceStart, At: 110, Seq: 1, CG: 0},
+		{Kind: trace.KindComplete, At: 200, Seq: 1, CG: 0, Aux: 200},
+	})
+	set := span.Build(tr, plan)
+	s := set.Spans[0]
+	// Device window [100,200): slow episode [50,150) overlaps 50, gcstorm
+	// [120,150) overlaps 30 — but the union is still [100,150), so the
+	// concurrent stretch counts once.
+	if s.Fault != 50 {
+		t.Fatalf("fault overlap %d, want 50 (union, no double count)", s.Fault)
+	}
+	if s.FaultByKind[fault.Slow] != 50 || s.FaultByKind[fault.GCStorm] != 30 {
+		t.Fatalf("by-kind slow=%d gcstorm=%d, want 50/30",
+			s.FaultByKind[fault.Slow], s.FaultByKind[fault.GCStorm])
+	}
+	rep := set.Blame()
+	if rep.System.FaultFrac <= 0 {
+		t.Fatalf("system fault frac %v, want > 0", rep.System.FaultFrac)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlameFractionsSum(t *testing.T) {
+	set := machineSet(t, fault.Plan{})
+	rep := set.Blame()
+	if rep.Spans == 0 {
+		t.Fatal("machine run produced no spans")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sum := rep.System.ThrottleFrac + rep.System.QueueFrac + rep.System.DevWaitFrac +
+		rep.System.DeviceFrac + rep.System.RetryFrac
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("system phase fractions sum to %v, want 1", sum)
+	}
+	if len(rep.ByCGroup) < 2 {
+		t.Fatalf("got %d cgroup scopes, want >= 2", len(rep.ByCGroup))
+	}
+	for i := 1; i < len(rep.ByCGroup); i++ {
+		if rep.ByCGroup[i-1].Path >= rep.ByCGroup[i].Path {
+			t.Fatalf("cgroup scopes not sorted: %q >= %q",
+				rep.ByCGroup[i-1].Path, rep.ByCGroup[i].Path)
+		}
+	}
+	if out := rep.Format(); out == "" {
+		t.Fatal("empty blame table")
+	}
+}
+
+// machineSet runs the standard contention scenario with tracing on and
+// returns its span set.
+func machineSet(t *testing.T, plan fault.Plan) *span.Set {
+	return machineSetFor(t, plan, 500*sim.Millisecond)
+}
+
+func machineSetFor(t *testing.T, plan fault.Plan, dur sim.Time) *span.Set {
+	t.Helper()
+	spec := device.OlderGenSSD()
+	m := exp.MustNewMachine(exp.MachineConfig{
+		Device:     exp.DeviceChoice{SSD: &spec},
+		Controller: exp.KindIOCost,
+		Seed:       1,
+		Trace:      true,
+		Faults:     plan,
+	})
+	hi := m.Workload.NewChild("hi", 200)
+	lo := m.Workload.NewChild("lo", 100)
+	workload.NewSaturator(m.Q, workload.SaturatorConfig{
+		CG: hi, Op: bio.Read, Pattern: workload.Random,
+		Size: 4096, Depth: 16, Region: 0, Seed: 2,
+	}).Start()
+	workload.NewSaturator(m.Q, workload.SaturatorConfig{
+		CG: lo, Op: bio.Read, Pattern: workload.Random,
+		Size: 4096, Depth: 16, Region: 1 << 40, Seed: 3,
+	}).Start()
+	m.Run(dur)
+	tr := m.Trace.Trace()
+	return span.Build(tr, plan)
+}
+
+// TestStormBlame pins the acceptance criterion: under the storm preset the
+// tail of a traced run is attributed to the injected episodes.
+func TestStormBlame(t *testing.T) {
+	plan := fault.Plan{Episodes: []fault.Episode{
+		{Kind: fault.Slow, At: 100 * sim.Millisecond, Dur: 300 * sim.Millisecond, Factor: 10},
+		{Kind: fault.Error, At: 100 * sim.Millisecond, Dur: 300 * sim.Millisecond, Rate: 0.01},
+	}}
+	set := machineSet(t, plan)
+	rep := set.Blame()
+	if rep.System.FaultFrac <= 0.5 {
+		t.Fatalf("storm tail fault fraction %v, want > 0.5", rep.System.FaultFrac)
+	}
+	if rep.System.FaultByKind["slow"] <= 0 {
+		t.Fatalf("no slow-episode attribution: %v", rep.System.FaultByKind)
+	}
+}
+
+// TestBuildDeterministic pins that two identical runs produce identical
+// span sets (the property the Perfetto golden rides on).
+func TestBuildDeterministic(t *testing.T) {
+	a, b := machineSet(t, fault.Plan{}), machineSet(t, fault.Plan{})
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span counts differ: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for i := range a.Spans {
+		sa, sb := a.Spans[i], b.Spans[i]
+		sa.Segments, sb.Segments = nil, nil
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("span %d differs:\n%+v\n%+v", i, sa, sb)
+		}
+	}
+}
+
+// TestPerfettoGolden pins the export byte-for-byte for a fixed seed.
+// Regenerate with UPDATE_PERFETTO_GOLDEN=1.
+func TestPerfettoGolden(t *testing.T) {
+	// A short window keeps the golden file reviewably small while still
+	// exercising every event shape (faults, retries, controller events).
+	plan := fault.Plan{Episodes: []fault.Episode{
+		{Kind: fault.Slow, At: 5 * sim.Millisecond, Dur: 10 * sim.Millisecond, Factor: 8},
+	}}
+	set := machineSetFor(t, plan, 20*sim.Millisecond)
+	var buf bytes.Buffer
+	if err := span.WritePerfetto(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := span.WritePerfetto(&again, set); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two exports of the same set differ")
+	}
+
+	path := filepath.Join("testdata", "perfetto_v1.json")
+	if os.Getenv("UPDATE_PERFETTO_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_PERFETTO_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("perfetto export drifted from golden (got %d bytes, want %d); regenerate with UPDATE_PERFETTO_GOLDEN=1 if intended",
+			buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the hardened trace decoder: any input
+// may be rejected with an error, none may panic or hang. Seeded from the v1
+// golden fixture so the corpus starts inside the format, plus truncations
+// and a bit-flip of it to reach the interesting error paths fast.
+func FuzzDecode(f *testing.F) {
+	golden, err := os.ReadFile("testdata/golden_v1.trace")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden)
+	for _, cut := range []int{0, 1, 4, 8, len(golden) / 2, len(golden) - 1} {
+		if cut <= len(golden) {
+			f.Add(append([]byte(nil), golden[:cut]...))
+		}
+	}
+	flipped := append([]byte(nil), golden...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must decode into an internally consistent trace:
+		// every event's cgroup index resolves (CGPath tolerates any int32,
+		// but in-range ones must not be empty strings).
+		for _, ev := range tr.Events {
+			if ev.CG >= 0 && int(ev.CG) < len(tr.CGroups) && tr.CGroups[ev.CG] == "" {
+				t.Fatalf("decoded event references empty cgroup path %d", ev.CG)
+			}
+		}
+	})
+}

@@ -86,12 +86,13 @@ type Daemon struct {
 	apply func(core.QoS)
 	// logf receives rate-limitable progress lines (key, format, args).
 	logf func(key, format string, args ...any)
+	// notify, when set, hears about every successful re-tune (the flight
+	// recorder snapshots on it).
+	notify func(trigger string)
 
-	breaches   int
+	hyst       Hysteresis
 	lastFaults float64
 	haveFaults bool
-	lastTune   sim.Time
-	tuned      bool
 
 	// Checks, Retunes and LastTrigger expose the daemon's history.
 	Checks      int
@@ -113,8 +114,21 @@ func NewDaemon(eng *sim.Engine, reg *registry.Registry, pol Policy,
 	if logf == nil {
 		logf = func(string, string, ...any) {}
 	}
-	return &Daemon{eng: eng, reg: reg, pol: pol.withDefaults(), retune: retune, apply: apply, logf: logf}, nil
+	d := &Daemon{eng: eng, reg: reg, pol: pol.withDefaults(), retune: retune, apply: apply, logf: logf}
+	d.hyst = d.pol.hysteresis()
+	return d, nil
 }
+
+// hysteresis builds the policy's arming state machine (shared semantics
+// with the flight recorder; see Hysteresis).
+func (p Policy) hysteresis() Hysteresis {
+	return Hysteresis{Consec: p.Consec, Cooldown: p.Cooldown, MaxFires: p.MaxRetunes}
+}
+
+// SetNotify installs an observer called after every successful re-tune with
+// the trigger name. The flight recorder uses it to snapshot the machine
+// state that led to the re-tune.
+func (d *Daemon) SetNotify(fn func(trigger string)) { d.notify = fn }
 
 // SetPolicy swaps the trigger policy; the change takes effect at the next
 // check. The breach counter resets so a threshold change never fires on
@@ -124,7 +138,9 @@ func (d *Daemon) SetPolicy(pol Policy) error {
 		return err
 	}
 	d.pol = pol.withDefaults()
-	d.breaches = 0
+	h := d.pol.hysteresis()
+	h.fires, h.lastFire, h.fired = d.hyst.fires, d.hyst.lastFire, d.hyst.fired
+	d.hyst = h
 	return nil
 }
 
@@ -165,20 +181,13 @@ func (d *Daemon) trigger() string {
 func (d *Daemon) check() {
 	d.Checks++
 	trig := d.trigger()
-	if trig == "" {
-		d.breaches = 0
-		return
-	}
-	d.breaches++
-	d.logf("breach", "breach %d/%d: %s", d.breaches, d.pol.Consec, trig)
-	if d.breaches < d.pol.Consec {
-		return
-	}
 	now := d.eng.Now()
-	if d.tuned && now-d.lastTune < d.pol.Cooldown {
+	armed := d.hyst.Observe(now, trig != "")
+	if trig == "" {
 		return
 	}
-	if d.pol.MaxRetunes > 0 && d.Retunes >= d.pol.MaxRetunes {
+	d.logf("breach", "breach %d/%d: %s", d.hyst.Breaches(), d.pol.Consec, trig)
+	if !armed {
 		return
 	}
 	qos, ok := d.retune(trig)
@@ -186,10 +195,11 @@ func (d *Daemon) check() {
 		return
 	}
 	d.apply(qos)
+	d.hyst.Fire(now)
 	d.Retunes++
 	d.LastTrigger = trig
-	d.lastTune = now
-	d.tuned = true
-	d.breaches = 0
 	d.logf("retune", "re-tuned (%s): %s", trig, qos)
+	if d.notify != nil {
+		d.notify(trig)
+	}
 }

@@ -33,12 +33,15 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/fault"
+	"github.com/iocost-sim/iocost/internal/flight"
 	"github.com/iocost-sim/iocost/internal/mem"
 	"github.com/iocost-sim/iocost/internal/metrics"
 	"github.com/iocost-sim/iocost/internal/profiler"
 	"github.com/iocost-sim/iocost/internal/rcb"
 	"github.com/iocost-sim/iocost/internal/registry"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/slo"
+	"github.com/iocost-sim/iocost/internal/span"
 	"github.com/iocost-sim/iocost/internal/trace"
 	"github.com/iocost-sim/iocost/internal/tune"
 	"github.com/iocost-sim/iocost/internal/workload"
@@ -463,3 +466,46 @@ type (
 
 // NewZKCluster builds the stacked deployment over per-machine block queues.
 var NewZKCluster = zk.NewCluster
+
+// Incident observability (internal/span, internal/flight, internal/slo):
+// causal span reconstruction, the always-on flight recorder with
+// dump-on-trigger incident bundles, and virtual-time SLO burn-rate alerts.
+type (
+	// SpanSet is the reconstructed per-bio span trees of one trace.
+	SpanSet = span.Set
+	// Span is one bio's life decomposed into exclusive phases.
+	Span = span.Span
+	// BlameReport is the per-cgroup p99 latency decomposition.
+	BlameReport = span.Report
+	// FlightConfig configures the always-on black-box recorder.
+	FlightConfig = flight.Config
+	// FlightRecorder is a live flight recorder on one machine.
+	FlightRecorder = flight.Recorder
+	// IncidentBundle is one frozen incident: window trace + registry
+	// scrape + span blame + alert history.
+	IncidentBundle = flight.Bundle
+	// SLORule is one multi-window burn-rate alert rule.
+	SLORule = slo.Rule
+	// SLOEvaluator runs burn-rate rules on the virtual clock.
+	SLOEvaluator = slo.Evaluator
+	// SLORegistrySource feeds an evaluator from a machine registry
+	// (errors + timeouts over completions).
+	SLORegistrySource = slo.RegistrySource
+	// SLOAlert is one rule state transition.
+	SLOAlert = slo.Alert
+)
+
+// Span/flight/SLO entry points: BuildSpans reconstructs span trees from a
+// trace, WritePerfetto renders them as a Perfetto/Chrome timeline,
+// NewFlightRecorder builds a standalone black box, ReadIncidentBundle
+// loads and validates a bundle file, and DefaultSLORules is the standard
+// fast-burn/slow-burn pair.
+var (
+	BuildSpans         = span.Build
+	WritePerfetto      = span.WritePerfetto
+	NewFlightRecorder  = flight.New
+	ReadIncidentBundle = flight.ReadBundle
+	IncidentFromTrace  = flight.BundleFromTrace
+	NewSLOEvaluator    = slo.NewEvaluator
+	DefaultSLORules    = slo.DefaultRules
+)

@@ -11,11 +11,27 @@ import (
 	"github.com/iocost-sim/iocost/internal/check"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/exp"
+	"github.com/iocost-sim/iocost/internal/flight"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
 
 func TestSteadyStateZeroAllocs(t *testing.T) {
+	steadyStateZeroAllocs(t, nil)
+}
+
+// TestSteadyStateZeroAllocsFlight re-runs the pin with the flight recorder
+// armed: the always-on black box (small ring so it wraps during warm-up,
+// trigger checks every 5ms) must cost literally nothing per bio once the
+// ring reaches capacity.
+func TestSteadyStateZeroAllocsFlight(t *testing.T) {
+	steadyStateZeroAllocs(t, &flight.Config{
+		Cap:        1 << 12,
+		CheckEvery: 5 * sim.Millisecond,
+	})
+}
+
+func steadyStateZeroAllocs(t *testing.T, fc *flight.Config) {
 	if check.Enabled {
 		t.Skip("sanitizer wrappers keep their own bookkeeping; alloc pin runs unsanitized")
 	}
@@ -24,6 +40,7 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		Device:     exp.DeviceChoice{SSD: &spec},
 		Controller: exp.KindNone,
 		Seed:       42,
+		Flight:     fc,
 	})
 	a := m.Workload.NewChild("a", 100)
 	c := m.Workload.NewChild("b", 200)

@@ -54,6 +54,11 @@ echo "== tune smoke (auto-tuner byte-identical across worker counts)"
 # objective): same bytes at workers 1 and 4, JSON passes -check.
 make tune-smoke
 
+echo "== incident smoke (flight recorder bundles + Perfetto export)"
+# Same storm seed twice with the flight recorder armed must dump
+# byte-identical incident bundles; Perfetto export must be deterministic.
+make incident-smoke
+
 echo "== cmd exit codes (errors must exit non-zero)"
 # Every tool must fail loudly on bad input; a zero exit here is a
 # regression that silently greenlights broken CI pipelines.
@@ -70,7 +75,12 @@ for bad in \
 	"./cmd/iocost-profile -device nosuch" \
 	"./cmd/iocost-tune -scenario nosuch" \
 	"./cmd/iocost-tune -objective nosuch" \
-	"./cmd/iocost-tune -check /nonexistent.json"; do
+	"./cmd/iocost-tune -check /nonexistent.json" \
+	"./cmd/iocost-trace export-perfetto /nonexistent.trace" \
+	"./cmd/iocost-trace export-perfetto" \
+	"./cmd/iocost-trace bundle -check /nonexistent.json" \
+	"./cmd/iocost-fleet -flight-sample 2" \
+	"./cmd/iocost-fleet -flight-fail 0.5"; do
 	if go run $bad >/dev/null 2>&1; then
 		echo "FAIL: 'go run $bad' exited zero"
 		exit 1
