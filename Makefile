@@ -110,7 +110,14 @@ fleet-smoke:
 	"$$dir/iocost-fleet" -hosts 100000 -seed 7 -workers 16 -mode openmetrics -o "$$dir/w16.om"; \
 	cmp "$$dir/w4.om" "$$dir/w16.om"; \
 	go test ./internal/fleet -run TestClusterBoundedMemory -count=1 >/dev/null; \
-	echo "fleet-smoke OK: 100k hosts byte-identical at workers 1/4/16, memory bounded"
+	"$$dir/iocost-fleet" -hosts 10000 -seed 7 -fidelity sampled -sample-frac 0.01 -workers 1 -o "$$dir/s1.txt"; \
+	"$$dir/iocost-fleet" -hosts 10000 -seed 7 -fidelity sampled -sample-frac 0.01 -workers 4 -o "$$dir/s4.txt"; \
+	cmp "$$dir/s1.txt" "$$dir/s4.txt"; \
+	"$$dir/iocost-fleet" -hosts 10000 -seed 7 -fidelity sampled -sample-frac 0.01 -workers 1 -mode openmetrics -o "$$dir/s1.om"; \
+	"$$dir/iocost-fleet" -hosts 10000 -seed 7 -fidelity sampled -sample-frac 0.01 -workers 4 -mode openmetrics -o "$$dir/s4.om"; \
+	cmp "$$dir/s1.om" "$$dir/s4.om"; \
+	grep -q 'fidelity: full-machine hosts=' "$$dir/s1.txt"; \
+	echo "fleet-smoke OK: 100k hosts byte-identical at workers 1/4/16, memory bounded; 10k sampled-fidelity run byte-identical at workers 1/4"
 
 # Incident-observability smoke: the flight recorder and Perfetto export are
 # part of the determinism contract. The same storm run armed with -flight

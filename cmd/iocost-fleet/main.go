@@ -13,6 +13,7 @@
 //
 //	iocost-fleet [-hosts 10000] [-rack-size 32] [-ticks 8] [-tick 1s]
 //	             [-ops 20] [-workers 0] [-seed 1] [-kind fetch|cleanup]
+//	             [-fidelity outcome|sampled|full] [-sample-frac 0.01]
 //	             [-migrate] [-push] [-canary 0.05]
 //	             [-storm-racks 0,1] [-storm storm|spec]
 //	             [-measure] [-trials 3]
@@ -32,6 +33,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/fault"
 	"github.com/iocost-sim/iocost/internal/fleet"
+	"github.com/iocost-sim/iocost/internal/scenario"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
 
@@ -47,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 0, "shard fan-out width (0 = serial; results identical for every value)")
 	seed := flag.Uint64("seed", 1, "fleet seed")
 	kindName := flag.String("kind", "fetch", "operation under test: fetch (Fig 18) or cleanup (Fig 19)")
+	fidelity := flag.String("fidelity", "outcome", "host model: outcome (curves), sampled (seed-drawn subset runs full machines), or full")
+	sampleFrac := flag.Float64("sample-frac", 0, "fraction of hosts running full machines with -fidelity sampled (0 = default 0.01)")
 	migrate := flag.Bool("migrate", true, "roll the fleet from io.latency to iocost across the run")
 	push := flag.Bool("push", false, "roll out a QoS config push with a canary stage")
 	canary := flag.Float64("canary", 0.05, "canary fraction for -push")
@@ -71,6 +75,11 @@ func main() {
 		cli.Fatalf(tool, "unknown kind %q (want fetch or cleanup)", *kindName)
 	}
 
+	fidMode, err := fleet.ParseFidelityMode(*fidelity)
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
+	}
+
 	cfg := fleet.ClusterConfig{
 		Hosts:          *hosts,
 		RackSize:       *rackSize,
@@ -80,6 +89,13 @@ func main() {
 		Seed:           *seed,
 		Workers:        *workers,
 		Kind:           kind,
+		Fidelity: fleet.Fidelity{
+			Mode:       fidMode,
+			SampleFrac: *sampleFrac,
+		},
+	}
+	if fidMode != fleet.FidelityOutcome {
+		cfg.Fidelity.Machine = scenario.NewFleetHost
 	}
 	if *migrate {
 		cfg.Migration = &fleet.MigrationWave{StartTick: 0, Ticks: *ticks}

@@ -43,7 +43,7 @@ func main() {
 	cli.Setup(tool, "[-mode live|openmetrics|json] [options]")
 	controller := flag.String("controller", iocost.ControllerIOCost,
 		"IO controller: "+strings.Join(iocost.ControllerNames(), ", "))
-	devName := flag.String("device", "older-gen", "device: older-gen, newer-gen, enterprise, hdd")
+	devName := flag.String("device", "older-gen", "device model: "+strings.Join(iocost.DeviceNames(), ", "))
 	seconds := flag.Int("seconds", 10, "simulated seconds")
 	interval := flag.Int("interval", 1, "display interval in simulated seconds (live mode)")
 	sampleMS := flag.Int("sample-ms", 100, "registry scrape interval in simulated milliseconds")
@@ -72,18 +72,9 @@ func main() {
 		return
 	}
 
-	var dev iocost.DeviceChoice
-	switch *devName {
-	case "older-gen":
-		dev = iocost.SSD(iocost.OlderGenSSD())
-	case "newer-gen":
-		dev = iocost.SSD(iocost.NewerGenSSD())
-	case "enterprise":
-		dev = iocost.SSD(iocost.EnterpriseSSD())
-	case "hdd":
-		dev = iocost.HDD(iocost.EvalHDD())
-	default:
-		cli.Fatalf(tool, "unknown device %q", *devName)
+	dev, err := iocost.ParseDevice(*devName)
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
 	}
 
 	var plan iocost.FaultPlan

@@ -7,50 +7,24 @@
 //
 //	iocost-profile [-device <name>] [-seed N] [-list]
 //
-// Device names: older-gen, newer-gen, enterprise, hdd, A..H (the fleet
-// SSDs of Figure 3), ebs-gp3, ebs-io2, gcp-balanced, gcp-ssd.
+// Device names come from the shared exp catalog (exp.DeviceNames): the
+// evaluation SSDs, hdd, the fleet SSDs A..H of Figure 3, and the cloud
+// volumes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"github.com/iocost-sim/iocost/internal/cli"
 	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/profiler"
 	"github.com/iocost-sim/iocost/internal/sim"
 )
 
 const tool = "iocost-profile"
-
-func factories() map[string]profiler.DeviceFactory {
-	m := map[string]profiler.DeviceFactory{}
-	add := func(name string, f profiler.DeviceFactory) { m[name] = f }
-	ssd := func(spec device.SSDSpec) profiler.DeviceFactory {
-		return func(eng *sim.Engine) device.Device { return device.NewSSD(eng, spec, 1) }
-	}
-	add("older-gen", ssd(device.OlderGenSSD()))
-	add("newer-gen", ssd(device.NewerGenSSD()))
-	add("enterprise", ssd(device.EnterpriseSSD()))
-	add("hdd", func(eng *sim.Engine) device.Device { return device.NewHDD(eng, device.EvalHDD(), 1) })
-	for _, n := range device.FleetSSDNames() {
-		spec, err := device.FleetSSDSpec(n)
-		if err != nil {
-			panic(err)
-		}
-		add(n, ssd(spec))
-	}
-	remote := func(spec device.RemoteSpec) profiler.DeviceFactory {
-		return func(eng *sim.Engine) device.Device { return device.NewRemote(eng, spec, 1) }
-	}
-	add("ebs-gp3", remote(device.EBSgp3()))
-	add("ebs-io2", remote(device.EBSio2()))
-	add("gcp-balanced", remote(device.GCPBalanced()))
-	add("gcp-ssd", remote(device.GCPSSD()))
-	return m
-}
 
 func main() {
 	cli.Setup(tool, "[-device <name>] [-seed N] [-list]")
@@ -59,25 +33,20 @@ func main() {
 	list := flag.Bool("list", false, "list device models and exit")
 	cli.Parse(tool)
 
-	fs := factories()
 	if *list {
-		names := make([]string, 0, len(fs))
-		for n := range fs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range exp.DeviceNames() {
 			fmt.Println(n)
 		}
 		return
 	}
 
-	f, ok := fs[*dev]
-	if !ok {
-		cli.Fatalf(tool, "unknown device %q (use -list)", *dev)
+	choice, err := exp.ParseDevice(*dev)
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
 	}
+	factory := func(eng *sim.Engine) device.Device { return choice.New(eng, 1) }
 
 	fmt.Fprintf(os.Stderr, "profiling %s (saturating sweeps, simulated)...\n", *dev)
-	res := profiler.Profile(f, profiler.Options{Seed: *seed})
+	res := profiler.Profile(factory, profiler.Options{Seed: *seed})
 	fmt.Print(res.Format())
 }

@@ -26,7 +26,7 @@ func main() {
 	cli.Setup(tool, "[options]")
 	controller := flag.String("controller", iocost.ControllerIOCost,
 		"IO controller: "+strings.Join(iocost.ControllerNames(), ", "))
-	devName := flag.String("device", "older-gen", "device: older-gen, newer-gen, enterprise, hdd")
+	devName := flag.String("device", "older-gen", "device model: "+strings.Join(iocost.DeviceNames(), ", "))
 	seconds := flag.Int("seconds", 10, "simulated seconds")
 	hiWeight := flag.Float64("hi-weight", 200, "high-priority cgroup weight")
 	loWeight := flag.Float64("lo-weight", 100, "low-priority cgroup weight")
@@ -43,18 +43,9 @@ func main() {
 	flightDir := flag.String("flight", "", "arm the flight recorder and write incident bundles to this directory (inspect with iocost-trace bundle)")
 	cli.Parse(tool)
 
-	var dev iocost.DeviceChoice
-	switch *devName {
-	case "older-gen":
-		dev = iocost.SSD(iocost.OlderGenSSD())
-	case "newer-gen":
-		dev = iocost.SSD(iocost.NewerGenSSD())
-	case "enterprise":
-		dev = iocost.SSD(iocost.EnterpriseSSD())
-	case "hdd":
-		dev = iocost.HDD(iocost.EvalHDD())
-	default:
-		cli.Fatalf(tool, "unknown device %q", *devName)
+	dev, err := iocost.ParseDevice(*devName)
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
 	}
 
 	var plan iocost.FaultPlan

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	iocost-tune [-scenario name] [-seed N] [-objective name] [-target ms]
-//	            [-candidates N] [-rounds N] [-window ms] [-warmup ms]
-//	            [-hill N] [-workers N] [-json] [-o file] [-q]
+//	iocost-tune [-scenario name | -device name] [-seed N] [-objective name]
+//	            [-target ms] [-candidates N] [-rounds N] [-window ms]
+//	            [-warmup ms] [-hill N] [-workers N] [-json] [-o file] [-q]
 //	iocost-tune -check report.json
 //
 // The output is a pure function of (seed, scenario, objective): the same
@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"github.com/iocost-sim/iocost/internal/cli"
+	"github.com/iocost-sim/iocost/internal/device"
+	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/tune"
 )
@@ -33,6 +35,8 @@ func main() {
 	cli.Setup(tool, "[-scenario name] [-seed N] [-objective name] [-json] [-o file] | -check file")
 	scenario := flag.String("scenario", "fleet-a",
 		"built-in scenario: "+strings.Join(tune.ScenarioNames(), ", "))
+	deviceName := flag.String("device", "",
+		"tune an ad-hoc scenario for this device model instead of -scenario (see exp.DeviceNames)")
 	seed := flag.Uint64("seed", 1, "search seed (the whole run derives from it)")
 	objective := flag.String("objective", "",
 		"objective: "+strings.Join(tune.ObjectiveNames(), ", ")+" (default bulk-slo)")
@@ -63,8 +67,19 @@ func main() {
 		return
 	}
 
-	sc, err := tune.ScenarioByName(*scenario)
-	if err != nil {
+	var sc tune.Scenario
+	var err error
+	if *deviceName != "" {
+		scenarioSet := false
+		flag.Visit(func(f *flag.Flag) { scenarioSet = scenarioSet || f.Name == "scenario" })
+		if scenarioSet {
+			cli.Fatalf(tool, "-device and -scenario are mutually exclusive")
+		}
+		sc, err = deviceScenario(*deviceName)
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+	} else if sc, err = tune.ScenarioByName(*scenario); err != nil {
 		cli.Fatalf(tool, "%v (known: %s)", err, strings.Join(tune.ScenarioNames(), ", "))
 	}
 
@@ -115,4 +130,30 @@ func main() {
 		return
 	}
 	os.Stdout.Write(out)
+}
+
+// deviceScenario builds an ad-hoc tuning scenario around one named device
+// model from the shared exp catalog, with per-family latency targets
+// matching the built-in scenarios of the same device class.
+func deviceScenario(name string) (tune.Scenario, error) {
+	choice, err := exp.ParseDevice(name)
+	if err != nil {
+		return tune.Scenario{}, err
+	}
+	sc := tune.Scenario{Name: "device-" + name}
+	switch choice.Kind() {
+	case exp.DeviceSSD:
+		spec := *choice.Spec().(*device.SSDSpec)
+		sc.SSD = &spec
+		sc.Target, sc.ShedTarget = 2*sim.Millisecond, 500*sim.Microsecond
+	case exp.DeviceHDD:
+		spec := *choice.Spec().(*device.HDDSpec)
+		sc.HDD = &spec
+		sc.Target, sc.ShedTarget = 250*sim.Millisecond, 40*sim.Millisecond
+	case exp.DeviceRemote:
+		spec := *choice.Spec().(*device.RemoteSpec)
+		sc.Remote = &spec
+		sc.Target, sc.ShedTarget = 10*sim.Millisecond, 3*sim.Millisecond
+	}
+	return sc, nil
 }

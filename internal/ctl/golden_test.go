@@ -21,8 +21,8 @@ import (
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/ctl"
 	"github.com/iocost-sim/iocost/internal/device"
-	"github.com/iocost-sim/iocost/internal/exp"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/tune"
 )
 
 // goldenDispatchHashes pins the dispatch/completion traces for all seven
@@ -104,7 +104,7 @@ func dispatchTrace(t *testing.T, name string) (uint64, int) {
 		c = ctl.NewKyber()
 	case "iocost":
 		ioc, err := ctl.New("iocost", ctl.Config{Custom: core.Config{
-			Model: core.MustLinearModel(exp.IdealParams(spec)),
+			Model: core.MustLinearModel(tune.IdealSSDParams(spec)),
 		}})
 		if err != nil {
 			t.Fatalf("iocost construction: %v", err)

@@ -9,6 +9,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/tune"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
 
@@ -37,8 +38,8 @@ func AblationDonation(measure sim.Time) AblationDonationResult {
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
 			IOCostCfg: core.Config{
-				Model:           core.MustLinearModel(IdealParams(spec)),
-				QoS:             TunedQoS(spec),
+				Model:           core.MustLinearModel(tune.IdealSSDParams(spec)),
+				QoS:             tune.HandTunedSSD(spec),
 				DisableDonation: disable,
 			},
 			Seed: 0xab1,
@@ -98,8 +99,8 @@ func AblationPeriod(measure sim.Time) []AblationPeriodRow {
 			Device:     ssdChoice(spec),
 			Controller: KindIOCost,
 			IOCostCfg: core.Config{
-				Model:  core.MustLinearModel(IdealParams(spec)),
-				QoS:    TunedQoS(spec),
+				Model:  core.MustLinearModel(tune.IdealSSDParams(spec)),
+				QoS:    tune.HandTunedSSD(spec),
 				Period: period,
 			},
 			Seed: 0xab2,
@@ -158,7 +159,7 @@ func AblationCostModel(measure sim.Time) []AblationCostModelRow {
 		measure = 4 * sim.Second
 	}
 	spec := device.OlderGenSSD()
-	full := core.MustLinearModel(IdealParams(spec))
+	full := core.MustLinearModel(tune.IdealSSDParams(spec))
 
 	models := []struct {
 		name string
@@ -180,7 +181,7 @@ func AblationCostModel(measure sim.Time) []AblationCostModelRow {
 			Controller: KindIOCost,
 			IOCostCfg: core.Config{
 				Model: mc.m,
-				QoS:   TunedQoS(spec),
+				QoS:   tune.HandTunedSSD(spec),
 			},
 			Seed: 0xab3,
 		})

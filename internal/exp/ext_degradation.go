@@ -8,6 +8,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/core"
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/tune"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
 
@@ -49,7 +50,7 @@ func ExtDegradation(opts ExtDegradationOptions) []ExtDegradationRow {
 	var rows []ExtDegradationRow
 	for _, kind := range []string{KindNone, KindIOCost} {
 		spec := device.OlderGenSSD()
-		qos := TunedQoS(spec)
+		qos := tune.HandTunedSSD(spec)
 		// A 3x capability loss needs vrate to reach ~33%; widen the band
 		// below the usual tuned floor so the controller can follow the
 		// device down.
@@ -58,7 +59,7 @@ func ExtDegradation(opts ExtDegradationOptions) []ExtDegradationRow {
 			Device:     ssdChoice(spec),
 			Controller: kind,
 			IOCostCfg: core.Config{
-				Model: core.MustLinearModel(IdealParams(spec)),
+				Model: core.MustLinearModel(tune.IdealSSDParams(spec)),
 				QoS:   qos,
 			},
 			Seed: 0xdeb,

@@ -11,6 +11,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/fault"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/tune"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
 
@@ -103,7 +104,7 @@ func ExtFaults(opts ExtFaultsOptions) []ExtFaultsRow {
 	}
 	var rows []ExtFaultsRow
 	for _, kind := range []string{KindNone, KindIOCost} {
-		qos := TunedQoS(spec)
+		qos := tune.HandTunedSSD(spec)
 		// A 10x capability loss needs vrate to go far below the tuned
 		// floor for the controller to follow the device down.
 		qos.VrateMin = 0.05
@@ -111,7 +112,7 @@ func ExtFaults(opts ExtFaultsOptions) []ExtFaultsRow {
 			Device:     ssdChoice(spec),
 			Controller: kind,
 			IOCostCfg: core.Config{
-				Model: core.MustLinearModel(IdealParams(spec)),
+				Model: core.MustLinearModel(tune.IdealSSDParams(spec)),
 				QoS:   qos,
 			},
 			Faults: ExtFaultsPlan(phase, phase),

@@ -12,6 +12,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/device"
 	"github.com/iocost-sim/iocost/internal/profiler"
 	"github.com/iocost-sim/iocost/internal/sim"
+	"github.com/iocost-sim/iocost/internal/tune"
 	"github.com/iocost-sim/iocost/internal/workload"
 )
 
@@ -335,7 +336,7 @@ func Fig9(opts Fig9Options) []Fig9Row {
 			IOCostCfg: core.Config{
 				// No throttling: model says the device is far more
 				// capable than it is, vrate pinned at 100%.
-				Model: core.MustLinearModel(IdealParams(device.EnterpriseSSD()).Scale(100)),
+				Model: core.MustLinearModel(tune.IdealSSDParams(device.EnterpriseSSD()).Scale(100)),
 				QoS: core.QoS{RPct: 99, RLat: sim.Second, WPct: 99, WLat: sim.Second,
 					VrateMin: 1, VrateMax: 1},
 			},
@@ -389,10 +390,10 @@ func Fig9(opts Fig9Options) []Fig9Row {
 			max = structural
 		}
 		rows = append(rows, Fig9Row{
-			Mechanism: kind,
-			PerIONS:   over,
-			MaxKIOPS:  max / 1000,
-			SimKIOPS:  r.simIOPS / 1000,
+			Mechanism:   kind,
+			PerIONS:     over,
+			MaxKIOPS:    max / 1000,
+			SimKIOPS:    r.simIOPS / 1000,
 			EventsPerIO: r.evPerIO, MEventsPerSec: r.evPerSec,
 		})
 	}

@@ -35,6 +35,13 @@ type FleetScaleOptions struct {
 	// the middle quarter of the run.
 	Storm bool
 	Short bool
+	// Fidelity selects the per-host model (outcome curves, a sampled
+	// subset of full machines, or full machines everywhere); the zero
+	// value keeps the outcome model. Passed through to
+	// fleet.ClusterConfig.Fidelity — wire scenario.NewFleetHost (or the
+	// facade's NewFleetHost) as the machine factory; exp cannot import
+	// scenario itself.
+	Fidelity fleet.Fidelity
 }
 
 // FleetScale runs the cluster-scale migration sweep and returns its merged
@@ -70,6 +77,7 @@ func FleetScale(kind fleet.OpKind, opts FleetScaleOptions) (*fleet.Summary, erro
 		Workers:   workers,
 		Kind:      kind,
 		Migration: &fleet.MigrationWave{StartTick: 0, Ticks: ticks},
+		Fidelity:  opts.Fidelity,
 	}
 	if opts.Measure {
 		cfg.Old, cfg.New = MeasuredFleetCurves(kind, opts.Trials)

@@ -189,25 +189,29 @@ type Machine struct {
 }
 
 // Parameter derivation lives in internal/tune (the auto-tuner races its
-// candidates against exactly these configs); the aliases below keep exp's
-// historical names working.
+// candidates against exactly these configs). The aliases below are thin
+// delegates kept only for facade stability (iocost.go re-exports them):
+// in-repo code calls tune directly.
 
-// IdealParams derives linear cost-model parameters analytically from an SSD
-// spec — what a perfect profiling run measures. Experiments that care about
-// profiling fidelity use the profiler package instead.
+// IdealParams is a thin delegate to tune.IdealSSDParams, kept for facade
+// stability: it derives linear cost-model parameters analytically from an
+// SSD spec — what a perfect profiling run measures. Experiments that care
+// about profiling fidelity use the profiler package instead.
 func IdealParams(spec device.SSDSpec) core.LinearParams { return tune.IdealSSDParams(spec) }
 
-// IdealHDDParams derives cost-model parameters for the spinning disk.
+// IdealHDDParams is a thin delegate to tune.IdealHDDParams, kept for
+// facade stability: cost-model parameters for the spinning disk.
 func IdealHDDParams(spec device.HDDSpec) core.LinearParams { return tune.IdealHDDParams(spec) }
 
-// IdealRemoteParams derives cost-model parameters for a cloud volume: the
+// IdealRemoteParams is a thin delegate to tune.IdealRemoteParams, kept for
+// facade stability: cost-model parameters for a cloud volume, whose
 // provisioned IOPS and throughput are the capability.
 func IdealRemoteParams(spec device.RemoteSpec) core.LinearParams {
 	return tune.IdealRemoteParams(spec)
 }
 
-// TunedQoS returns §3.4-style QoS parameters for an SSD spec; see
-// tune.HandTunedSSD.
+// TunedQoS is a thin delegate to tune.HandTunedSSD, kept for facade
+// stability: §3.4-style QoS parameters for an SSD spec.
 func TunedQoS(spec device.SSDSpec) core.QoS { return tune.HandTunedSSD(spec) }
 
 // newIOCostController builds a standalone IOCost controller for an SSD with
@@ -216,8 +220,8 @@ func TunedQoS(spec device.SSDSpec) core.QoS { return tune.HandTunedSSD(spec) }
 // registry like every other path.
 func newIOCostController(spec device.SSDSpec) *core.Controller {
 	c, err := ctl.New(KindIOCost, ctl.Config{Custom: core.Config{
-		Model: core.MustLinearModel(IdealParams(spec)),
-		QoS:   TunedQoS(spec),
+		Model: core.MustLinearModel(tune.IdealSSDParams(spec)),
+		QoS:   tune.HandTunedSSD(spec),
 	}})
 	if err != nil {
 		panic(err)
@@ -233,17 +237,17 @@ func iocostConfig(cfg MachineConfig, ssdSpec *device.SSDSpec) core.Config {
 	if c.Model == nil {
 		switch {
 		case ssdSpec != nil:
-			c.Model = core.MustLinearModel(IdealParams(*ssdSpec))
+			c.Model = core.MustLinearModel(tune.IdealSSDParams(*ssdSpec))
 		case cfg.Device.HDD != nil:
-			c.Model = core.MustLinearModel(IdealHDDParams(*cfg.Device.HDD))
+			c.Model = core.MustLinearModel(tune.IdealHDDParams(*cfg.Device.HDD))
 		default:
-			c.Model = core.MustLinearModel(IdealRemoteParams(*cfg.Device.Remote))
+			c.Model = core.MustLinearModel(tune.IdealRemoteParams(*cfg.Device.Remote))
 		}
 	}
 	if c.QoS == (core.QoS{}) {
 		switch {
 		case ssdSpec != nil:
-			c.QoS = TunedQoS(*ssdSpec)
+			c.QoS = tune.HandTunedSSD(*ssdSpec)
 		case cfg.Device.HDD != nil:
 			c.QoS = tune.HandTunedHDD()
 		default:
@@ -270,17 +274,8 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}
 	m := &Machine{Eng: eng, Hier: cgroup.NewHierarchy()}
 
-	var ssdSpec *device.SSDSpec
-	devSeed := rng.DeriveSeed(cfg.Seed, 0xde5)
-	switch {
-	case cfg.Device.SSD != nil:
-		ssdSpec = cfg.Device.SSD
-		m.Dev = device.NewSSD(eng, *cfg.Device.SSD, devSeed)
-	case cfg.Device.HDD != nil:
-		m.Dev = device.NewHDD(eng, *cfg.Device.HDD, devSeed)
-	default:
-		m.Dev = device.NewRemote(eng, *cfg.Device.Remote, devSeed)
-	}
+	ssdSpec := cfg.Device.SSD
+	m.Dev = cfg.Device.New(eng, rng.DeriveSeed(cfg.Seed, 0xde5))
 
 	if !cfg.Faults.Empty() {
 		inj, err := fault.NewInjector(eng, m.Dev, cfg.Faults, rng.DeriveSeed(cfg.Seed, faultSeedTag))
@@ -466,3 +461,8 @@ func MustNewMachine(cfg MachineConfig) *Machine {
 
 // Run advances the machine's clock to t.
 func (m *Machine) Run(t sim.Time) { m.Eng.RunUntil(t) }
+
+// RunFor advances the machine's clock by d from wherever it stands now —
+// the window-stepping the fleet's full-fidelity hosts use to sample one
+// steady-state window per tick instead of simulating the whole tick.
+func (m *Machine) RunFor(d sim.Time) { m.Eng.RunUntil(m.Eng.Now() + d) }

@@ -80,3 +80,80 @@ func ForEachN[T any](n, workers int, cell func(i int) T) []T {
 func Parallel(cells ...func()) {
 	ForEach(len(cells), func(i int) struct{} { cells[i](); return struct{}{} })
 }
+
+// ForEachNMerge evaluates cell(0..n-1) across workers goroutines and folds
+// every result into merge in strict index order, retaining at most window
+// unmerged results at any moment. It is the streaming form of ForEachN for
+// reductions too large to materialize: same determinism contract (merge
+// order is the index order, independent of worker count and scheduling),
+// but memory is O(window × result size) instead of O(n).
+//
+// merge runs under the internal lock — workers block while it executes, so
+// it should only fold, never simulate. A worker may not claim cell i until
+// i is within window of the merge frontier; that back-pressure is what
+// bounds retention.
+func ForEachNMerge[T any](n, workers, window int, cell func(i int) T, merge func(i int, v T)) {
+	if window < 1 {
+		window = 1
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			merge(i, cell(i))
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type slot struct {
+		v  T
+		ok bool
+	}
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		buf       = make([]slot, window)
+		nextClaim int
+		nextMerge int
+		wg        sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for nextClaim < n && nextClaim-nextMerge >= window {
+					cond.Wait()
+				}
+				if nextClaim >= n {
+					mu.Unlock()
+					return
+				}
+				i := nextClaim
+				nextClaim++
+				mu.Unlock()
+
+				v := cell(i)
+
+				mu.Lock()
+				s := &buf[i%window]
+				s.v, s.ok = v, true
+				// Whichever worker lands on the frontier drains every
+				// contiguous completed slot, keeping merges in index order.
+				for nextMerge < n && buf[nextMerge%window].ok {
+					d := &buf[nextMerge%window]
+					mv := d.v
+					var zero T
+					d.v, d.ok = zero, false
+					merge(nextMerge, mv)
+					nextMerge++
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

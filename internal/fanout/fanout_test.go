@@ -74,3 +74,56 @@ func TestForEachRespectsToggle(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachNMergeOrder: merge sees every value exactly once, in strict
+// index order, for every worker count and for windows smaller than,
+// equal to, and larger than the cell count.
+func TestForEachNMergeOrder(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, window := range []int{1, 3, 64, n, 5 * n} {
+			var got []int
+			fanout.ForEachNMerge(n, workers, window,
+				func(i int) int { return i * 3 },
+				func(i, v int) {
+					if v != i*3 {
+						t.Fatalf("workers=%d window=%d: merge(%d, %d), want value %d",
+							workers, window, i, v, i*3)
+					}
+					got = append(got, i)
+				})
+			if len(got) != n {
+				t.Fatalf("workers=%d window=%d: merged %d cells, want %d",
+					workers, window, len(got), n)
+			}
+			for i, idx := range got {
+				if idx != i {
+					t.Fatalf("workers=%d window=%d: merge call %d got index %d",
+						workers, window, i, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachNMergeWindowBound: a worker can never claim a cell more than
+// `window` ahead of the merge frontier, so retained unmerged results stay
+// bounded no matter how lopsided cell runtimes are.
+func TestForEachNMergeWindowBound(t *testing.T) {
+	const n, window = 120, 8
+	var merged atomic.Int32
+	var maxLead atomic.Int32
+	fanout.ForEachNMerge(n, 6, window,
+		func(i int) int {
+			if lead := int32(i) - merged.Load(); lead > maxLead.Load() {
+				maxLead.Store(lead)
+			}
+			return i
+		},
+		func(i, v int) { merged.Add(1) })
+	// The frontier can advance between the claim and the load, so the
+	// observed lead only ever underestimates; the bound itself is exact.
+	if lead := maxLead.Load(); lead > window {
+		t.Fatalf("cell claimed %d ahead of merge frontier, window is %d", lead, window)
+	}
+}

@@ -202,11 +202,17 @@ type ClusterConfig struct {
 	// Flight, if non-nil with SampleFrac > 0, arms per-host sampled flight
 	// recorders on a seed-derived subset of the fleet.
 	Flight *FleetFlight
+
+	// Fidelity selects which hosts run full machines instead of the
+	// outcome model (see hostmodel.go); the zero value keeps every host
+	// on the outcome model, byte-identical to historical runs.
+	Fidelity Fidelity
 }
 
-// clusterBatch is how many shards are in flight (results retained) at
-// once. Fixed: the batch size bounds memory, it must not change results or
-// depend on the worker count.
+// clusterBatch is the merge window: how many unmerged shard summaries may
+// be retained at once. Fixed: the window bounds memory, it must not change
+// results or depend on the worker count (merging stays in shard-index
+// order regardless).
 const clusterBatch = 64
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -237,6 +243,7 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.Flight != nil {
 		c.Flight = c.Flight.withDefaults()
 	}
+	c.Fidelity = c.Fidelity.withDefaults()
 	return c
 }
 
@@ -257,6 +264,9 @@ func (c ClusterConfig) Validate() error {
 		if p.FailFactor < 0 || p.LatFactor < 0 {
 			return fmt.Errorf("fleet: push factors must be non-negative: fail=%v lat=%v", p.FailFactor, p.LatFactor)
 		}
+	}
+	if err := c.Fidelity.validate(); err != nil {
+		return err
 	}
 	if f := c.Flight; f != nil {
 		if f.SampleFrac < 0 || f.SampleFrac > 1 {
@@ -464,6 +474,11 @@ type Summary struct {
 	FlightIncidents []FleetIncident
 	FlightDropped   int
 	flightMax       int
+
+	// Calib is the full-vs-outcome cross-calibration block, non-nil only
+	// when ClusterConfig.Fidelity runs full machines (its absence keeps
+	// outcome-only runs byte-identical to historical goldens).
+	Calib *Calib
 }
 
 // addIncident retains inc under the MaxIncidents bound.
@@ -485,6 +500,9 @@ func newSummary(cfg ClusterConfig) *Summary {
 	}
 	if cfg.Flight != nil {
 		s.flightMax = cfg.Flight.MaxIncidents
+	}
+	if cfg.Fidelity.enabled() {
+		s.Calib = newCalib(cfg.Ticks)
 	}
 	return s
 }
@@ -513,6 +531,9 @@ func (s *Summary) Merge(o *Summary) {
 	for _, inc := range o.FlightIncidents {
 		s.addIncident(inc)
 	}
+	if s.Calib != nil && o.Calib != nil {
+		s.Calib.merge(o.Calib)
+	}
 }
 
 // HostTickView is one host-tick as the per-host debug/test API reports it.
@@ -533,12 +554,26 @@ type HostTickView struct {
 // when view is non-nil, reporting each tick through it. This is the one
 // per-host code path: RunCluster's shards and SimulateHost both use it, so
 // what the tests inspect is exactly what the fleet aggregates.
+//
+// The wrapper owns everything common to every fidelity — envelope behaviors
+// (migration, push, storm), TickStats bookkeeping, flight incidents, debug
+// views — while the HostModel owns what the host actually did (pressure,
+// op outcomes, latency observations).
 func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view func(HostTickView)) {
-	hr := hostStream(cfg.Seed, h)
-	sr := stormStream(cfg.Seed, h)
-	spec := specFor(cfg.Kind)
-	timeoutNS := int64(3 * spec.deadline)
-	baseLat := float64(spec.deadline) / 6
+	var model HostModel
+	if cfg.Fidelity.fullHost(cfg.Seed, h) {
+		model = cfg.Fidelity.Machine(HostSpec{
+			Seed: cfg.Seed, Host: h, Rack: h / cfg.RackSize, Kind: cfg.Kind,
+			Ticks: cfg.Ticks, TickDur: cfg.TickDur,
+			OpsPerHostTick: cfg.OpsPerHostTick,
+			Window:         min(cfg.Fidelity.Window, cfg.TickDur),
+		})
+		if acc.Calib != nil {
+			acc.Calib.FullHosts++
+		}
+	} else {
+		model = newOutcomeHost(cfg, h)
+	}
 	migU := hostU(cfg.Seed, hostMigrateTag, h)
 	pushU := hostU(cfg.Seed, hostPushTag, h)
 
@@ -550,64 +585,38 @@ func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view fu
 	prevStorm := false
 
 	for t := 0; t < cfg.Ticks; t++ {
-		p := drawPressure(hr)
-
-		migrated := cfg.Migration != nil && migU < cfg.Migration.frac(t)
-		curve := cfg.Old
-		if migrated {
-			curve = cfg.New
+		env := HostTickEnv{
+			Tick:          t,
+			Migrated:      cfg.Migration != nil && migU < cfg.Migration.frac(t),
+			Pushed:        cfg.Push != nil && pushU < cfg.Push.frac(t),
+			StormActive:   false,
+			StormLatMult:  1,
+			StormFailProb: 0,
 		}
-		ioFail := curve.At(p)
-		latFactor := 1.0
-		pushed := cfg.Push != nil && pushU < cfg.Push.frac(t)
-		if pushed {
-			ioFail *= cfg.Push.FailFactor
-			latFactor = cfg.Push.LatFactor
+		if env.Pushed {
+			env.PushFailFactor = cfg.Push.FailFactor
+			env.PushLatFactor = cfg.Push.LatFactor
 		}
-		if ioFail > 1 {
-			ioFail = 1
-		}
-		eff := stormEffect{LatMult: 1}
 		if effs != nil {
-			eff = effs[t]
+			eff := effs[t]
+			env.StormActive = eff.Active
+			env.StormFailProb = eff.FailProb
+			env.StormLatMult = eff.LatMult
 		}
 
-		healthyFails, stormFails := 0, 0
-		for op := 0; op < cfg.OpsPerHostTick; op++ {
-			// Healthy draws always come — and only come — from hr, in a
-			// fixed order, so storm and push configuration can never
-			// perturb the healthy stream.
-			fail := hr.Bool(ioFail)
-			lat := baseLat * (0.6 + 2.4*p) * hr.LogNormal(0, 0.3)
-
-			sFail := false
-			if eff.Active {
-				sFail = sr.Bool(eff.FailProb)
-			}
-			switch {
-			case fail:
-				healthyFails++
-			case sFail:
-				stormFails++
-			}
-			effLat := int64(lat * latFactor * eff.LatMult)
-			if fail || sFail || effLat > timeoutNS {
-				effLat = timeoutNS
-			}
-			acc.Latency.Observe(effLat)
-		}
+		r := model.Tick(env, acc)
 
 		ts := &acc.PerTick[t]
-		ts.Ops += uint64(cfg.OpsPerHostTick)
-		ts.Fails += uint64(healthyFails + stormFails)
-		ts.StormFails += uint64(stormFails)
-		if migrated {
+		ts.Ops += uint64(r.Ops)
+		ts.Fails += uint64(r.HealthyFails + r.StormFails)
+		ts.StormFails += uint64(r.StormFails)
+		if env.Migrated {
 			ts.Migrated++
 		}
-		if pushed {
+		if env.Pushed {
 			ts.Pushed++
 		}
-		if eff.Active {
+		if env.StormActive {
 			ts.StormHosts++
 		}
 
@@ -615,10 +624,10 @@ func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view fu
 		// fleet analogue of the fault-storm-start trigger), a failure
 		// spike past the ceiling is one too.
 		if sampled {
-			failFrac := float64(healthyFails+stormFails) / float64(cfg.OpsPerHostTick)
+			failFrac := float64(r.HealthyFails+r.StormFails) / float64(r.Ops)
 			reason := ""
 			switch {
-			case eff.Active && !prevStorm:
+			case env.StormActive && !prevStorm:
 				reason = "storm-onset"
 			case failFrac >= fl.FailCeil:
 				reason = "fail-spike"
@@ -626,19 +635,19 @@ func runHost(cfg ClusterConfig, h int, effs []stormEffect, acc *Summary, view fu
 			if reason != "" {
 				acc.addIncident(FleetIncident{
 					Host: h, Rack: h / cfg.RackSize, Tick: t, Reason: reason,
-					FailFrac: failFrac, LatMult: eff.LatMult,
-					Migrated: migrated, Pushed: pushed,
+					FailFrac: failFrac, LatMult: env.StormLatMult,
+					Migrated: env.Migrated, Pushed: env.Pushed,
 				})
 			}
 		}
-		prevStorm = eff.Active
+		prevStorm = env.StormActive
 
 		if view != nil {
 			view(HostTickView{
-				Tick: t, Pressure: p, Migrated: migrated, Pushed: pushed,
-				StormActive: eff.Active, StormFailProb: eff.FailProb,
-				StormLatMult: eff.LatMult, Ops: cfg.OpsPerHostTick,
-				HealthyFails: healthyFails, StormFails: stormFails,
+				Tick: t, Pressure: r.Pressure, Migrated: env.Migrated, Pushed: env.Pushed,
+				StormActive: env.StormActive, StormFailProb: env.StormFailProb,
+				StormLatMult: env.StormLatMult, Ops: r.Ops,
+				HealthyFails: r.HealthyFails, StormFails: r.StormFails,
 			})
 		}
 	}
@@ -669,9 +678,10 @@ func runShard(cfg ClusterConfig, topo Topology, shard int) *Summary {
 // RunCluster simulates the fleet and returns its merged summary.
 //
 // Shards fan out across cfg.Workers goroutines but merge strictly in
-// shard-index order, in batches of clusterBatch, so results are
-// byte-identical for every worker count and memory stays bounded by the
-// batch — not the host count.
+// shard-index order, with at most clusterBatch unmerged shard summaries
+// retained at once (fanout.ForEachNMerge), so results are byte-identical
+// for every worker count and memory stays bounded by the window — not the
+// host count.
 func RunCluster(cfg ClusterConfig) (*Summary, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -681,15 +691,9 @@ func RunCluster(cfg ClusterConfig) (*Summary, error) {
 	shards := (topo.Racks() + cfg.ShardRacks - 1) / cfg.ShardRacks
 
 	total := newSummary(cfg)
-	for batchLo := 0; batchLo < shards; batchLo += clusterBatch {
-		batchHi := min(batchLo+clusterBatch, shards)
-		batch := fanout.ForEachN(batchHi-batchLo, cfg.Workers, func(i int) *Summary {
-			return runShard(cfg, topo, batchLo+i)
-		})
-		for _, s := range batch {
-			total.Merge(s)
-		}
-	}
+	fanout.ForEachNMerge(shards, cfg.Workers, clusterBatch,
+		func(i int) *Summary { return runShard(cfg, topo, i) },
+		func(_ int, s *Summary) { total.Merge(s) })
 	return total, nil
 }
 
@@ -749,6 +753,22 @@ func (s *Summary) Format() string {
 		ms(s.Latency.Quantile(0.99)), ms(s.Latency.Max()), s.Latency.Count())
 	fmt.Fprintf(&b, "failures: first=%d last=%d reduction=%.1fx\n",
 		s.PerTick[0].Fails, s.PerTick[len(s.PerTick)-1].Fails, s.Reduction())
+	// The fidelity section appears only when full machines ran, so
+	// outcome-only runs keep their historical bytes.
+	if c := s.Calib; c != nil {
+		fmt.Fprintf(&b, "fidelity: full-machine hosts=%d outcome hosts=%d\n",
+			c.FullHosts, s.Hosts-c.FullHosts)
+		fmt.Fprintf(&b, "%4s %14s %8s %14s %8s\n",
+			"tick", "full_p99", "full_n", "outcome_p99", "outc_n")
+		for t := range c.PerTick {
+			ct := c.PerTick[t]
+			fmt.Fprintf(&b, "%4d %14s %8d %14s %8d\n",
+				t, ms(ct.Full.Quantile(0.99)), ct.Full.Count(),
+				ms(ct.Outcome.Quantile(0.99)), ct.Outcome.Count())
+		}
+		fmt.Fprintf(&b, "calib workloads: protected_p99=%s best_effort_p99=%s\n",
+			ms(c.Protected.Quantile(0.99)), ms(c.BestEffort.Quantile(0.99)))
+	}
 	// The flight section appears only when recorders were sampled, so
 	// unsampled runs keep their historical bytes.
 	if s.FlightSampled > 0 {

@@ -57,6 +57,34 @@ func (s *Summary) RegisterMetrics(r *registry.Registry) {
 	r.Histogram("fleet_op_latency_ns", "effective operation latency across the fleet",
 		registry.L("kind", s.Kind.String()), s.Latency)
 
+	// Fidelity families exist only when full machines ran, keeping
+	// outcome-only exports byte-identical to their historical goldens.
+	if c := s.Calib; c != nil {
+		r.GaugeFunc("fleet_fidelity_full_hosts", "hosts running full machines",
+			registry.L("kind", s.Kind.String()), func() float64 { return float64(c.FullHosts) })
+		calibTick := func(name, help string, get func(CalibTick) float64) {
+			r.Collector(name, registry.Gauge, help, func(emit func([]registry.Label, float64)) {
+				for t, ct := range c.PerTick {
+					emit(tickLabel(t), get(ct))
+				}
+			})
+		}
+		calibTick("fleet_calib_full_p99_ns", "full-machine effective op latency p99 per tick",
+			func(ct CalibTick) float64 { return float64(ct.Full.Quantile(0.99)) })
+		calibTick("fleet_calib_full_ops", "full-machine ops observed per tick",
+			func(ct CalibTick) float64 { return float64(ct.Full.Count()) })
+		calibTick("fleet_calib_outcome_p99_ns", "outcome-model effective op latency p99 per tick",
+			func(ct CalibTick) float64 { return float64(ct.Outcome.Quantile(0.99)) })
+		calibTick("fleet_calib_outcome_ops", "outcome-model ops observed per tick",
+			func(ct CalibTick) float64 { return float64(ct.Outcome.Count()) })
+		r.Histogram("fleet_calib_protected_latency_ns",
+			"full-machine protected workload read latency",
+			registry.L("kind", s.Kind.String()), c.Protected)
+		r.Histogram("fleet_calib_best_effort_latency_ns",
+			"full-machine best-effort workload read latency",
+			registry.L("kind", s.Kind.String()), c.BestEffort)
+	}
+
 	// Flight families exist only when recorders were sampled, keeping
 	// unsampled exports byte-identical to their historical goldens.
 	if s.FlightSampled > 0 {
@@ -117,6 +145,9 @@ type JSONSummary struct {
 	// Flight appears only when recorders were sampled (omitted otherwise,
 	// preserving historical export bytes).
 	Flight *FlightExport `json:"flight,omitempty"`
+	// Fidelity appears only when full machines ran (omitted otherwise,
+	// preserving historical export bytes).
+	Fidelity *FidelityExport `json:"fidelity,omitempty"`
 }
 
 // FlightExport is the sampled-recorder section of the JSON export.
@@ -124,6 +155,25 @@ type FlightExport struct {
 	Sampled   int             `json:"sampled"`
 	Dropped   int             `json:"dropped"`
 	Incidents []FleetIncident `json:"incidents"`
+}
+
+// FidelityExport is the cross-calibration section of the JSON export.
+type FidelityExport struct {
+	FullHosts int               `json:"full_hosts"`
+	PerTick   []CalibTickExport `json:"per_tick"`
+	// ProtectedP99NS and BestEffortP99NS are the full machines' pooled
+	// per-workload read p99s — the ordering the controllers exist to
+	// enforce.
+	ProtectedP99NS  int64 `json:"protected_p99_ns"`
+	BestEffortP99NS int64 `json:"best_effort_p99_ns"`
+}
+
+// CalibTickExport is one tick's full-vs-outcome comparison.
+type CalibTickExport struct {
+	FullP99NS    int64  `json:"full_p99_ns"`
+	FullOps      uint64 `json:"full_ops"`
+	OutcomeP99NS int64  `json:"outcome_p99_ns"`
+	OutcomeOps   uint64 `json:"outcome_ops"`
 }
 
 // Export returns the structured form of the summary.
@@ -144,7 +194,28 @@ func (s *Summary) Export() JSONSummary {
 		LatCount:  s.Latency.Count(),
 		Reduction: s.Reduction(),
 		Flight:    s.flightExport(),
+		Fidelity:  s.fidelityExport(),
 	}
+}
+
+func (s *Summary) fidelityExport() *FidelityExport {
+	c := s.Calib
+	if c == nil {
+		return nil
+	}
+	e := &FidelityExport{
+		FullHosts:       c.FullHosts,
+		PerTick:         make([]CalibTickExport, len(c.PerTick)),
+		ProtectedP99NS:  c.Protected.Quantile(0.99),
+		BestEffortP99NS: c.BestEffort.Quantile(0.99),
+	}
+	for t, ct := range c.PerTick {
+		e.PerTick[t] = CalibTickExport{
+			FullP99NS: ct.Full.Quantile(0.99), FullOps: ct.Full.Count(),
+			OutcomeP99NS: ct.Outcome.Quantile(0.99), OutcomeOps: ct.Outcome.Count(),
+		}
+	}
+	return e
 }
 
 func (s *Summary) flightExport() *FlightExport {

@@ -18,6 +18,7 @@ import (
 	"github.com/iocost-sim/iocost/internal/rng"
 	"github.com/iocost-sim/iocost/internal/sim"
 	"github.com/iocost-sim/iocost/internal/trace"
+	"github.com/iocost-sim/iocost/internal/tune"
 )
 
 // drainHorizon bounds how long past the last arrival a controller may take
@@ -51,27 +52,35 @@ type RunResult struct {
 var mutateCtl func(blk.Controller) blk.Controller
 
 func buildDevice(eng *sim.Engine, scn Scenario) device.Device {
+	return deviceChoice(scn).New(eng, scn.DevSeed)
+}
+
+// deviceChoice maps a fuzz scenario's device draw onto the shared exp
+// catalog — the same vocabulary every -device flag resolves through.
+func deviceChoice(scn Scenario) exp.DeviceChoice {
+	var name string
 	switch scn.Dev.Kind {
 	case "ssd":
-		return device.NewSSD(eng, ssdSpec(scn.Dev.Profile), scn.DevSeed)
+		switch scn.Dev.Profile {
+		case "NewerGenSSD":
+			name = "newer-gen"
+		case "EnterpriseSSD":
+			name = "enterprise"
+		default:
+			name = "older-gen"
+		}
 	case "hdd":
-		return device.NewHDD(eng, device.EvalHDD(), scn.DevSeed)
+		name = "hdd"
 	case "remote":
-		return device.NewRemote(eng, device.EBSgp3(), scn.DevSeed)
+		name = "ebs-gp3"
 	default:
 		panic(fmt.Sprintf("simfuzz: unknown device kind %q", scn.Dev.Kind))
 	}
-}
-
-func ssdSpec(profile string) device.SSDSpec {
-	switch profile {
-	case "NewerGenSSD":
-		return device.NewerGenSSD()
-	case "EnterpriseSSD":
-		return device.EnterpriseSSD()
-	default:
-		return device.OlderGenSSD()
+	choice, err := exp.ParseDevice(name)
+	if err != nil {
+		panic(fmt.Sprintf("simfuzz: %v", err))
 	}
+	return choice
 }
 
 // buildController constructs the controller under test through the ctl
@@ -110,13 +119,14 @@ func buildController(kind string, scn Scenario, nodes []*cgroup.Node) blk.Contro
 // scenario's device, mirroring what exp.MachineConfig defaults would pick.
 func iocostCoreConfig(scn Scenario) core.Config {
 	var cfg core.Config
-	switch scn.Dev.Kind {
-	case "ssd":
-		spec := ssdSpec(scn.Dev.Profile)
-		cfg.Model = core.MustLinearModel(exp.IdealParams(spec))
-		cfg.QoS = exp.TunedQoS(spec)
-	case "hdd":
-		cfg.Model = core.MustLinearModel(exp.IdealHDDParams(device.EvalHDD()))
+	choice := deviceChoice(scn)
+	switch choice.Kind() {
+	case exp.DeviceSSD:
+		spec := *choice.Spec().(*device.SSDSpec)
+		cfg.Model = core.MustLinearModel(tune.IdealSSDParams(spec))
+		cfg.QoS = tune.HandTunedSSD(spec)
+	case exp.DeviceHDD:
+		cfg.Model = core.MustLinearModel(tune.IdealHDDParams(*choice.Spec().(*device.HDDSpec)))
 		cfg.QoS = core.QoS{
 			RPct: 90, RLat: 15 * sim.Millisecond,
 			WPct: 90, WLat: 40 * sim.Millisecond,
@@ -124,7 +134,7 @@ func iocostCoreConfig(scn Scenario) core.Config {
 		}
 	default:
 		spec := device.EBSgp3()
-		cfg.Model = core.MustLinearModel(exp.IdealRemoteParams(spec))
+		cfg.Model = core.MustLinearModel(tune.IdealRemoteParams(spec))
 		rtt := sim.Time(spec.RTTNS)
 		cfg.QoS = core.QoS{
 			RPct: 90, RLat: 6 * rtt,

@@ -80,7 +80,12 @@ for bad in \
 	"./cmd/iocost-trace export-perfetto" \
 	"./cmd/iocost-trace bundle -check /nonexistent.json" \
 	"./cmd/iocost-fleet -flight-sample 2" \
-	"./cmd/iocost-fleet -flight-fail 0.5"; do
+	"./cmd/iocost-fleet -flight-fail 0.5" \
+	"./cmd/iocost-fleet -fidelity nosuch" \
+	"./cmd/iocost-fleet -fidelity sampled -sample-frac 2" \
+	"./cmd/iocost-fleet -sample-frac 0.5" \
+	"./cmd/iocost-tune -device nosuch" \
+	"./cmd/iocost-tune -device hdd -scenario fleet-a"; do
 	if go run $bad >/dev/null 2>&1; then
 		echo "FAIL: 'go run $bad' exited zero"
 		exit 1
